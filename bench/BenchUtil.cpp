@@ -1,0 +1,135 @@
+//===- bench/BenchUtil.cpp - Shared experiment harness --------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ildp;
+using namespace ildp::bench;
+
+unsigned bench::benchScale() {
+  if (const char *Env = std::getenv("ILDP_BENCH_SCALE")) {
+    int Value = std::atoi(Env);
+    if (Value >= 1)
+      return unsigned(Value);
+  }
+  return 1;
+}
+
+RunOutput bench::runOnIldp(const std::string &Workload,
+                           const dbt::DbtConfig &Dbt,
+                           const uarch::IldpParams &Params) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img =
+      workloads::buildWorkload(Workload, Mem, benchScale());
+  vm::VmConfig Config;
+  Config.Dbt = Dbt;
+  uarch::IldpModel Model(Params);
+  vm::VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  Vm.setTimingModel(&Model);
+  vm::RunResult Result = Vm.run();
+  Model.finish();
+  if (Result.Reason != vm::StopReason::Halted) {
+    std::fprintf(stderr, "bench: %s did not halt cleanly\n",
+                 Workload.c_str());
+    std::exit(1);
+  }
+  RunOutput Out;
+  Out.Vm = Vm.stats();
+  Out.Pipe = Model.stats();
+  Out.Front = Model.frontEndStats();
+  return Out;
+}
+
+RunOutput bench::runOnSuperscalar(const std::string &Workload,
+                                  const dbt::DbtConfig &Dbt) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img =
+      workloads::buildWorkload(Workload, Mem, benchScale());
+  vm::VmConfig Config;
+  Config.Dbt = Dbt;
+  uarch::SuperscalarParams Params;
+  uarch::SuperscalarModel Model(Params, /*ConventionalRas=*/false);
+  vm::VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  Vm.setTimingModel(&Model);
+  vm::RunResult Result = Vm.run();
+  Model.finish();
+  if (Result.Reason != vm::StopReason::Halted) {
+    std::fprintf(stderr, "bench: %s did not halt cleanly\n",
+                 Workload.c_str());
+    std::exit(1);
+  }
+  RunOutput Out;
+  Out.Vm = Vm.stats();
+  Out.Pipe = Model.stats();
+  Out.Front = Model.frontEndStats();
+  return Out;
+}
+
+RunOutput bench::runOriginal(const std::string &Workload,
+                             bool ConventionalRas) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img =
+      workloads::buildWorkload(Workload, Mem, benchScale());
+  uarch::SuperscalarParams Params;
+  uarch::SuperscalarModel Model(Params, ConventionalRas);
+  StepStatus Status =
+      vm::runOriginal(Mem, Img.EntryPc, &Model, 4'000'000'000ull, nullptr);
+  Model.finish();
+  if (Status != StepStatus::Halted) {
+    std::fprintf(stderr, "bench: original %s did not halt cleanly\n",
+                 Workload.c_str());
+    std::exit(1);
+  }
+  RunOutput Out;
+  Out.Pipe = Model.stats();
+  Out.Front = Model.frontEndStats();
+  Out.OriginalInsts = Model.stats().Insts;
+  return Out;
+}
+
+RunOutput bench::runFunctional(const std::string &Workload,
+                               const dbt::DbtConfig &Dbt) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img =
+      workloads::buildWorkload(Workload, Mem, benchScale());
+  vm::VmConfig Config;
+  Config.Dbt = Dbt;
+  vm::VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  vm::RunResult Result = Vm.run();
+  if (Result.Reason != vm::StopReason::Halted) {
+    std::fprintf(stderr, "bench: %s did not halt cleanly\n",
+                 Workload.c_str());
+    std::exit(1);
+  }
+  RunOutput Out;
+  Out.Vm = Vm.stats();
+  return Out;
+}
+
+double bench::harmonicMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += 1.0 / V;
+  return double(Values.size()) / Sum;
+}
+
+void bench::printBanner(const std::string &Title,
+                        const std::string &PaperRef) {
+  std::printf("================================================================"
+              "===============\n");
+  std::printf("%s\n", Title.c_str());
+  std::printf("Reproduces: %s — Kim & Smith, \"Dynamic Binary Translation "
+              "for\nAccumulator-Oriented Architectures\", CGO 2003. "
+              "(workload scale %u)\n",
+              PaperRef.c_str(), benchScale());
+  std::printf("================================================================"
+              "===============\n");
+}

@@ -1,0 +1,85 @@
+//===- bench/BenchUtil.h - Shared experiment harness ----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the table/figure reproduction binaries: run one
+/// workload through a full configuration (VM + timing model) and hand back
+/// every statistic the paper's tables and figures need.
+///
+/// The workload scale factor can be raised with the ILDP_BENCH_SCALE
+/// environment variable (default 1) for longer, steadier runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_BENCH_BENCHUTIL_H
+#define ILDP_BENCH_BENCHUTIL_H
+
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+#include "uarch/FrontEnd.h"
+#include "uarch/IldpModel.h"
+#include "uarch/SuperscalarModel.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace ildp {
+namespace bench {
+
+/// Everything one experiment run produces.
+struct RunOutput {
+  StatisticSet Vm;               ///< VM statistics (empty for original runs).
+  uarch::PipelineStats Pipe;     ///< Backend pipeline statistics.
+  uarch::FrontEndStats Front;    ///< Prediction/fetch statistics.
+  uint64_t OriginalInsts = 0;    ///< Retired V-ISA instructions (original
+                                 ///< runs; NOPs included).
+
+  /// Committed instructions including VM-synthesized dispatch/stub code.
+  uint64_t totalExecuted() const { return Pipe.Insts; }
+  double vIpc() const { return Pipe.ipc(); }
+  double nativeIpc() const { return Pipe.nativeIpc(); }
+  /// Branch/jump mispredictions per 1,000 committed instructions (Fig. 4).
+  double mispredictsPer1k() const {
+    return Pipe.Insts
+               ? 1000.0 * double(Front.totalMispredicts()) / double(Pipe.Insts)
+               : 0.0;
+  }
+};
+
+/// Workload scale factor (ILDP_BENCH_SCALE, default 1).
+unsigned benchScale();
+
+/// Runs \p Workload under the co-designed VM with \p Dbt on the ILDP
+/// machine \p Params.
+RunOutput runOnIldp(const std::string &Workload, const dbt::DbtConfig &Dbt,
+                    const uarch::IldpParams &Params);
+
+/// Runs \p Workload under the DBT (usually the straightening backend) on
+/// the reference superscalar. \p ConventionalRas enables the hardware RAS
+/// (meaningless for translated code; used by original runs).
+RunOutput runOnSuperscalar(const std::string &Workload,
+                           const dbt::DbtConfig &Dbt);
+
+/// Runs \p Workload natively (no DBT) on the reference superscalar.
+RunOutput runOriginal(const std::string &Workload, bool ConventionalRas);
+
+/// Runs \p Workload under the VM without a timing model (fast functional
+/// run; used by translation-statistics experiments).
+RunOutput runFunctional(const std::string &Workload,
+                        const dbt::DbtConfig &Dbt);
+
+/// Harmonic mean of per-workload IPCs (the conventional aggregate).
+double harmonicMean(const std::vector<double> &Values);
+
+/// Prints the standard bench banner.
+void printBanner(const std::string &Title, const std::string &PaperRef);
+
+} // namespace bench
+} // namespace ildp
+
+#endif // ILDP_BENCH_BENCHUTIL_H

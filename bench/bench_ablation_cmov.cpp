@@ -1,0 +1,68 @@
+//===- bench/bench_ablation_cmov.cpp - Conditional-move decomposition -----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the conditional-move decomposition in the modified ISA: the
+/// paper's two-instruction split (cmov_mask + cmov_blend through the
+/// readable destination-GPR field) versus the generic four-operation
+/// mask/and/bic/bis expansion the basic ISA is forced into. Measured on
+/// the cmov-heavy workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ildp;
+using namespace ildp::bench;
+
+int main() {
+  printBanner("Ablation: conditional-move decomposition (modified ISA, ILDP)",
+              "Section 3.3's decomposed-instruction discussion");
+  TablePrinter T({"workload", "rel.insts 2-op", "rel.insts 4-op",
+                  "ipc 2-op", "ipc 4-op"});
+  uarch::IldpParams Params;
+  std::vector<double> Ipc2, Ipc4;
+
+  // The cmov-carrying workloads (mcf, vpr, twolf, eon) plus one without
+  // (gzip) as a control.
+  for (const char *W : {"mcf", "vpr", "twolf", "eon", "gzip"}) {
+    double Rel[2], Ipc[2];
+    for (int FourOp = 0; FourOp != 2; ++FourOp) {
+      dbt::DbtConfig Dbt;
+      Dbt.Variant = iisa::IsaVariant::Modified;
+      Dbt.CmovTwoOp = FourOp == 0;
+      RunOutput Out = runOnIldp(W, Dbt, Params);
+      const StatisticSet &S = Out.Vm;
+      uint64_t Executed = S.get("frag.insts") + S.get("dispatch.insts") +
+                          S.get("stub.insts");
+      uint64_t VInsts = S.get("vm.vinsts_translated");
+      Rel[FourOp] = VInsts ? double(Executed) / double(VInsts) : 0;
+      Ipc[FourOp] = Out.vIpc();
+    }
+    T.beginRow();
+    T.cell(W);
+    T.cellFloat(Rel[0], 3);
+    T.cellFloat(Rel[1], 3);
+    T.cellFloat(Ipc[0], 3);
+    T.cellFloat(Ipc[1], 3);
+    Ipc2.push_back(Ipc[0]);
+    Ipc4.push_back(Ipc[1]);
+  }
+  T.beginRow();
+  T.cell("harmonic mean");
+  T.cell("");
+  T.cell("");
+  T.cellFloat(harmonicMean(Ipc2), 3);
+  T.cellFloat(harmonicMean(Ipc4), 3);
+  T.print();
+  std::printf("\nexpected: the two-op split removes two instructions per "
+              "conditional move\n(and the mask's scratch-GPR round trip), "
+              "helping exactly the cmov-dense\nworkloads; gzip (no cmovs) "
+              "is unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+//===- bench/bench_ablation_flush.cpp - Phase-flush extension ablation ----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for the Dynamo-style translation-cache flush extension.
+/// Section 4.1 of the paper observes that its VM never reconsiders a
+/// fragment ("once a fragment is constructed there is no second chance")
+/// and conjectures phased programs pay for it. This harness runs a
+/// synthetic multi-phase program — each phase exercises a disjoint set of
+/// hot loops — with the flush policy off (the paper's system) and on
+/// (the extension), and reports the translation-cache population.
+///
+/// Expected: with flushing, dead phase-1 fragments are evicted, so the
+/// live cache at exit is a fraction of the no-flush footprint, at the
+/// cost of a few retranslations after each flush.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "alpha/Assembler.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+/// Builds \p Phases phases of \p LoopsPerPhase disjoint hot loops. Every
+/// loop runs \p Trips iterations of a small mixed body, far above the hot
+/// threshold, then is never revisited.
+GuestMemory buildPhasedProgram(unsigned Phases, unsigned LoopsPerPhase,
+                               unsigned Trips, uint64_t &Entry,
+                               uint64_t &Checksum) {
+  Assembler Asm(0x10000);
+  Asm.loadImm(16, 0x40000);
+  Asm.movi(0, 9);
+  for (unsigned Phase = 0; Phase != Phases; ++Phase) {
+    for (unsigned L = 0; L != LoopsPerPhase; ++L) {
+      Asm.loadImm(17, int64_t(Trips));
+      auto Loop = Asm.createLabel("p" + std::to_string(Phase) + "_" +
+                                  std::to_string(L));
+      Asm.bind(Loop);
+      Asm.operatei(Op::ADDQ, 9, uint8_t(1 + L % 7), 9);
+      Asm.operatei(Op::XOR, 9, uint8_t(L % 32), 3);
+      Asm.ldq(4, int32_t(L % 16) * 8, 16);
+      Asm.operate(Op::ADDQ, 3, 4, 9);
+      Asm.operatei(Op::SUBL, 17, 1, 17);
+      Asm.condBr(Op::BNE, 17, Loop);
+    }
+  }
+  Asm.mov(9, RegV0);
+  Asm.halt();
+  Entry = 0x10000;
+
+  GuestMemory Mem;
+  std::vector<uint32_t> Words = Asm.finalize();
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(0x10000 + I * 4, Words[I]);
+  Mem.mapRegion(0x40000, 0x1000);
+
+  Interpreter Ref(Mem);
+  Ref.state().Pc = Entry;
+  if (Ref.run(1'000'000'000).Status != StepStatus::Halted) {
+    std::fprintf(stderr, "phased reference run did not halt\n");
+    Checksum = ~uint64_t(0);
+  } else {
+    Checksum = Ref.state().readGpr(RegV0);
+  }
+  // Rebuild a fresh image (the reference run mutated nothing outside
+  // registers, but keep the runs symmetric).
+  GuestMemory Fresh;
+  for (size_t I = 0; I != Words.size(); ++I)
+    Fresh.poke32(0x10000 + I * 4, Words[I]);
+  Fresh.mapRegion(0x40000, 0x1000);
+  return Fresh;
+}
+
+struct FlushRow {
+  uint64_t Flushes = 0;
+  uint64_t Translations = 0; ///< Fragments ever constructed.
+  uint64_t LiveFragments = 0;
+  uint64_t LiveBytes = 0;
+  double TranslatedPct = 0;
+  bool ChecksumOk = false;
+};
+
+FlushRow runConfig(unsigned Phases, unsigned LoopsPerPhase, unsigned Trips,
+                   bool FlushOn) {
+  uint64_t Entry = 0, Checksum = 0;
+  GuestMemory Mem =
+      buildPhasedProgram(Phases, LoopsPerPhase, Trips, Entry, Checksum);
+  vm::VmConfig Config;
+  Config.Dbt.Variant = iisa::IsaVariant::Modified;
+  Config.FlushOnPhaseChange = FlushOn;
+  Config.PhaseWindow = 60'000;
+  Config.PhaseFragmentThreshold = 12;
+  vm::VirtualMachine Vm(Mem, Entry, Config);
+  FlushRow Row;
+  if (Vm.run().Reason != vm::StopReason::Halted)
+    return Row;
+  const StatisticSet &S = Vm.stats();
+  Row.Flushes = S.get("tcache.flushes");
+  Row.Translations = S.get("dbt.fragments");
+  Row.LiveFragments = S.get("tcache.fragments");
+  Row.LiveBytes = S.get("tcache.body_bytes");
+  uint64_t Guest = S.get("vm.guest_insts");
+  Row.TranslatedPct =
+      Guest ? 100.0 * double(S.get("vm.vinsts_translated")) / double(Guest)
+            : 0.0;
+  Row.ChecksumOk = Vm.interpreter().state().readGpr(RegV0) == Checksum;
+  return Row;
+}
+
+} // namespace
+
+int main() {
+  bench::printBanner(
+      "Ablation: Dynamo-style cache flush on phase changes (extension)",
+      "Section 4.1's no-second-chance discussion");
+
+  struct Shape {
+    const char *Name;
+    unsigned Phases;
+    unsigned Loops;
+    unsigned Trips;
+  };
+  const Shape Shapes[] = {
+      {"2 phases x 30 loops", 2, 30, 200},
+      {"3 phases x 40 loops", 3, 40, 200},
+      {"5 phases x 24 loops", 5, 24, 300},
+  };
+
+  TablePrinter Table({"program", "flush", "flushes", "xlations",
+                      "live frags", "live KB", "xlated %", "checksum"});
+  for (const Shape &S : Shapes) {
+    for (bool FlushOn : {false, true}) {
+      FlushRow Row = runConfig(S.Phases, S.Loops, S.Trips, FlushOn);
+      Table.beginRow();
+      Table.cell(S.Name);
+      Table.cell(FlushOn ? "on" : "off");
+      Table.cellInt(int64_t(Row.Flushes));
+      Table.cellInt(int64_t(Row.Translations));
+      Table.cellInt(int64_t(Row.LiveFragments));
+      Table.cellFloat(double(Row.LiveBytes) / 1024.0, 1);
+      Table.cellFloat(Row.TranslatedPct, 1);
+      Table.cell(Row.ChecksumOk ? "ok" : "MISMATCH");
+    }
+  }
+  Table.print();
+
+  std::printf(
+      "\nexpected: flushing keeps the live cache near one phase's working\n"
+      "set (the no-flush footprint grows with every phase). Because these\n"
+      "phases are fully disjoint, flushed fragments are never needed\n"
+      "again and the translation count does not rise; a program that\n"
+      "revisits old phases would pay retranslations instead. The paper's\n"
+      "VM is the 'off' row.\n");
+  return 0;
+}

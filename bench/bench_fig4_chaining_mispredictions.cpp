@@ -1,0 +1,65 @@
+//===- bench/bench_fig4_chaining_mispredictions.cpp - Figure 4 ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 4: branch/jump mispredictions per 1,000 instructions for the
+/// code-straightening-only simulator under the three chaining policies,
+/// against the original program:
+///   original        — native Alpha with the conventional hardware RAS,
+///   no_pred         — every indirect jump goes to the shared dispatch
+///                     code (one BTB entry serves all dispatch jumps),
+///   sw_pred.no_ras  — translation-time software jump prediction,
+///   sw_pred.ras     — software prediction plus the dual-address RAS.
+///
+/// Paper shape: no_pred >> sw_pred.no_ras (~half) > sw_pred.ras ~= original.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ildp;
+using namespace ildp::bench;
+
+int main() {
+  printBanner("Figure 4: mispredictions per 1,000 instructions",
+              "Figure 4 (Section 4.3)");
+  TablePrinter T({"workload", "original", "no_pred", "sw_pred.no_ras",
+                  "sw_pred.ras"});
+  double Sum[4] = {0, 0, 0, 0};
+  unsigned N = 0;
+
+  for (const std::string &W : workloads::workloadNames()) {
+    double Row[4];
+    Row[0] = runOriginal(W, /*ConventionalRas=*/true).mispredictsPer1k();
+    unsigned Idx = 1;
+    for (dbt::ChainPolicy Policy :
+         {dbt::ChainPolicy::NoPred, dbt::ChainPolicy::SwPredNoRas,
+          dbt::ChainPolicy::SwPredRas}) {
+      dbt::DbtConfig Dbt;
+      Dbt.Variant = iisa::IsaVariant::Straight;
+      Dbt.Chaining = Policy;
+      Row[Idx++] = runOnSuperscalar(W, Dbt).mispredictsPer1k();
+    }
+    T.beginRow();
+    T.cell(W);
+    for (unsigned I = 0; I != 4; ++I) {
+      T.cellFloat(Row[I], 2);
+      Sum[I] += Row[I];
+    }
+    ++N;
+  }
+  T.beginRow();
+  T.cell("average");
+  for (unsigned I = 0; I != 4; ++I)
+    T.cellFloat(Sum[I] / N, 2);
+  T.print();
+  std::printf("\npaper shape: no_pred is worst; software prediction roughly "
+              "halves it; the\ndual-address RAS restores near-original "
+              "misprediction rates.\n");
+  return 0;
+}

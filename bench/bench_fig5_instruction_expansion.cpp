@@ -1,0 +1,60 @@
+//===- bench/bench_fig5_instruction_expansion.cpp - Figure 5 --------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 5: relative dynamic instruction count of straightened code
+/// (including all chaining, stub, and dispatch instructions) over the
+/// original program, per chaining policy. Straightening itself *removes*
+/// instructions (unconditional branches, NOPs); indirect-jump chaining
+/// adds them back — dramatically so under no_pred.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ildp;
+using namespace ildp::bench;
+
+int main() {
+  printBanner("Figure 5: relative instruction count after chaining",
+              "Figure 5 (Section 4.3)");
+  TablePrinter T({"workload", "no_pred", "sw_pred.no_ras", "sw_pred.ras"});
+  double Sum[3] = {0, 0, 0};
+  unsigned N = 0;
+
+  for (const std::string &W : workloads::workloadNames()) {
+    T.beginRow();
+    T.cell(W);
+    unsigned Idx = 0;
+    for (dbt::ChainPolicy Policy :
+         {dbt::ChainPolicy::NoPred, dbt::ChainPolicy::SwPredNoRas,
+          dbt::ChainPolicy::SwPredRas}) {
+      dbt::DbtConfig Dbt;
+      Dbt.Variant = iisa::IsaVariant::Straight;
+      Dbt.Chaining = Policy;
+      RunOutput Out = runFunctional(W, Dbt);
+      const StatisticSet &S = Out.Vm;
+      uint64_t Executed = S.get("frag.insts") + S.get("dispatch.insts") +
+                          S.get("stub.insts");
+      uint64_t VInsts = S.get("vm.vinsts_translated");
+      double Rel = VInsts ? double(Executed) / double(VInsts) : 0;
+      T.cellFloat(Rel, 2);
+      Sum[Idx++] += Rel;
+    }
+    ++N;
+  }
+  T.beginRow();
+  T.cell("average");
+  for (unsigned I = 0; I != 3; ++I)
+    T.cellFloat(Sum[I] / N, 2);
+  T.print();
+  std::printf("\npaper shape: indirect-jump-heavy benchmarks (perlbmk, gap, "
+              "eon) expand most;\nloop benchmarks stay near (or below) 1.0 "
+              "thanks to removed direct branches.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- bench/bench_fig9_machine_parameters.cpp - Figure 9 -----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 9: IPC variation of the modified-ISA ILDP machine over machine
+/// parameters, relative to the baseline (4 accumulators, 32KB replicated
+/// D-cache, 8 PEs, 0-cycle communication):
+///   - 8 logical accumulators,
+///   - 8KB replicated D-cache,
+///   - 2-cycle global communication latency,
+///   - 6 PEs,
+///   - 4 PEs.
+///
+/// Paper shape: 8 accumulators +11%; quarter-size cache barely matters;
+/// 2-cycle communication costs only a few percent (more on our distilled
+/// kernels — see EXPERIMENTS.md); 6 PEs -5%; 4 PEs -18%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ildp;
+using namespace ildp::bench;
+
+namespace {
+
+struct Variation {
+  const char *Name;
+  unsigned Accs;
+  bool SmallCache;
+  unsigned CommLat;
+  unsigned Pes;
+};
+
+} // namespace
+
+int main() {
+  printBanner("Figure 9: IPC variation over machine parameters "
+              "(modified ISA on ILDP)",
+              "Figure 9 (Section 4.5)");
+
+  const Variation Variations[] = {
+      {"baseline(4acc,32K,0cyc,8PE)", 4, false, 0, 8},
+      {"8 accumulators", 8, false, 0, 8},
+      {"8KB D-cache", 4, true, 0, 8},
+      {"2-cycle comm", 4, false, 2, 8},
+      {"6 PEs", 4, false, 0, 6},
+      {"4 PEs", 4, false, 0, 4},
+  };
+  constexpr unsigned NumVar = std::size(Variations);
+
+  std::vector<std::string> Headers = {"workload"};
+  for (const Variation &V : Variations)
+    Headers.push_back(V.Name);
+  TablePrinter T(Headers);
+
+  std::vector<double> Col[NumVar];
+  for (const std::string &W : workloads::workloadNames()) {
+    T.beginRow();
+    T.cell(W);
+    for (unsigned I = 0; I != NumVar; ++I) {
+      const Variation &V = Variations[I];
+      dbt::DbtConfig Dbt;
+      Dbt.Variant = iisa::IsaVariant::Modified;
+      Dbt.NumAccumulators = V.Accs;
+      uarch::IldpParams Params;
+      Params.NumPEs = V.Pes;
+      Params.CommLatency = V.CommLat;
+      if (V.SmallCache)
+        Params.useSmallDCache();
+      double Ipc = runOnIldp(W, Dbt, Params).vIpc();
+      T.cellFloat(Ipc, 3);
+      Col[I].push_back(Ipc);
+    }
+  }
+  T.beginRow();
+  T.cell("harmonic mean");
+  double Base = harmonicMean(Col[0]);
+  for (unsigned I = 0; I != NumVar; ++I)
+    T.cellFloat(harmonicMean(Col[I]), 3);
+  T.print();
+
+  std::printf("\nrelative to baseline (harmonic mean):\n");
+  for (unsigned I = 0; I != NumVar; ++I)
+    std::printf("  %-28s %+6.1f%%\n", Variations[I].Name,
+                100.0 * (harmonicMean(Col[I]) / Base - 1.0));
+  std::printf("\npaper shape: 8 accumulators help (~+11%%); the small "
+              "replicated cache barely\nmatters; 2-cycle communication "
+              "costs little; 6 PEs ~-5%%, 4 PEs ~-18%%.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+//===- bench/bench_translation_speed.cpp - Translator microbenchmarks -----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark wall-clock microbenchmarks for the components whose
+/// cost the paper discusses: translation itself (Section 4.2's overhead),
+/// interpretation, and functional execution of translated code. These
+/// complement the architectural cost accounting in
+/// bench_table2_translation_stats.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+#include "core/SuperblockBuilder.h"
+#include "core/Translator.h"
+#include "iisa/Executor.h"
+#include "interp/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ildp;
+using Op = alpha::Opcode;
+
+namespace {
+
+/// Records the gzip hot loop's superblock once (shared fixture).
+struct GzipFixture {
+  GuestMemory Mem;
+  dbt::Superblock Sb;
+  uint64_t Entry = 0;
+
+  GzipFixture() {
+    workloads::WorkloadImage Img = workloads::buildWorkload("gzip", Mem, 1);
+    Entry = Img.EntryPc;
+    Interpreter Interp(Mem);
+    Interp.state().Pc = Entry;
+    // Find the first backward-taken branch target and record from there.
+    uint64_t Hot = 0;
+    for (int I = 0; I != 100000 && !Hot; ++I) {
+      StepInfo Info = Interp.step();
+      if (Info.IsControl && alpha::isCondBranch(Info.Inst.Op) && Info.Taken &&
+          Info.NextPc <= Info.Pc)
+        Hot = Info.NextPc;
+    }
+    while (Interp.state().Pc != Hot)
+      Interp.step();
+    dbt::SuperblockBuilder Builder(Hot, 200);
+    while (Builder.append(Interp.step()) !=
+           dbt::SuperblockBuilder::Status::Done) {
+    }
+    Sb = Builder.take();
+  }
+};
+
+GzipFixture &gzipFixture() {
+  static GzipFixture Fixture;
+  return Fixture;
+}
+
+void BM_TranslateBasic(benchmark::State &State) {
+  GzipFixture &F = gzipFixture();
+  dbt::DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Basic;
+  for (auto _ : State) {
+    dbt::TranslationResult R =
+        dbt::translate(F.Sb, Config, dbt::ChainEnv());
+    benchmark::DoNotOptimize(R.Frag.Body.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * F.Sb.Insts.size());
+  State.counters["src_insts"] = double(F.Sb.Insts.size());
+}
+
+void BM_TranslateModified(benchmark::State &State) {
+  GzipFixture &F = gzipFixture();
+  dbt::DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Modified;
+  for (auto _ : State) {
+    dbt::TranslationResult R =
+        dbt::translate(F.Sb, Config, dbt::ChainEnv());
+    benchmark::DoNotOptimize(R.Frag.Body.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * F.Sb.Insts.size());
+}
+
+void BM_TranslateStraight(benchmark::State &State) {
+  GzipFixture &F = gzipFixture();
+  dbt::DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Straight;
+  for (auto _ : State) {
+    dbt::TranslationResult R =
+        dbt::translate(F.Sb, Config, dbt::ChainEnv());
+    benchmark::DoNotOptimize(R.Frag.Body.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * F.Sb.Insts.size());
+}
+
+void BM_Interpret(benchmark::State &State) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload("gzip", Mem, 1);
+  for (auto _ : State) {
+    Interpreter Interp(Mem);
+    Interp.state().Pc = Img.EntryPc;
+    Interp.run(20000);
+    benchmark::DoNotOptimize(Interp.state().Gpr.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * 20000);
+}
+
+void BM_ExecuteFragment(benchmark::State &State) {
+  GzipFixture &F = gzipFixture();
+  dbt::DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Modified;
+  dbt::TranslationResult R = dbt::translate(F.Sb, Config, dbt::ChainEnv());
+  iisa::IExecState Exec;
+  // Seed plausible state: loop registers that keep the loop bounded.
+  Exec.writeGpr(16, 0x20000000);
+  Exec.writeGpr(17, 1);
+  Exec.writeGpr(0, 0x28000000);
+  GuestMemory Mem;
+  Mem.mapRegion(0x20000000, 0x10000);
+  Mem.mapRegion(0x28000000, 0x10000);
+  for (auto _ : State) {
+    Exec.writeGpr(17, 1); // single iteration, exits at the cond branch
+    iisa::IExit Exit = iisa::execute(R.Frag.Body.data(), R.Frag.Body.size(),
+                                     Exec, Mem, nullptr);
+    benchmark::DoNotOptimize(Exit.VTarget);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(R.Frag.Body.size()));
+}
+
+BENCHMARK(BM_TranslateBasic);
+BENCHMARK(BM_TranslateModified);
+BENCHMARK(BM_TranslateStraight);
+BENCHMARK(BM_Interpret);
+BENCHMARK(BM_ExecuteFragment);
+
+} // namespace
+
+BENCHMARK_MAIN();

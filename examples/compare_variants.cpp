@@ -1,0 +1,160 @@
+//===- examples/compare_variants.cpp - ISA/machine comparison matrix ------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one workload across the paper's whole design space and prints an
+/// IPC matrix: both accumulator I-ISA variants on the ILDP machine (4 and
+/// 8 PEs), the straightening-only DBT on the reference superscalar, and
+/// the original (no-VM) binary on the same superscalar. The one-screen
+/// version of the paper's Figure 8 discussion for a single workload.
+///
+/// Usage: compare_variants [workload] [scale]
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "support/TablePrinter.h"
+#include "uarch/IldpModel.h"
+#include "uarch/SuperscalarModel.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace ildp;
+
+namespace {
+
+struct RowResult {
+  double VIpc = 0;       ///< V-ISA instructions per cycle.
+  double NativeIpc = 0;  ///< Machine-level (I-ISA or Alpha) IPC.
+  uint64_t Fragments = 0;
+  bool ChecksumOk = false;
+};
+
+/// Runs \p Name under the co-designed VM with \p Variant on \p Model.
+RowResult runVm(const std::string &Name, unsigned Scale,
+                iisa::IsaVariant Variant, uarch::TimingModel &Model,
+                const uarch::PipelineStats &Pipe, uint64_t RefChecksum) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Image = workloads::buildWorkload(Name, Mem, Scale);
+  vm::VmConfig Config;
+  Config.Dbt.Variant = Variant;
+  vm::VirtualMachine Vm(Mem, Image.EntryPc, Config);
+  Vm.setTimingModel(&Model);
+  vm::RunResult Result = Vm.run();
+  Model.finish();
+  RowResult Row;
+  if (Result.Reason != vm::StopReason::Halted)
+    return Row;
+  Row.VIpc = Pipe.ipc();
+  Row.NativeIpc = Pipe.nativeIpc();
+  Row.Fragments = Vm.stats().get("tcache.fragments");
+  Row.ChecksumOk =
+      Vm.interpreter().state().readGpr(alpha::RegV0) == RefChecksum;
+  return Row;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "gzip";
+  int ScaleArg = argc > 2 ? std::atoi(argv[2]) : 1;
+  unsigned Scale = ScaleArg >= 1 ? unsigned(ScaleArg) : 1;
+  bool Known = false;
+  for (const std::string &W : workloads::workloadNames())
+    Known |= W == Name;
+  if (!Known) {
+    std::fprintf(stderr, "unknown workload '%s'; available:", Name.c_str());
+    for (const std::string &W : workloads::workloadNames())
+      std::fprintf(stderr, " %s", W.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  // Reference interpreter run: instruction count and result checksum.
+  uint64_t RefChecksum = 0;
+  uint64_t RefInsts = 0;
+  {
+    GuestMemory Mem;
+    workloads::WorkloadImage Image = workloads::buildWorkload(Name, Mem, Scale);
+    Interpreter Ref(Mem);
+    Ref.state().Pc = Image.EntryPc;
+    if (Ref.run(1'000'000'000).Status != StepStatus::Halted) {
+      std::fprintf(stderr, "reference run did not halt cleanly\n");
+      return 1;
+    }
+    RefChecksum = Ref.state().readGpr(alpha::RegV0);
+    RefInsts = Ref.retiredCount();
+  }
+  std::printf("workload %s (scale %u): %llu V-ISA instructions, "
+              "checksum 0x%016llx\n\n",
+              Name.c_str(), Scale, (unsigned long long)RefInsts,
+              (unsigned long long)RefChecksum);
+
+  TablePrinter Table({"configuration", "machine", "v-ipc", "native ipc",
+                      "fragments", "checksum"});
+  auto AddRow = [&](const char *Config, const char *Machine,
+                    const RowResult &Row) {
+    Table.beginRow();
+    Table.cell(Config);
+    Table.cell(Machine);
+    Table.cellFloat(Row.VIpc, 3);
+    Table.cellFloat(Row.NativeIpc, 3);
+    Table.cellInt(int64_t(Row.Fragments));
+    Table.cell(Row.ChecksumOk ? "ok" : "MISMATCH");
+  };
+
+  // Accumulator variants on the ILDP machine, 8 and 4 PEs.
+  for (unsigned Pes : {8u, 4u}) {
+    uarch::IldpParams Params;
+    Params.NumPEs = Pes;
+    char Machine[32];
+    std::snprintf(Machine, sizeof(Machine), "ILDP %u-PE", Pes);
+    for (iisa::IsaVariant Variant :
+         {iisa::IsaVariant::Modified, iisa::IsaVariant::Basic}) {
+      uarch::IldpModel Model(Params);
+      const char *Config = Variant == iisa::IsaVariant::Modified
+                               ? "VM, modified I-ISA"
+                               : "VM, basic I-ISA";
+      AddRow(Config, Machine,
+             runVm(Name, Scale, Variant, Model, Model.stats(), RefChecksum));
+    }
+  }
+
+  // Straightening-only DBT on the reference superscalar.
+  {
+    uarch::SuperscalarParams Params;
+    uarch::SuperscalarModel Model(Params, /*ConventionalRas=*/false);
+    AddRow("VM, straightened Alpha", "superscalar",
+           runVm(Name, Scale, iisa::IsaVariant::Straight, Model, Model.stats(),
+                 RefChecksum));
+  }
+
+  // Original binary, no VM, hardware RAS enabled.
+  {
+    GuestMemory Mem;
+    workloads::WorkloadImage Image = workloads::buildWorkload(Name, Mem, Scale);
+    uarch::SuperscalarParams Params;
+    uarch::SuperscalarModel Model(Params, /*ConventionalRas=*/true);
+    StepStatus Status =
+        vm::runOriginal(Mem, Image.EntryPc, &Model, 1'000'000'000ull);
+    Model.finish();
+    RowResult Row;
+    Row.ChecksumOk = Status == StepStatus::Halted;
+    Row.VIpc = Model.stats().ipc();
+    Row.NativeIpc = Model.stats().nativeIpc();
+    AddRow("original (no VM)", "superscalar", Row);
+  }
+
+  Table.print();
+  std::printf("\nv-ipc counts Alpha instructions per cycle (the paper's "
+              "metric);\nnative ipc counts what the machine actually "
+              "executed (I-ISA\ninstructions under the VM).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- alpha/AlphaInst.cpp - Decoded Alpha instruction --------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alpha/AlphaInst.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::alpha;
+
+unsigned AlphaInst::inputRegs(std::array<uint8_t, 3> &Regs) const {
+  unsigned Count = 0;
+  auto Push = [&](uint8_t Reg) {
+    if (Reg != RegZero)
+      Regs[Count++] = Reg;
+  };
+  if (!valid())
+    return 0;
+  const OpInfo &Info = info();
+  switch (Info.Form) {
+  case Format::Mem:
+    // Loads and LDA/LDAH read the base; stores additionally read the data.
+    Push(Rb);
+    if (Info.Kind == InstKind::Store)
+      Push(Ra);
+    break;
+  case Format::Branch:
+    // Conditional branches test Ra; BR/BSR read nothing.
+    if (Info.Kind == InstKind::CondBranch)
+      Push(Ra);
+    break;
+  case Format::Operate:
+    Push(Ra);
+    if (!HasLit)
+      Push(Rb);
+    // Conditional moves merge with the old destination value.
+    if (Info.Kind == InstKind::CondMove)
+      Push(Rc);
+    break;
+  case Format::Jump:
+    Push(Rb);
+    break;
+  case Format::Pal:
+    break;
+  }
+  return Count;
+}
+
+int AlphaInst::outputReg() const {
+  if (!valid())
+    return -1;
+  const OpInfo &Info = info();
+  uint8_t Out = RegZero;
+  switch (Info.Form) {
+  case Format::Mem:
+    if (Info.Kind != InstKind::Store)
+      Out = Ra;
+    break;
+  case Format::Branch:
+    // BR/BSR write the return address into Ra (commonly R31 for plain BR).
+    if (Info.Kind != InstKind::CondBranch)
+      Out = Ra;
+    break;
+  case Format::Operate:
+    Out = Rc;
+    break;
+  case Format::Jump:
+    Out = Ra;
+    break;
+  case Format::Pal:
+    break;
+  }
+  return Out == RegZero ? -1 : int(Out);
+}
+
+bool AlphaInst::isNop() const {
+  if (!valid())
+    return false;
+  const OpInfo &Info = info();
+  // Control transfers, memory accesses, and CALL_PAL always have effects.
+  if (Info.Kind == InstKind::Load || Info.Kind == InstKind::Store ||
+      isControl(Op))
+    return false;
+  return outputReg() == -1;
+}

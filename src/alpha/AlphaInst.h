@@ -1,0 +1,66 @@
+//===- alpha/AlphaInst.h - Decoded Alpha instruction ----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded form of an Alpha instruction plus the operand-role queries
+/// the translator's dependence/usage analysis (paper Section 3.3) relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_ALPHA_ALPHAINST_H
+#define ILDP_ALPHA_ALPHAINST_H
+
+#include "alpha/AlphaIsa.h"
+
+#include <array>
+#include <cstdint>
+
+namespace ildp {
+namespace alpha {
+
+/// A decoded Alpha instruction. Field meaning depends on the format:
+///  - Mem:     Ra (data/result), Rb (base), Disp (signed 16-bit).
+///  - Branch:  Ra (condition/return), Disp (signed 21-bit, in instructions).
+///  - Operate: Ra, Rb or Lit, Rc.
+///  - Jump:    Ra (return), Rb (target), JumpHint.
+///  - Pal:     PalFunc.
+struct AlphaInst {
+  Opcode Op = Opcode::Invalid;
+  uint8_t Ra = RegZero;
+  uint8_t Rb = RegZero;
+  uint8_t Rc = RegZero;
+  bool HasLit = false;
+  uint8_t Lit = 0;
+  int32_t Disp = 0;
+  uint16_t JumpHint = 0;
+  uint32_t PalFunc = 0;
+
+  bool valid() const { return Op != Opcode::Invalid; }
+  const OpInfo &info() const { return getOpInfo(Op); }
+
+  /// Architected registers read by this instruction (R31 excluded).
+  /// Returns the number of inputs written into \p Regs.
+  unsigned inputRegs(std::array<uint8_t, 3> &Regs) const;
+
+  /// The architected register written, or -1 if none (R31 writes and
+  /// stores/branches-on-condition produce no architected result).
+  int outputReg() const;
+
+  /// True if the instruction is an architectural no-op: it produces no
+  /// architected result and has no side effects. The paper removes NOPs
+  /// during translation (Section 4.4).
+  bool isNop() const;
+
+  /// For direct branches: the target of a branch at \p Pc.
+  uint64_t branchTarget(uint64_t Pc) const {
+    return Pc + InstBytes + int64_t(Disp) * InstBytes;
+  }
+};
+
+} // namespace alpha
+} // namespace ildp
+
+#endif // ILDP_ALPHA_ALPHAINST_H

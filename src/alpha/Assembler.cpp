@@ -1,0 +1,206 @@
+//===- alpha/Assembler.cpp - Programmatic Alpha assembler -----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+
+#include "alpha/Encoder.h"
+#include "support/BitUtil.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::alpha;
+
+Assembler::Label Assembler::createLabel(std::string Name) {
+  LabelOffsets.push_back(-1);
+  LabelNames.push_back(std::move(Name));
+  return Label(LabelOffsets.size() - 1);
+}
+
+void Assembler::bind(Label L) {
+  assert(L < LabelOffsets.size() && "Unknown label");
+  assert(LabelOffsets[L] < 0 && "Label bound twice");
+  LabelOffsets[L] = int64_t(Words.size()) * InstBytes;
+}
+
+uint64_t Assembler::labelAddr(Label L) const {
+  assert(L < LabelOffsets.size() && "Unknown label");
+  assert(LabelOffsets[L] >= 0 && "Label not bound");
+  return Base + uint64_t(LabelOffsets[L]);
+}
+
+void Assembler::emit(const AlphaInst &Inst) {
+  assert(!Finalized && "Assembler already finalized");
+  Words.push_back(encode(Inst));
+}
+
+void Assembler::mem(Opcode Op, uint8_t Ra, int32_t Disp, uint8_t Rb) {
+  AlphaInst Inst;
+  Inst.Op = Op;
+  Inst.Ra = Ra;
+  Inst.Rb = Rb;
+  Inst.Disp = Disp;
+  emit(Inst);
+}
+
+void Assembler::operate(Opcode Op, uint8_t Ra, uint8_t Rb, uint8_t Rc) {
+  AlphaInst Inst;
+  Inst.Op = Op;
+  Inst.Ra = Ra;
+  Inst.Rb = Rb;
+  Inst.Rc = Rc;
+  emit(Inst);
+}
+
+void Assembler::operatei(Opcode Op, uint8_t Ra, uint8_t Lit, uint8_t Rc) {
+  AlphaInst Inst;
+  Inst.Op = Op;
+  Inst.Ra = Ra;
+  Inst.HasLit = true;
+  Inst.Lit = Lit;
+  Inst.Rc = Rc;
+  emit(Inst);
+}
+
+void Assembler::loadImm(uint8_t Rd, int64_t Value) {
+  assert(Rd != RegZero && "loadImm into the zero register");
+  // Split off the LDA/LDAH-reachable low 32 bits.
+  int64_t Lo16 = int64_t(int16_t(Value & 0xFFFF));
+  int64_t AfterLo = Value - Lo16;
+  int64_t Hi16 = int64_t(int16_t((AfterLo >> 16) & 0xFFFF));
+  int64_t After32 = AfterLo - (Hi16 << 16);
+
+  if (After32 == 0) {
+    // Fits in an LDAH/LDA pair (or just one of them).
+    if (Hi16 != 0) {
+      ldah(Rd, int32_t(Hi16), RegZero);
+      if (Lo16 != 0)
+        lda(Rd, int32_t(Lo16), Rd);
+    } else {
+      lda(Rd, int32_t(Lo16), RegZero);
+    }
+    return;
+  }
+
+  // General 64-bit case: four carry-corrected 16-bit chunks assembled with
+  // shift-and-add. By construction
+  //   ((t*2^16 + e)*2^16 + h)*2^16 + l == Value (mod 2^64)
+  // regardless of sign carries, so no boundary case can overflow.
+  int64_t L = int64_t(int16_t(Value));
+  int64_t V1 = Value - L;
+  int64_t H = int64_t(int16_t(V1 >> 16));
+  int64_t V2 = V1 - (H << 16);
+  int64_t E = int64_t(int16_t(V2 >> 32));
+  int64_t V3 = V2 - (E << 32);
+  int64_t T = int64_t(int16_t(V3 >> 48));
+  lda(Rd, int32_t(T), RegZero);
+  operatei(Opcode::SLL, Rd, 16, Rd);
+  if (E != 0)
+    lda(Rd, int32_t(E), Rd);
+  operatei(Opcode::SLL, Rd, 16, Rd);
+  if (H != 0)
+    lda(Rd, int32_t(H), Rd);
+  operatei(Opcode::SLL, Rd, 16, Rd);
+  if (L != 0)
+    lda(Rd, int32_t(L), Rd);
+}
+
+void Assembler::loadLabelAddr(uint8_t Rd, Label L) {
+  assert(L < LabelOffsets.size() && "Unknown label");
+  // Emit LDAH+LDA with zero displacements; finalize() patches them.
+  Fixups.push_back({Words.size(), L, Fixup::Kind::AbsHi});
+  ldah(Rd, 0, RegZero);
+  Fixups.push_back({Words.size(), L, Fixup::Kind::AbsLo});
+  lda(Rd, 0, Rd);
+}
+
+void Assembler::directBr(Opcode Op, uint8_t Ra, Label Target) {
+  assert((Op == Opcode::BR || Op == Opcode::BSR) && "Not a direct branch");
+  assert(Target < LabelOffsets.size() && "Unknown label");
+  Fixups.push_back({Words.size(), Target, Fixup::Kind::Branch21});
+  AlphaInst Inst;
+  Inst.Op = Op;
+  Inst.Ra = Ra;
+  emit(Inst);
+}
+
+void Assembler::condBr(Opcode Op, uint8_t Ra, Label Target) {
+  assert(isCondBranch(Op) && "Not a conditional branch");
+  assert(Target < LabelOffsets.size() && "Unknown label");
+  Fixups.push_back({Words.size(), Target, Fixup::Kind::Branch21});
+  AlphaInst Inst;
+  Inst.Op = Op;
+  Inst.Ra = Ra;
+  emit(Inst);
+}
+
+void Assembler::jmp(uint8_t Ra, uint8_t Rb) {
+  AlphaInst Inst;
+  Inst.Op = Opcode::JMP;
+  Inst.Ra = Ra;
+  Inst.Rb = Rb;
+  emit(Inst);
+}
+
+void Assembler::jsr(uint8_t Ra, uint8_t Rb) {
+  AlphaInst Inst;
+  Inst.Op = Opcode::JSR;
+  Inst.Ra = Ra;
+  Inst.Rb = Rb;
+  emit(Inst);
+}
+
+void Assembler::ret(uint8_t Rb) {
+  AlphaInst Inst;
+  Inst.Op = Opcode::RET;
+  Inst.Ra = RegZero;
+  Inst.Rb = Rb;
+  emit(Inst);
+}
+
+void Assembler::callPal(uint32_t Func) {
+  AlphaInst Inst;
+  Inst.Op = Opcode::CALL_PAL;
+  Inst.PalFunc = Func;
+  emit(Inst);
+}
+
+std::vector<uint32_t> Assembler::finalize() {
+  assert(!Finalized && "finalize() called twice");
+  Finalized = true;
+  for (const Fixup &Fix : Fixups) {
+    assert(Fix.TargetLabel < LabelOffsets.size() && "Unknown label");
+    int64_t Offset = LabelOffsets[Fix.TargetLabel];
+    assert(Offset >= 0 && "Referenced label never bound");
+    uint64_t TargetAddr = Base + uint64_t(Offset);
+    uint32_t &Word = Words[Fix.Index];
+    switch (Fix.FixKind) {
+    case Fixup::Kind::Branch21: {
+      uint64_t BranchPc = Base + Fix.Index * InstBytes;
+      int64_t Delta =
+          (int64_t(TargetAddr) - int64_t(BranchPc + InstBytes)) / InstBytes;
+      assert(fitsSigned(Delta, 21) && "Branch displacement out of range");
+      Word = (Word & ~uint32_t(0x1FFFFF)) | (uint32_t(Delta) & 0x1FFFFF);
+      break;
+    }
+    case Fixup::Kind::AbsHi: {
+      int64_t Addr = int64_t(TargetAddr);
+      int64_t Lo = int64_t(int16_t(Addr & 0xFFFF));
+      int64_t Hi = (Addr - Lo) >> 16;
+      assert(fitsSigned(Hi, 16) && "Label address out of LDAH range");
+      Word = (Word & ~uint32_t(0xFFFF)) | uint32_t(uint16_t(Hi));
+      break;
+    }
+    case Fixup::Kind::AbsLo: {
+      int64_t Addr = int64_t(TargetAddr);
+      int64_t Lo = int64_t(int16_t(Addr & 0xFFFF));
+      Word = (Word & ~uint32_t(0xFFFF)) | uint32_t(uint16_t(Lo));
+      break;
+    }
+    }
+  }
+  return std::move(Words);
+}

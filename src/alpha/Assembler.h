@@ -1,0 +1,151 @@
+//===- alpha/Assembler.h - Programmatic Alpha assembler -------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small label-based assembler for building Alpha guest programs in
+/// memory. The synthetic SPEC stand-in workloads (src/workloads) are written
+/// against this API; it replaces the paper's DEC-cc-compiled SPEC binaries,
+/// which are unobtainable (see DESIGN.md, substitutions).
+///
+/// Typical use:
+/// \code
+///   Assembler Asm(0x120000000);
+///   auto Loop = Asm.createLabel("loop");
+///   Asm.bind(Loop);
+///   Asm.ldq(3, 0, 16);
+///   Asm.operate(Opcode::ADDQ, 3, 4, 3);
+///   Asm.condBr(Opcode::BNE, 17, Loop);
+///   Asm.halt();
+///   std::vector<uint32_t> Words = Asm.finalize();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_ALPHA_ASSEMBLER_H
+#define ILDP_ALPHA_ASSEMBLER_H
+
+#include "alpha/AlphaInst.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ildp {
+namespace alpha {
+
+class GuestMemoryRef;
+
+/// Label-based Alpha instruction stream builder.
+class Assembler {
+public:
+  /// Opaque label handle.
+  using Label = unsigned;
+
+  explicit Assembler(uint64_t BaseAddr) : Base(BaseAddr) {}
+
+  /// Creates a new unbound label. \p Name is for diagnostics only.
+  Label createLabel(std::string Name = "");
+
+  /// Binds \p L to the current position. A label may be bound only once.
+  void bind(Label L);
+
+  /// Address of the label; the label must be bound (call after finalize()
+  /// or after bind()).
+  uint64_t labelAddr(Label L) const;
+
+  /// Address of the next instruction to be emitted.
+  uint64_t currentAddr() const { return Base + Words.size() * InstBytes; }
+
+  uint64_t baseAddr() const { return Base; }
+
+  // --- Memory format -------------------------------------------------------
+  void mem(Opcode Op, uint8_t Ra, int32_t Disp, uint8_t Rb);
+  void lda(uint8_t Ra, int32_t Disp, uint8_t Rb) {
+    mem(Opcode::LDA, Ra, Disp, Rb);
+  }
+  void ldah(uint8_t Ra, int32_t Disp, uint8_t Rb) {
+    mem(Opcode::LDAH, Ra, Disp, Rb);
+  }
+  void ldbu(uint8_t Ra, int32_t D, uint8_t Rb) { mem(Opcode::LDBU, Ra, D, Rb); }
+  void ldwu(uint8_t Ra, int32_t D, uint8_t Rb) { mem(Opcode::LDWU, Ra, D, Rb); }
+  void ldl(uint8_t Ra, int32_t D, uint8_t Rb) { mem(Opcode::LDL, Ra, D, Rb); }
+  void ldq(uint8_t Ra, int32_t D, uint8_t Rb) { mem(Opcode::LDQ, Ra, D, Rb); }
+  void stb(uint8_t Ra, int32_t D, uint8_t Rb) { mem(Opcode::STB, Ra, D, Rb); }
+  void stw(uint8_t Ra, int32_t D, uint8_t Rb) { mem(Opcode::STW, Ra, D, Rb); }
+  void stl(uint8_t Ra, int32_t D, uint8_t Rb) { mem(Opcode::STL, Ra, D, Rb); }
+  void stq(uint8_t Ra, int32_t D, uint8_t Rb) { mem(Opcode::STQ, Ra, D, Rb); }
+
+  // --- Operate format ------------------------------------------------------
+  /// Register form: Rc <- Ra op Rb.
+  void operate(Opcode Op, uint8_t Ra, uint8_t Rb, uint8_t Rc);
+  /// Literal form: Rc <- Ra op Lit (Lit is an unsigned 8-bit literal).
+  void operatei(Opcode Op, uint8_t Ra, uint8_t Lit, uint8_t Rc);
+
+  /// Rd <- Rs (canonical BIS move).
+  void mov(uint8_t Rs, uint8_t Rd) { operate(Opcode::BIS, RegZero, Rs, Rd); }
+  /// Rd <- small unsigned literal.
+  void movi(uint8_t Lit, uint8_t Rd) {
+    operatei(Opcode::BIS, RegZero, Lit, Rd);
+  }
+  /// The canonical Alpha NOP (BIS R31, R31, R31).
+  void nop() { operate(Opcode::BIS, RegZero, RegZero, RegZero); }
+
+  /// Loads an arbitrary 64-bit immediate using LDA/LDAH/SLL sequences
+  /// (1-6 instructions depending on the value).
+  void loadImm(uint8_t Rd, int64_t Value);
+
+  /// Loads the address of a label (must eventually be bound; fixed up at
+  /// finalize()). Always emits exactly two instructions (LDAH+LDA), so the
+  /// label address must be within +/-2^31 of zero.
+  void loadLabelAddr(uint8_t Rd, Label L);
+
+  // --- Branch format -------------------------------------------------------
+  void condBr(Opcode Op, uint8_t Ra, Label Target);
+  void br(Label Target) { directBr(Opcode::BR, RegZero, Target); }
+  /// BR that records its return address in Ra.
+  void directBr(Opcode Op, uint8_t Ra, Label Target);
+  void bsr(uint8_t Ra, Label Target) { directBr(Opcode::BSR, Ra, Target); }
+
+  // --- Jump format ---------------------------------------------------------
+  void jmp(uint8_t Ra, uint8_t Rb);
+  void jsr(uint8_t Ra, uint8_t Rb);
+  void ret(uint8_t Rb = RegRA);
+
+  // --- PALcode -------------------------------------------------------------
+  void callPal(uint32_t Func);
+  void halt() { callPal(PalHalt); }
+  void gentrap() { callPal(PalGentrap); }
+
+  /// Emits an already-built instruction.
+  void emit(const AlphaInst &Inst);
+
+  /// Resolves all branch fixups and returns the instruction words. All
+  /// referenced labels must be bound. The assembler may not be used after
+  /// finalize().
+  std::vector<uint32_t> finalize();
+
+  /// Number of instructions emitted so far.
+  size_t size() const { return Words.size(); }
+
+private:
+  struct Fixup {
+    size_t Index;     ///< Instruction index needing patching.
+    Label TargetLabel;
+    enum class Kind { Branch21, AbsHi, AbsLo } FixKind;
+  };
+
+  uint64_t Base;
+  std::vector<uint32_t> Words;
+  std::vector<int64_t> LabelOffsets; ///< -1 when unbound; else byte offset.
+  std::vector<std::string> LabelNames;
+  std::vector<Fixup> Fixups;
+  bool Finalized = false;
+};
+
+} // namespace alpha
+} // namespace ildp
+
+#endif // ILDP_ALPHA_ASSEMBLER_H

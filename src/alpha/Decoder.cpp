@@ -1,0 +1,121 @@
+//===- alpha/Decoder.cpp - Alpha instruction decoder ----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Decoder.h"
+
+#include "support/BitUtil.h"
+
+#include <array>
+
+using namespace ildp;
+using namespace ildp::alpha;
+
+namespace {
+
+/// Reverse lookup tables built once from the opcode metadata: primary
+/// opcode -> Opcode for single-opcode formats, and (primary, function) ->
+/// Opcode for the operate groups.
+struct DecodeTables {
+  // Non-operate primary opcodes map directly.
+  std::array<Opcode, 64> Primary;
+  // Operate groups: 64 primaries x 128 function codes.
+  std::array<std::array<Opcode, 128>, 64> OperateFunc;
+  // Jump types for primary 0x1A.
+  std::array<Opcode, 4> JumpTypes;
+
+  DecodeTables() {
+    Primary.fill(Opcode::Invalid);
+    for (auto &Row : OperateFunc)
+      Row.fill(Opcode::Invalid);
+    JumpTypes.fill(Opcode::Invalid);
+    for (unsigned I = 0; I != NumOpcodes; ++I) {
+      Opcode Op = static_cast<Opcode>(I);
+      const OpInfo &Info = getOpInfo(Op);
+      switch (Info.Form) {
+      case Format::Mem:
+      case Format::Branch:
+      case Format::Pal:
+        Primary[Info.PrimaryOpcode] = Op;
+        break;
+      case Format::Operate:
+        OperateFunc[Info.PrimaryOpcode][Info.Function & 0x7F] = Op;
+        break;
+      case Format::Jump:
+        JumpTypes[Info.Function & 0x3] = Op;
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+static const DecodeTables &getTables() {
+  static DecodeTables Tables;
+  return Tables;
+}
+
+AlphaInst alpha::decode(uint32_t Word) {
+  const DecodeTables &Tables = getTables();
+  AlphaInst Inst;
+  unsigned Prim = unsigned(extractBits(Word, 26, 6));
+
+  // Jump format is its own primary opcode.
+  if (Prim == 0x1A) {
+    unsigned Type = unsigned(extractBits(Word, 14, 2));
+    Inst.Op = Tables.JumpTypes[Type];
+    if (Inst.Op == Opcode::Invalid)
+      return Inst;
+    Inst.Ra = uint8_t(extractBits(Word, 21, 5));
+    Inst.Rb = uint8_t(extractBits(Word, 16, 5));
+    Inst.JumpHint = uint16_t(extractBits(Word, 0, 14));
+    return Inst;
+  }
+
+  // Operate groups carry a 7-bit function field at bits 11:5.
+  if (Prim == 0x10 || Prim == 0x11 || Prim == 0x12 || Prim == 0x13 ||
+      Prim == 0x1C) {
+    unsigned Func = unsigned(extractBits(Word, 5, 7));
+    Inst.Op = Tables.OperateFunc[Prim][Func];
+    if (Inst.Op == Opcode::Invalid)
+      return Inst;
+    Inst.Ra = uint8_t(extractBits(Word, 21, 5));
+    Inst.Rc = uint8_t(extractBits(Word, 0, 5));
+    if (extractBits(Word, 12, 1)) {
+      Inst.HasLit = true;
+      Inst.Lit = uint8_t(extractBits(Word, 13, 8));
+    } else {
+      Inst.Rb = uint8_t(extractBits(Word, 16, 5));
+    }
+    return Inst;
+  }
+
+  Opcode Op = Tables.Primary[Prim];
+  if (Op == Opcode::Invalid)
+    return Inst;
+  const OpInfo &Info = getOpInfo(Op);
+  Inst.Op = Op;
+  switch (Info.Form) {
+  case Format::Mem:
+    Inst.Ra = uint8_t(extractBits(Word, 21, 5));
+    Inst.Rb = uint8_t(extractBits(Word, 16, 5));
+    Inst.Disp = int32_t(signExtend(extractBits(Word, 0, 16), 16));
+    break;
+  case Format::Branch:
+    Inst.Ra = uint8_t(extractBits(Word, 21, 5));
+    Inst.Disp = int32_t(signExtend(extractBits(Word, 0, 21), 21));
+    break;
+  case Format::Pal:
+    Inst.PalFunc = uint32_t(extractBits(Word, 0, 26));
+    break;
+  case Format::Operate:
+  case Format::Jump:
+    // Handled above.
+    Inst.Op = Opcode::Invalid;
+    break;
+  }
+  return Inst;
+}

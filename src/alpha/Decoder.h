@@ -1,0 +1,30 @@
+//===- alpha/Decoder.h - Alpha instruction decoder ------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes raw 32-bit Alpha instruction words into AlphaInst. Decoding is
+/// total: unrecognized words decode to Opcode::Invalid (the interpreter
+/// raises an illegal-instruction trap for those).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_ALPHA_DECODER_H
+#define ILDP_ALPHA_DECODER_H
+
+#include "alpha/AlphaInst.h"
+
+#include <cstdint>
+
+namespace ildp {
+namespace alpha {
+
+/// Decodes one instruction word.
+AlphaInst decode(uint32_t Word);
+
+} // namespace alpha
+} // namespace ildp
+
+#endif // ILDP_ALPHA_DECODER_H

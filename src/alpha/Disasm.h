@@ -1,0 +1,30 @@
+//===- alpha/Disasm.h - Alpha disassembler --------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders decoded Alpha instructions as text in the paper's Figure 2
+/// style ("ldbu r3, 0[r16]", "subl r17, 1, r17").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_ALPHA_DISASM_H
+#define ILDP_ALPHA_DISASM_H
+
+#include "alpha/AlphaInst.h"
+
+#include <string>
+
+namespace ildp {
+namespace alpha {
+
+/// Disassembles \p Inst; \p Pc (the instruction's own address) is used to
+/// render absolute branch targets.
+std::string disassemble(const AlphaInst &Inst, uint64_t Pc);
+
+} // namespace alpha
+} // namespace ildp
+
+#endif // ILDP_ALPHA_DISASM_H

@@ -1,0 +1,55 @@
+//===- alpha/Encoder.cpp - Alpha instruction encoder ----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Encoder.h"
+
+#include "support/BitUtil.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::alpha;
+
+uint32_t alpha::encode(const AlphaInst &Inst) {
+  assert(Inst.valid() && "Cannot encode an invalid instruction");
+  const OpInfo &Info = Inst.info();
+  uint32_t Word = uint32_t(Info.PrimaryOpcode) << 26;
+  switch (Info.Form) {
+  case Format::Mem:
+    assert(fitsSigned(Inst.Disp, 16) && "Memory displacement out of range");
+    Word |= uint32_t(Inst.Ra) << 21;
+    Word |= uint32_t(Inst.Rb) << 16;
+    Word |= uint32_t(uint16_t(Inst.Disp));
+    break;
+  case Format::Branch:
+    assert(fitsSigned(Inst.Disp, 21) && "Branch displacement out of range");
+    Word |= uint32_t(Inst.Ra) << 21;
+    Word |= uint32_t(Inst.Disp) & 0x1FFFFF;
+    break;
+  case Format::Operate:
+    Word |= uint32_t(Inst.Ra) << 21;
+    Word |= uint32_t(Info.Function & 0x7F) << 5;
+    Word |= uint32_t(Inst.Rc);
+    if (Inst.HasLit) {
+      Word |= uint32_t(1) << 12;
+      Word |= uint32_t(Inst.Lit) << 13;
+    } else {
+      Word |= uint32_t(Inst.Rb) << 16;
+    }
+    break;
+  case Format::Jump:
+    Word |= uint32_t(Inst.Ra) << 21;
+    Word |= uint32_t(Inst.Rb) << 16;
+    Word |= uint32_t(Info.Function & 0x3) << 14;
+    Word |= uint32_t(Inst.JumpHint & 0x3FFF);
+    break;
+  case Format::Pal:
+    assert(fitsUnsigned(Inst.PalFunc, 26) && "PAL function out of range");
+    Word |= Inst.PalFunc;
+    break;
+  }
+  return Word;
+}

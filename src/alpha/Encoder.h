@@ -1,0 +1,31 @@
+//===- alpha/Encoder.h - Alpha instruction encoder ------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes AlphaInst back into raw 32-bit instruction words. The assembler
+/// builds on this; decode(encode(I)) == I is a tested invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_ALPHA_ENCODER_H
+#define ILDP_ALPHA_ENCODER_H
+
+#include "alpha/AlphaInst.h"
+
+#include <cstdint>
+
+namespace ildp {
+namespace alpha {
+
+/// Encodes \p Inst into an instruction word. Field values must be in range
+/// (asserted): 16-bit memory displacement, 21-bit branch displacement,
+/// 8-bit literal.
+uint32_t encode(const AlphaInst &Inst);
+
+} // namespace alpha
+} // namespace ildp
+
+#endif // ILDP_ALPHA_ENCODER_H

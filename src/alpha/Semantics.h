@@ -1,0 +1,44 @@
+//===- alpha/Semantics.h - Pure Alpha operation semantics -----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pure (state-free) semantics of the Alpha integer operations. The
+/// functional interpreter and the I-ISA functional executor both evaluate
+/// through these functions, so translated code provably computes with the
+/// same arithmetic as the V-ISA reference — a cornerstone of the
+/// architected-state-equivalence tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_ALPHA_SEMANTICS_H
+#define ILDP_ALPHA_SEMANTICS_H
+
+#include "alpha/AlphaIsa.h"
+
+#include <cstdint>
+
+namespace ildp {
+namespace alpha {
+
+/// Evaluates an integer operate instruction (INTA/INTL/INTS/INTM/CIX group,
+/// i.e. InstKind IntOp or Mul) on operand values \p A (Ra) and \p B (Rb or
+/// zero-extended literal). LDA/LDAH are also accepted with \p A the base
+/// register value and \p B the (pre-scaled) displacement.
+uint64_t evalIntOp(Opcode Op, uint64_t A, uint64_t B);
+
+/// Evaluates a conditional branch predicate on the Ra value.
+bool evalBranchCond(Opcode Op, uint64_t RaValue);
+
+/// Evaluates a conditional-move predicate on the Ra value.
+bool evalCmovCond(Opcode Op, uint64_t RaValue);
+
+/// Extends a loaded value per the load opcode's size/signedness.
+uint64_t extendLoadedValue(Opcode Op, uint64_t Raw);
+
+} // namespace alpha
+} // namespace ildp
+
+#endif // ILDP_ALPHA_SEMANTICS_H

@@ -1,0 +1,56 @@
+//===- core/CodeGen.h - I-ISA / straightened-Alpha code generation --------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the fragment body from an analyzed micro-op list:
+///
+///   - **Basic** backend: one-GPR-per-instruction code with explicit
+///     copy-to-GPR instructions for every global value (Section 2.1),
+///   - **Modified** backend: destination-GPR fields carry architected
+///     state; only copy-from-GPR instructions remain (Section 2.3),
+///   - **Straight** backend: Alpha-equivalent code (the paper's
+///     code-straightening-only DBT/simulator).
+///
+/// plus fragment chaining (Section 3.2): the set-VPC-base prologue,
+/// conditional side exits (chained or call-translator-if-condition-is-met),
+/// terminal branches, the three-instruction software jump prediction
+/// sequence using load-embedded-target-address, the dual-address-RAS
+/// return, and the PEI table for precise traps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_CODEGEN_H
+#define ILDP_CORE_CODEGEN_H
+
+#include "core/Config.h"
+#include "core/Fragment.h"
+#include "core/Lowering.h"
+#include "core/StrandAlloc.h"
+
+#include <functional>
+
+namespace ildp {
+namespace dbt {
+
+/// Translation-time environment queries.
+struct ChainEnv {
+  /// Returns true if a fragment for the given V-ISA entry exists (the exit
+  /// can be chained immediately instead of calling the translator).
+  std::function<bool(uint64_t)> IsTranslated = [](uint64_t) { return false; };
+};
+
+/// Generates the fragment body for \p Sb. \p Block must have been analyzed
+/// (analyzeUsage) and, for the accumulator backends, allocated
+/// (formStrandsAndAllocate); pass \p Alloc as nullptr for the straightening
+/// backend.
+Fragment generateCode(const Superblock &Sb, const LoweredBlock &Block,
+                      const StrandAllocResult *Alloc, const DbtConfig &Config,
+                      const ChainEnv &Env);
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_CODEGEN_H

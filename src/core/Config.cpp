@@ -1,0 +1,34 @@
+//===- core/Config.cpp - DBT configuration --------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Config.h"
+
+using namespace ildp;
+using namespace ildp::dbt;
+
+const char *dbt::getChainPolicyName(ChainPolicy Policy) {
+  switch (Policy) {
+  case ChainPolicy::NoPred:
+    return "no_pred";
+  case ChainPolicy::SwPredNoRas:
+    return "sw_pred.no_ras";
+  case ChainPolicy::SwPredRas:
+    return "sw_pred.ras";
+  }
+  return "unknown";
+}
+
+const char *dbt::getVariantName(iisa::IsaVariant Variant) {
+  switch (Variant) {
+  case iisa::IsaVariant::Basic:
+    return "basic";
+  case iisa::IsaVariant::Modified:
+    return "modified";
+  case iisa::IsaVariant::Straight:
+    return "straight";
+  }
+  return "unknown";
+}

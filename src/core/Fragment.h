@@ -1,0 +1,79 @@
+//===- core/Fragment.h - Translation cache fragments ----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fragment: one translated superblock resident in the translation cache
+/// (Sections 3.1-3.2), stored in decoded I-ISA form together with its PEI
+/// side table (Section 2.2) and its patchable exit records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_FRAGMENT_H
+#define ILDP_CORE_FRAGMENT_H
+
+#include "core/Superblock.h"
+#include "iisa/IisaInst.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ildp {
+namespace dbt {
+
+/// One potentially-excepting-instruction record. The VM indexes this table
+/// with the trapping instruction's fragment offset to find the V-ISA
+/// address and to reconstruct architected registers whose current values
+/// live only in accumulators (basic ISA).
+struct PeiEntry {
+  uint32_t InstIndex = 0; ///< Offset of the PEI in the fragment body.
+  uint64_t VAddr = 0;     ///< V-ISA address of the source instruction.
+  /// Basic ISA: architected registers whose value at this PEI is held in
+  /// an accumulator rather than the GPR file: (register, accumulator).
+  std::vector<std::pair<uint8_t, uint8_t>> AccHeldRegs;
+};
+
+/// A patchable fragment exit (cond_exit or branch instruction).
+struct ExitRecord {
+  uint32_t InstIndex = 0;
+  uint64_t VTarget = 0;
+  bool Pending = false; ///< Still a call-translator exit (not yet patched).
+};
+
+/// A translated superblock in the translation cache.
+struct Fragment {
+  uint64_t EntryVAddr = 0;
+  iisa::IsaVariant Variant = iisa::IsaVariant::Modified;
+  std::vector<iisa::IisaInst> Body;
+  /// Byte offset of each instruction from IBase (I-PC formation for the
+  /// timing models' I-cache and predictors).
+  std::vector<uint32_t> InstOffset;
+  std::vector<PeiEntry> PeiTable;
+  std::vector<ExitRecord> Exits;
+  /// Distinct source V-ISA addresses covered (footprint statistics).
+  std::vector<uint64_t> SourceVAddrs;
+
+  uint64_t IBase = 0; ///< Translation-cache address, assigned at install.
+  uint64_t ExecCount = 0;
+  unsigned SourceInsts = 0;  ///< Source instructions recorded (incl. NOPs).
+  unsigned NopsRemoved = 0;
+  unsigned BodyBytes = 0;    ///< Encoded size of the body.
+
+  /// I-PC of instruction \p Index.
+  uint64_t instPc(size_t Index) const { return IBase + InstOffset[Index]; }
+
+  /// PEI entry for the instruction at \p InstIndex, or nullptr.
+  const PeiEntry *findPei(uint32_t InstIndex) const {
+    for (const PeiEntry &Entry : PeiTable)
+      if (Entry.InstIndex == InstIndex)
+        return &Entry;
+    return nullptr;
+  }
+};
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_FRAGMENT_H

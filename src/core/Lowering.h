@@ -1,0 +1,59 @@
+//===- core/Lowering.h - Superblock to micro-op lowering ------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a recorded superblock into the micro-op IR (see Uop.h for the
+/// decomposition rules). Control-transfer handling:
+///   - conditional branches become CondBr side-exit uops; non-final
+///     branches taken at record time get their condition reversed so the
+///     fall-through path stays inside the fragment (Section 3.2),
+///   - BR disappears (straightening); BSR leaves a SaveRet uop,
+///   - the superblock-ending instruction leaves no uop here — the code
+///     generator emits the chaining sequence for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_LOWERING_H
+#define ILDP_CORE_LOWERING_H
+
+#include "core/Config.h"
+#include "core/Superblock.h"
+#include "core/Uop.h"
+
+namespace ildp {
+namespace dbt {
+
+/// Per-side-exit description produced by lowering (consumed by codegen).
+struct SideExit {
+  int32_t UopIdx = -1;    ///< The CondBr uop.
+  uint64_t ExitVAddr = 0; ///< Where the exit leads in V-ISA space.
+};
+
+/// Lowering result.
+struct LoweredBlock {
+  UopList List;
+  std::vector<SideExit> SideExits;
+  /// Number of source (V-ISA) instructions represented (including removed
+  /// NOPs and straightened BRs).
+  unsigned SourceInsts = 0;
+  /// Number of NOPs / straightened BRs dropped.
+  unsigned NopsRemoved = 0;
+  /// V-instruction credit not yet attached to any uop (removed
+  /// instructions at the block tail); codegen attaches it to the chaining
+  /// code.
+  unsigned TrailingVCredit = 0;
+};
+
+/// Returns the conditional branch opcode with the reversed condition.
+alpha::Opcode reverseCondBranch(alpha::Opcode Op);
+
+/// Lowers \p Sb under \p Config.
+LoweredBlock lower(const Superblock &Sb, const DbtConfig &Config);
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_LOWERING_H

@@ -1,0 +1,73 @@
+//===- core/ProfileController.h - Trace-start candidate profiling ---------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks execution counters for trace-start candidate instructions
+/// (Section 3.1). Candidates are:
+///   - targets of register-indirect jumps (JMP/JSR/RET),
+///   - targets of backward conditional branches,
+///   - exit targets of existing fragments.
+/// When a candidate's counter reaches the hot threshold, the VM switches to
+/// recording mode. The paper uses an unlimited number of counters
+/// (Section 4.1); so do we.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_PROFILECONTROLLER_H
+#define ILDP_CORE_PROFILECONTROLLER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ildp {
+namespace dbt {
+
+/// Candidate counters plus the set of already-translated entry points.
+class ProfileController {
+public:
+  explicit ProfileController(unsigned HotThreshold)
+      : Threshold(HotThreshold) {}
+
+  /// Registers \p VAddr as a trace-start candidate (idempotent).
+  void addCandidate(uint64_t VAddr) { Candidates.insert(VAddr); }
+
+  bool isCandidate(uint64_t VAddr) const { return Candidates.count(VAddr); }
+
+  /// Bumps the execution counter of candidate \p VAddr. Returns true when
+  /// the counter reaches the hot threshold for an address that has not been
+  /// translated yet (i.e. recording should start here).
+  bool bump(uint64_t VAddr) {
+    if (Translated.count(VAddr) || !Candidates.count(VAddr))
+      return false;
+    return ++Counters[VAddr] == Threshold;
+  }
+
+  /// Marks \p VAddr as translated (its counter stops mattering).
+  void markTranslated(uint64_t VAddr) { Translated.insert(VAddr); }
+
+  bool isTranslated(uint64_t VAddr) const { return Translated.count(VAddr); }
+
+  size_t candidateCount() const { return Candidates.size(); }
+
+  /// Forgets translation marks and counters (after a translation-cache
+  /// flush): candidates stay registered, and hot paths must re-qualify.
+  void resetAfterFlush() {
+    Translated.clear();
+    Counters.clear();
+  }
+
+private:
+  unsigned Threshold;
+  std::unordered_set<uint64_t> Candidates;
+  std::unordered_set<uint64_t> Translated;
+  std::unordered_map<uint64_t, unsigned> Counters;
+};
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_PROFILECONTROLLER_H

@@ -1,0 +1,70 @@
+//===- core/StrandAlloc.h - Strand formation & accumulator assignment -----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's strand formation and accumulator assignment (Section 3.3):
+///
+/// **Strand formation** — every value-producing micro-op gets a strand
+/// number. Zero local inputs start a strand (instructions with two global
+/// register inputs are broken into copy-from-GPR + instruction); one local
+/// input joins the producer's strand; with two local inputs a heuristic
+/// picks (temp producer first, else the longer strand) and the other value
+/// is demoted to a spill global. Conditional branches opportunistically
+/// read a still-live accumulator (Figure 2's "P <- L1, if (A1 != 0)").
+///
+/// **Accumulator assignment** — strands map onto the finite logical
+/// accumulators with a simple linear scan (no graph coloring). When the
+/// translator runs out of accumulators, the live strand with the farthest
+/// next activity is terminated: a copy-to-GPR materializes its value and,
+/// if the strand has future instructions, a copy-from-GPR resumes it in a
+/// fresh accumulator (recorded as a Reload for the code generator).
+///
+/// A final pass implements the precise-trap copy rule of Section 2.2 for
+/// the basic ISA: a value whose accumulator is overwritten while its
+/// architected register is still live at a later potentially-excepting
+/// instruction must be copied to the GPR file ("local -> global" /
+/// "no user -> global" promotions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_STRANDALLOC_H
+#define ILDP_CORE_STRANDALLOC_H
+
+#include "core/Config.h"
+#include "core/Lowering.h"
+
+#include <vector>
+
+namespace ildp {
+namespace dbt {
+
+/// Accumulator-assignment side products for the code generator.
+struct StrandAllocResult {
+  /// A strand resumption: emit copy-from-GPR of ValueDefIdx's value into
+  /// NewAcc immediately before uop BeforeUopIdx.
+  struct Reload {
+    int32_t BeforeUopIdx;
+    int32_t ValueDefIdx;
+    int16_t NewAcc;
+  };
+  std::vector<Reload> Reloads; ///< Sorted by BeforeUopIdx.
+
+  unsigned NumStrands = 0;
+  unsigned SpillTerminations = 0;
+  unsigned PreCopies = 0;      ///< Two-global-input copy-from-GPR count.
+  unsigned TrapPromotions = 0; ///< Section 2.2 copy-rule promotions.
+};
+
+/// Runs strand formation, accumulator assignment, and (for the basic ISA)
+/// the precise-trap copy rule over \p Block in place. Not used by the
+/// straightening backend.
+StrandAllocResult formStrandsAndAllocate(LoweredBlock &Block,
+                                         const DbtConfig &Config);
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_STRANDALLOC_H

@@ -1,0 +1,67 @@
+//===- core/SuperblockBuilder.h - Hot-path recording ----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records a superblock while the VM interprets the hot path (the MRET
+/// heuristic of Section 3.1). The VM feeds each interpreted StepInfo into
+/// append(); the builder signals when one of the fragment-ending conditions
+/// fires:
+///   - register-indirect jumps or trap (CALL_PAL) instructions,
+///   - backward taken conditional branches,
+///   - a cycle (an already-collected instruction reached again),
+///   - the maximum superblock size.
+/// Unconditional direct branches (BR/BSR) are followed through — this is
+/// where dynamic code straightening comes from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_SUPERBLOCKBUILDER_H
+#define ILDP_CORE_SUPERBLOCKBUILDER_H
+
+#include "core/Superblock.h"
+#include "interp/Interpreter.h"
+
+#include <unordered_set>
+
+namespace ildp {
+namespace dbt {
+
+/// Incremental superblock recorder.
+class SuperblockBuilder {
+public:
+  /// Starts recording at \p EntryVAddr with the given size limit.
+  SuperblockBuilder(uint64_t EntryVAddr, unsigned MaxInsts);
+
+  /// Result of appending one interpreted instruction.
+  enum class Status {
+    Continue, ///< Keep recording.
+    Done,     ///< Fragment-ending condition hit; take() the superblock.
+  };
+
+  /// Appends the interpreted instruction described by \p Info. \p Info must
+  /// describe a successfully retired instruction (Status Ok or Halted), or
+  /// a trapped one — a trap aborts recording cleanly (the instructions
+  /// before the trap still form a valid superblock if non-empty).
+  Status append(const StepInfo &Info);
+
+  /// Returns the finished superblock. Call only after Status::Done.
+  Superblock take();
+
+  bool done() const { return Finished; }
+
+private:
+  Superblock Sb;
+  unsigned MaxInsts;
+  bool Finished = false;
+  std::unordered_set<uint64_t> Collected;
+
+  Status finish(SbEndReason End, uint64_t NextVAddr);
+};
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_SUPERBLOCKBUILDER_H

@@ -1,0 +1,82 @@
+//===- core/TranslationCache.cpp - Fragment registry and patching ---------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TranslationCache.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::dbt;
+
+Fragment &TranslationCache::install(Fragment Frag) {
+  assert(!Index.count(Frag.EntryVAddr) &&
+         "A fragment for this entry already exists");
+
+  auto Owned = std::make_unique<Fragment>(std::move(Frag));
+  Fragment &F = *Owned;
+  F.IBase = NextIBase;
+  NextIBase += F.BodyBytes + 64; // Pad fragments apart (stub/alignment).
+  TotalBytes += F.BodyBytes;
+  for (uint64_t VAddr : F.SourceVAddrs)
+    CoveredVAddrs.insert(VAddr);
+
+  Fragments.push_back(std::move(Owned));
+  Index.emplace(F.EntryVAddr, &F);
+
+  // Register this fragment's still-pending exits and resolve the ones whose
+  // target is already translated (codegen marks exits pending based on the
+  // same query, but the self-entry case and racing installs make this the
+  // authoritative pass).
+  for (size_t E = 0; E != F.Exits.size(); ++E) {
+    ExitRecord &Exit = F.Exits[E];
+    if (!Exit.Pending)
+      continue;
+    if (Index.count(Exit.VTarget)) {
+      Exit.Pending = false;
+      F.Body[Exit.InstIndex].ToTranslator = false;
+      ++Patches;
+    } else {
+      Pending.emplace(Exit.VTarget, std::make_pair(&F, E));
+    }
+  }
+
+  // Patch other fragments' pending exits that target the new entry.
+  auto [It, End] = Pending.equal_range(F.EntryVAddr);
+  for (auto Cur = It; Cur != End; ++Cur) {
+    auto [Owner, ExitIdx] = Cur->second;
+    ExitRecord &Exit = Owner->Exits[ExitIdx];
+    assert(Exit.VTarget == F.EntryVAddr && "Pending index corrupt");
+    if (!Exit.Pending)
+      continue;
+    Exit.Pending = false;
+    Owner->Body[Exit.InstIndex].ToTranslator = false;
+    ++Patches;
+  }
+  Pending.erase(F.EntryVAddr);
+
+  return F;
+}
+
+void TranslationCache::flush() {
+  Fragments.clear();
+  Index.clear();
+  Pending.clear();
+  CoveredVAddrs.clear();
+  TotalBytes = 0;
+  ++Flushes;
+  // NextIBase keeps advancing monotonically so old I-PCs are never reused
+  // (predictor state indexed by I-PC stays coherent across flushes).
+}
+
+Fragment *TranslationCache::lookup(uint64_t VAddr) {
+  auto It = Index.find(VAddr);
+  return It == Index.end() ? nullptr : It->second;
+}
+
+const Fragment *TranslationCache::lookup(uint64_t VAddr) const {
+  auto It = Index.find(VAddr);
+  return It == Index.end() ? nullptr : It->second;
+}

@@ -1,0 +1,95 @@
+//===- core/TranslationCache.h - Fragment registry and patching -----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translation cache (Section 3.1-3.2): maps V-ISA entry addresses to
+/// fragments, assigns translation-cache (I-PC) addresses, and performs
+/// exit patching — when a fragment for address X is installed, every
+/// call-translator[-if-condition-is-met] exit targeting X in previously
+/// installed fragments is rewritten into a normal chained branch.
+///
+/// Translation cache management (flushing) is deliberately absent: the
+/// paper's working sets fit comfortably (Section 4.1) and management
+/// overhead is reported as negligible in prior work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_TRANSLATIONCACHE_H
+#define ILDP_CORE_TRANSLATIONCACHE_H
+
+#include "core/Fragment.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ildp {
+namespace dbt {
+
+/// Fragment registry with pending-exit patching.
+class TranslationCache {
+public:
+  /// Translation-cache address space origin (synthetic I-PCs for the
+  /// timing models' I-cache and predictors).
+  static constexpr uint64_t TCacheBase = 0x200000000ull;
+
+  /// Installs \p Frag: assigns its IBase, registers it under its entry
+  /// address, and patches pending exits in all fragments (including the
+  /// new one) that target already-translated entries. Returns the
+  /// installed fragment.
+  Fragment &install(Fragment Frag);
+
+  /// Fragment for entry \p VAddr, or nullptr.
+  Fragment *lookup(uint64_t VAddr);
+  const Fragment *lookup(uint64_t VAddr) const;
+
+  bool contains(uint64_t VAddr) const { return Index.count(VAddr) != 0; }
+
+  size_t fragmentCount() const { return Fragments.size(); }
+
+  /// Total encoded bytes of all installed fragment bodies.
+  uint64_t totalBodyBytes() const { return TotalBytes; }
+
+  /// Number of distinct source V-ISA instruction addresses covered by any
+  /// fragment (static footprint denominator for Table 2).
+  size_t uniqueSourceInsts() const { return CoveredVAddrs.size(); }
+
+  /// Number of exit patches performed so far.
+  uint64_t patchCount() const { return Patches; }
+
+  /// Number of flushes performed so far.
+  uint64_t flushCount() const { return Flushes; }
+
+  /// Flushes the whole cache (Dynamo-style reaction to a program phase
+  /// change, which the paper notes its own system lacks — "once a fragment
+  /// is constructed there is no second chance"; Section 4.1). All
+  /// fragments, pending exits, and footprint accounting are discarded;
+  /// I-PC assignment restarts so stale fragments cannot be re-entered.
+  void flush();
+
+  /// Iteration over all fragments (stable order of installation).
+  const std::vector<std::unique_ptr<Fragment>> &fragments() const {
+    return Fragments;
+  }
+
+private:
+  std::vector<std::unique_ptr<Fragment>> Fragments;
+  std::unordered_map<uint64_t, Fragment *> Index;
+  /// Pending exits by target address: (fragment, exit index).
+  std::unordered_multimap<uint64_t, std::pair<Fragment *, size_t>> Pending;
+  std::unordered_set<uint64_t> CoveredVAddrs;
+  uint64_t NextIBase = TCacheBase;
+  uint64_t TotalBytes = 0;
+  uint64_t Patches = 0;
+  uint64_t Flushes = 0;
+};
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_TRANSLATIONCACHE_H

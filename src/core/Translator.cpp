@@ -1,0 +1,78 @@
+//===- core/Translator.cpp - Translation pipeline orchestration -----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Translator.h"
+
+#include "core/Lowering.h"
+#include "core/StrandAlloc.h"
+#include "core/UsageAnalysis.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::dbt;
+
+namespace {
+
+// Cost-model constants (translator instructions per unit of work),
+// calibrated to the paper's ~1,125 average (Section 4.2). The CacheCopy
+// constants model the measured ~20% spent copying translated-instruction
+// structures field by field.
+constexpr uint64_t CostDecodePerSrc = 60;
+constexpr uint64_t CostAnalysisPerUop = 120;
+constexpr uint64_t CostStrandPerUop = 160;
+constexpr uint64_t CostCodeGenPerInst = 200;
+constexpr uint64_t CostCacheCopyPerInst = 110;
+constexpr uint64_t CostChainingPerExit = 300;
+constexpr uint64_t CostPerFragment = 2000;
+
+} // namespace
+
+void TranslationCost::addTo(StatisticSet &Stats) const {
+  Stats.add("dbt.cost.decode", Decode);
+  Stats.add("dbt.cost.analysis", Analysis);
+  Stats.add("dbt.cost.strands", Strands);
+  Stats.add("dbt.cost.codegen", CodeGen);
+  Stats.add("dbt.cost.cachecopy", CacheCopy);
+  Stats.add("dbt.cost.chaining", Chaining);
+  Stats.add("dbt.cost.overhead", Overhead);
+  Stats.add("dbt.cost.total", total());
+}
+
+TranslationResult dbt::translate(const Superblock &Sb,
+                                 const DbtConfig &Config,
+                                 const ChainEnv &Env) {
+  assert(!Sb.Insts.empty() && "Cannot translate an empty superblock");
+  TranslationResult Result;
+
+  LoweredBlock Block = lower(Sb, Config);
+  Result.Uops = unsigned(Block.List.Uops.size());
+
+  analyzeUsage(Block, Config);
+
+  StrandAllocResult Alloc;
+  bool Accumulators = Config.Variant != iisa::IsaVariant::Straight;
+  if (Accumulators) {
+    Alloc = formStrandsAndAllocate(Block, Config);
+    Result.Strands = Alloc.NumStrands;
+    Result.Spills = Alloc.SpillTerminations;
+    Result.PreCopies = Alloc.PreCopies;
+    Result.TrapPromotions = Alloc.TrapPromotions;
+  }
+
+  Result.Frag =
+      generateCode(Sb, Block, Accumulators ? &Alloc : nullptr, Config, Env);
+
+  TranslationCost &Cost = Result.Cost;
+  Cost.Decode = CostDecodePerSrc * Sb.Insts.size();
+  Cost.Analysis = CostAnalysisPerUop * Result.Uops;
+  Cost.Strands = Accumulators ? CostStrandPerUop * Result.Uops : 0;
+  Cost.CodeGen = CostCodeGenPerInst * Result.Frag.Body.size();
+  Cost.CacheCopy = CostCacheCopyPerInst * Result.Frag.Body.size();
+  Cost.Chaining = CostChainingPerExit * Result.Frag.Exits.size();
+  Cost.Overhead = CostPerFragment;
+  return Result;
+}

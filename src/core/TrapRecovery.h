@@ -1,0 +1,49 @@
+//===- core/TrapRecovery.h - Precise trap state reconstruction ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precise trap recovery (Section 2.2): given a trapping instruction's
+/// fragment offset and the I-ISA machine state, reconstruct the exact
+/// V-ISA architected state — the trapping instruction's V-ISA address (via
+/// the PEI side table anchored by set-VPC-base) and the 32 architected
+/// registers.
+///
+/// Because the translator never reorders instructions, values are produced
+/// in program order; the only complication is the basic ISA, where some
+/// architected values live in accumulators at the trap point. The PEI
+/// entry's AccHeldRegs overlay resolves those. In the modified ISA the
+/// (shadow) register file is precise by construction, as is the
+/// straightening backend's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_TRAPRECOVERY_H
+#define ILDP_CORE_TRAPRECOVERY_H
+
+#include "core/Fragment.h"
+#include "iisa/Executor.h"
+#include "interp/ArchState.h"
+
+namespace ildp {
+namespace dbt {
+
+/// A recovered precise-trap context.
+struct RecoveredState {
+  ArchState Arch;   ///< Architected registers and PC at the trap.
+  Trap TrapInfo;    ///< Trap descriptor with the V-ISA PC filled in.
+};
+
+/// Reconstructs architected state for a trap raised by the instruction at
+/// \p InstIndex of \p Frag, with the executor state \p State at the moment
+/// of the trap. \p RawTrap is the executor-reported trap (V-PC not yet
+/// known). The instruction must be a PEI with a table entry.
+RecoveredState recoverTrapState(const Fragment &Frag, uint32_t InstIndex,
+                                const iisa::IExecState &State, Trap RawTrap);
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_TRAPRECOVERY_H

@@ -1,0 +1,140 @@
+//===- core/Uop.h - Translation micro-op IR -------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translator's internal form: one superblock lowered into a linear
+/// list of micro-ops with at most two inputs and one output. Lowering
+/// performs the paper's instruction decompositions:
+///   - memory operations with a displacement split into an address add plus
+///     a zero-displacement access (Section 2.1's "addressing modes perform
+///     no address computation"),
+///   - conditional moves decomposed through "temp" values (Section 3.3's
+///     Temp usage class),
+///   - BR/BSR straightened away (BSR leaves a save-return-address op),
+/// while NOPs are dropped (Section 4.4).
+///
+/// The dependence/usage identification, strand formation, and accumulator
+/// assignment passes annotate this IR in place; code generation then maps
+/// each micro-op to I-ISA instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_UOP_H
+#define ILDP_CORE_UOP_H
+
+#include "alpha/AlphaIsa.h"
+#include "iisa/IisaInst.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ildp {
+namespace dbt {
+
+/// Value identifiers: 0..31 name architected registers; FirstTemp and above
+/// name translation-internal temps (decomposition values).
+using ValueId = int16_t;
+constexpr ValueId NoVal = -1;
+constexpr ValueId FirstTemp = 32;
+
+/// True for architected-register value ids (excluding R31, which never
+/// appears as a value).
+inline bool isArchValue(ValueId Id) { return Id >= 0 && Id < FirstTemp; }
+inline bool isTempValue(ValueId Id) { return Id >= FirstTemp; }
+
+/// Micro-op kinds.
+enum class UopKind : uint8_t {
+  Alu,      ///< Integer operate; Op gives semantics (LDA/LDAH carry their
+            ///< displacement as the immediate input).
+  CmovMask, ///< Condition-to-mask (CMOV decomposition head).
+  CmovBlend,///< Modified-ISA two-op cmov tail: Out <- In1(mask) ? In2 :
+            ///< old Out, the old value arriving through the destination
+            ///< GPR field.
+  Load,     ///< In2 = address value; Disp only in no-split mode.
+  Store,    ///< In1 = data, In2 = address value.
+  CondBr,   ///< Superblock side exit; In1 = condition value.
+  SaveRet,  ///< Out <- embedded V-ISA return address (BSR/JSR).
+  PushRas,  ///< Dual-address-RAS push site (BSR/JSR under the RAS policy).
+  EndJump,  ///< Superblock-ending indirect jump; In1 = target value. The
+            ///< code generator expands this into the chaining sequence.
+};
+
+/// One micro-op input.
+struct UopInput {
+  enum class Kind : uint8_t { None, Value, Imm };
+  Kind K = Kind::None;
+  ValueId Id = NoVal;
+  int64_t Imm = 0;
+  /// Filled by analysis: uop index of the reaching definition, or -1 for
+  /// superblock live-ins.
+  int32_t DefIdx = -1;
+
+  static UopInput none() { return {}; }
+  static UopInput value(ValueId Id) {
+    UopInput In;
+    In.K = Kind::Value;
+    In.Id = Id;
+    return In;
+  }
+  static UopInput imm(int64_t Value) {
+    UopInput In;
+    In.K = Kind::Imm;
+    In.Imm = Value;
+    return In;
+  }
+
+  bool isValue() const { return K == Kind::Value; }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isNone() const { return K == Kind::None; }
+};
+
+/// One micro-op with its analysis annotations.
+struct Uop {
+  UopKind Kind = UopKind::Alu;
+  alpha::Opcode Op = alpha::Opcode::Invalid; ///< Semantic payload.
+  UopInput In1, In2;
+  ValueId Out = NoVal;
+  int32_t MemDisp = 0; ///< Memory displacement in no-split mode.
+  uint64_t VAddr = 0;
+  uint64_t EmbAddr = 0; ///< SaveRet/PushRas: the embedded return address.
+  /// V-ISA instructions retired when this uop commits: 1 for the leading
+  /// uop of a source instruction (plus one per preceding NOP or straightened
+  /// BR, which leave no uops of their own), 0 for continuation uops.
+  uint8_t VCredit = 0;
+  int32_t SrcIndex = -1; ///< Index into the superblock.
+
+  // ---- Filled by UsageAnalysis ----
+  iisa::UsageClass OutUsage = iisa::UsageClass::None;
+  int32_t NumUses = 0;
+  int32_t RedefIdx = -1;  ///< Uop index redefining Out, or -1 (live to end).
+  int32_t LastUseIdx = -1;
+  bool NeedsGprCopy = false; ///< Basic ISA: materialize Out into a GPR.
+
+  // ---- Filled by StrandAlloc ----
+  int32_t Strand = -1;    ///< Strand id of the output value.
+  int16_t Acc = -1;       ///< Accumulator assigned to the output.
+  /// Two-global rule: a copy-from-GPR must be emitted before this uop for
+  /// the given input slot (1 or 2); 0 = none.
+  uint8_t PreCopySlot = 0;
+
+  bool producesValue() const { return Out != NoVal; }
+  bool isPei() const {
+    return Kind == UopKind::Load || Kind == UopKind::Store;
+  }
+};
+
+/// A lowered superblock.
+struct UopList {
+  std::vector<Uop> Uops;
+  ValueId NextTemp = FirstTemp;
+
+  ValueId newTemp() { return NextTemp++; }
+};
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_UOP_H

@@ -1,0 +1,49 @@
+//===- core/UsageAnalysis.h - Dependence and usage identification ---------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "dependence/usage identification" step (Section 3.3): for
+/// every micro-op output, determine how "global" its value is:
+///
+///   - no user: overwritten before any use,
+///   - local: used exactly once before being overwritten,
+///   - temp: single-use decomposition value,
+///   - live-out global: live on superblock exit (conservatively, any
+///     architected register not overwritten later in the block),
+///   - communication global: used more than once before overwrite,
+///   - spill global: forced global (assigned later by strand formation).
+///
+/// For the **basic** ISA the pass additionally performs the side-exit
+/// promotions of Figure 7 ("local → global", "no user → global"): a value
+/// whose architected register remains current across a conditional side
+/// exit must be saved to the GPR file before that exit, because the next
+/// fragment's accumulator map knows nothing about this one.
+///
+/// Because dynamically recorded superblocks are straight-line code, no
+/// graph-based dependence analysis is needed — everything is a single
+/// linear scan with a last-definition table, as the paper notes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_USAGEANALYSIS_H
+#define ILDP_CORE_USAGEANALYSIS_H
+
+#include "core/Config.h"
+#include "core/Lowering.h"
+#include "core/Uop.h"
+
+namespace ildp {
+namespace dbt {
+
+/// Runs reaching-definition resolution and usage classification over
+/// \p Block in place (fills UopInput::DefIdx, Uop::OutUsage, NumUses,
+/// RedefIdx, LastUseIdx, NeedsGprCopy).
+void analyzeUsage(LoweredBlock &Block, const DbtConfig &Config);
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_USAGEANALYSIS_H

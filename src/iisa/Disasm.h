@@ -1,0 +1,29 @@
+//===- iisa/Disasm.h - I-ISA disassembler ---------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders I-ISA instructions in the paper's Figure 2 notation:
+/// "A0 <- mem[R16]", "R17 (A1) <- R17 - 1", "P <- L1, if (A1 != 0)".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_IISA_DISASM_H
+#define ILDP_IISA_DISASM_H
+
+#include "iisa/IisaInst.h"
+
+#include <string>
+
+namespace ildp {
+namespace iisa {
+
+/// Disassembles one I-ISA instruction.
+std::string disassemble(const IisaInst &Inst);
+
+} // namespace iisa
+} // namespace ildp
+
+#endif // ILDP_IISA_DISASM_H

@@ -1,0 +1,104 @@
+//===- iisa/Encoding.cpp - I-ISA encoding-size model ----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "iisa/Encoding.h"
+
+#include "support/BitUtil.h"
+
+using namespace ildp;
+using namespace ildp::iisa;
+
+static unsigned countGprRefs(const IisaInst &Inst) {
+  // Distinct GPR numbers referenced: a destination GPR equal to a source
+  // (the modified ISA's in-place forms, e.g. "R17 (A1) <- R17 - 1") shares
+  // one register field.
+  unsigned Count = 0;
+  uint8_t Seen[3];
+  auto Add = [&](uint8_t Reg) {
+    for (unsigned I = 0; I != Count; ++I)
+      if (Seen[I] == Reg)
+        return;
+    Seen[Count++] = Reg;
+  };
+  if (Inst.A.isGpr())
+    Add(Inst.A.Reg);
+  if (Inst.B.isGpr())
+    Add(Inst.B.Reg);
+  if (Inst.DestGpr != NoReg)
+    Add(Inst.DestGpr);
+  return Count;
+}
+
+/// Returns the instruction's immediate, or nullopt.
+static bool getImm(const IisaInst &Inst, int64_t &Imm) {
+  if (Inst.A.isImm()) {
+    Imm = Inst.A.Imm;
+    return true;
+  }
+  if (Inst.B.isImm()) {
+    Imm = Inst.B.Imm;
+    return true;
+  }
+  if (Inst.MemDisp != 0) {
+    Imm = Inst.MemDisp;
+    return true;
+  }
+  return false;
+}
+
+unsigned iisa::encodedSize(const IisaInst &Inst, IsaVariant Variant) {
+  (void)Variant; // The variant is already reflected in DestGpr presence.
+  switch (Inst.Kind) {
+  // Embedded-address formats are always 48 bits.
+  case IKind::SetVpcBase:
+  case IKind::SaveRetAddr:
+  case IKind::LoadEmbTarget:
+  case IKind::PushDualRas:
+    return 6;
+
+  // Fragment-exit control transfers carry a displacement: 32 bits.
+  case IKind::CondExit:
+  case IKind::Branch:
+  case IKind::JumpPredict:
+    return 4;
+
+  // Register-indirect transfers name one register only.
+  case IKind::JumpDispatch:
+  case IKind::ReturnDual:
+    return 2;
+
+  case IKind::Halt:
+  case IKind::Gentrap:
+    return 2;
+
+  case IKind::CmovBlend:
+    return 4;
+
+  case IKind::Compute:
+  case IKind::CmovMask:
+  case IKind::Load:
+  case IKind::Store:
+  case IKind::CopyToGpr:
+  case IKind::CopyFromGpr: {
+    int64_t Imm = 0;
+    bool HasImm = getImm(Inst, Imm);
+    if (HasImm && !fitsSigned(Imm, 16))
+      return 6;
+    // The 16-bit format's short immediate field is a 3-bit unsigned value.
+    if (HasImm && !(Imm >= 0 && fitsUnsigned(uint64_t(Imm), 3)))
+      return 4;
+    if (countGprRefs(Inst) > 1)
+      return 4;
+    return 2;
+  }
+  }
+  return 4;
+}
+
+void iisa::assignSizes(IisaInst *Begin, IisaInst *End, IsaVariant Variant) {
+  for (IisaInst *I = Begin; I != End; ++I)
+    I->SizeBytes = uint8_t(encodedSize(*I, Variant));
+}

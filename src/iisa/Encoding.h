@@ -1,0 +1,51 @@
+//===- iisa/Encoding.h - I-ISA encoding-size model ------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns each I-ISA instruction a concrete encoded size. The paper's
+/// basic ISA encodes many instructions in 16 bits ("one GPR per
+/// instruction" keeps formats small, Section 2.1); the modified ISA's extra
+/// destination-GPR specifier pushes some of those to 32 bits (Section 2.3).
+/// Embedded-address special instructions use a 48-bit format.
+///
+/// The model (documented in DESIGN.md) drives the paper's Table 2 "relative
+/// static instruction bytes" statistic. Fragments themselves are stored
+/// decoded; no binary image of I-ISA code is materialized.
+///
+/// Size rules:
+///   16 bits — at most one GPR reference in total, immediate representable
+///             in 3 bits (or absent), no embedded address. Covers in-place
+///             accumulator computes, loads/stores with register address,
+///             copies, halt/gentrap, and the dual-RAS return.
+///   32 bits — everything with a second GPR reference (modified-ISA
+///             destination specifier), an 8..16-bit immediate, or a
+///             fragment-relative branch displacement (cond_exit, branch,
+///             jump_predict, jump_dispatch).
+///   48 bits — embedded-address formats (set_vpc_base, save_ret_addr,
+///             load_emb_target, push_dual_ras) and immediates wider than
+///             16 bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_IISA_ENCODING_H
+#define ILDP_IISA_ENCODING_H
+
+#include "iisa/IisaInst.h"
+
+namespace ildp {
+namespace iisa {
+
+/// Returns the encoded size in bytes (2, 4, or 6) of \p Inst under
+/// \p Variant.
+unsigned encodedSize(const IisaInst &Inst, IsaVariant Variant);
+
+/// Sets Inst.SizeBytes for every instruction in [Begin, End).
+void assignSizes(IisaInst *Begin, IisaInst *End, IsaVariant Variant);
+
+} // namespace iisa
+} // namespace ildp
+
+#endif // ILDP_IISA_ENCODING_H

@@ -1,0 +1,213 @@
+//===- iisa/IisaInst.cpp - Accumulator-oriented I-ISA instructions --------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "iisa/IisaInst.h"
+
+using namespace ildp;
+using namespace ildp::iisa;
+
+const char *iisa::getKindName(IKind Kind) {
+  switch (Kind) {
+  case IKind::Compute:
+    return "compute";
+  case IKind::CmovMask:
+    return "cmov_mask";
+  case IKind::CmovBlend:
+    return "cmov_blend";
+  case IKind::Load:
+    return "load";
+  case IKind::Store:
+    return "store";
+  case IKind::CopyToGpr:
+    return "copy_to_gpr";
+  case IKind::CopyFromGpr:
+    return "copy_from_gpr";
+  case IKind::SetVpcBase:
+    return "set_vpc_base";
+  case IKind::SaveRetAddr:
+    return "save_ret_addr";
+  case IKind::LoadEmbTarget:
+    return "load_emb_target";
+  case IKind::PushDualRas:
+    return "push_dual_ras";
+  case IKind::CondExit:
+    return "cond_exit";
+  case IKind::Branch:
+    return "branch";
+  case IKind::JumpPredict:
+    return "jump_predict";
+  case IKind::JumpDispatch:
+    return "jump_dispatch";
+  case IKind::ReturnDual:
+    return "return_dual";
+  case IKind::Halt:
+    return "halt";
+  case IKind::Gentrap:
+    return "gentrap";
+  }
+  return "unknown";
+}
+
+const char *iisa::getUsageName(UsageClass Usage) {
+  switch (Usage) {
+  case UsageClass::None:
+    return "none";
+  case UsageClass::NoUser:
+    return "no_user";
+  case UsageClass::Local:
+    return "local";
+  case UsageClass::Temp:
+    return "temp";
+  case UsageClass::LiveOutGlobal:
+    return "liveout_global";
+  case UsageClass::CommGlobal:
+    return "comm_global";
+  case UsageClass::SpillGlobal:
+    return "spill_global";
+  case UsageClass::LocalToGlobal:
+    return "local_to_global";
+  case UsageClass::NoUserToGlobal:
+    return "no_user_to_global";
+  }
+  return "unknown";
+}
+
+static unsigned countAccInputs(const IisaInst &Inst) {
+  return unsigned(Inst.A.isAcc()) + unsigned(Inst.B.isAcc());
+}
+
+static unsigned countGprRefs(const IisaInst &Inst) {
+  return unsigned(Inst.A.isGpr()) + unsigned(Inst.B.isGpr()) +
+         unsigned(Inst.DestGpr != NoReg);
+}
+
+std::string iisa::validate(const IisaInst &Inst, IsaVariant Variant) {
+  if (countAccInputs(Inst) > 1)
+    return "more than one accumulator input";
+  if (Inst.A.isAcc() && Inst.B.isAcc())
+    return "two accumulator operands";
+
+  // The basic ISA allows at most one GPR reference per instruction
+  // (Section 2.1). The modified ISA adds the destination GPR but still
+  // allows only one *source* GPR. The straightening backend keeps plain
+  // Alpha operand rules (two source GPRs, no accumulators).
+  switch (Variant) {
+  case IsaVariant::Basic:
+    if (countGprRefs(Inst) > 1)
+      return "basic ISA allows only one GPR per instruction";
+    break;
+  case IsaVariant::Modified: {
+    unsigned SrcGprs = unsigned(Inst.A.isGpr()) + unsigned(Inst.B.isGpr());
+    if (SrcGprs > 1)
+      return "more than one source GPR";
+    break;
+  }
+  case IsaVariant::Straight:
+    if (Inst.DestAcc != NoReg || Inst.A.isAcc() || Inst.B.isAcc())
+      return "straightened Alpha code must not use accumulators";
+    break;
+  }
+
+  if (Inst.DestAcc != NoReg && Inst.DestAcc >= MaxAccumulators)
+    return "accumulator number out of range";
+  if (Inst.DestGpr != NoReg && Inst.DestGpr >= NumIisaGprs)
+    return "GPR number out of range";
+
+  bool ProducesValue = Inst.DestAcc != NoReg || Inst.DestGpr != NoReg;
+  switch (Inst.Kind) {
+  case IKind::Compute:
+    if (!ProducesValue)
+      return "compute must produce a value";
+    if (Variant != IsaVariant::Straight && Inst.DestAcc == NoReg)
+      return "compute must produce an accumulator value";
+    if (Inst.AlphaOp == alpha::Opcode::Invalid)
+      return "compute without an operation";
+    if (alpha::isCondMove(Inst.AlphaOp) && Variant != IsaVariant::Straight)
+      return "conditional moves must be decomposed in accumulator code";
+    break;
+  case IKind::CmovMask:
+    if (!alpha::isCondMove(Inst.AlphaOp))
+      return "cmov_mask needs a conditional-move opcode";
+    if (!ProducesValue)
+      return "cmov_mask must produce a value";
+    break;
+  case IKind::CmovBlend:
+    if (Variant != IsaVariant::Modified)
+      return "cmov_blend exists only in the modified ISA";
+    if (Inst.DestGpr == NoReg || Inst.DestAcc == NoReg)
+      return "cmov_blend needs accumulator and GPR destinations";
+    if (Inst.A.isNone() || Inst.A.isImm())
+      return "cmov_blend needs a register mask operand";
+    break;
+  case IKind::Load:
+    if (!alpha::isLoad(Inst.AlphaOp))
+      return "load without a load opcode";
+    if (Inst.B.isNone() || Inst.B.isImm())
+      return "load needs a register address operand";
+    if (!ProducesValue)
+      return "load must produce a value";
+    if (Variant != IsaVariant::Straight && Inst.DestAcc == NoReg)
+      return "load must produce an accumulator value";
+    break;
+  case IKind::Store:
+    if (!alpha::isStore(Inst.AlphaOp))
+      return "store without a store opcode";
+    if (Inst.B.isNone() || Inst.B.isImm())
+      return "store needs a register address operand";
+    if (Inst.A.isNone())
+      return "store needs a data operand";
+    if (Inst.DestAcc != NoReg || Inst.DestGpr != NoReg)
+      return "store produces no register value";
+    break;
+  case IKind::CopyToGpr:
+    if (!Inst.A.isAcc())
+      return "copy_to_gpr source must be an accumulator";
+    if (Inst.DestGpr == NoReg)
+      return "copy_to_gpr needs a GPR destination";
+    break;
+  case IKind::CopyFromGpr:
+    if (!Inst.A.isGpr())
+      return "copy_from_gpr source must be a GPR";
+    if (Inst.DestAcc == NoReg)
+      return "copy_from_gpr needs an accumulator destination";
+    break;
+  case IKind::SetVpcBase:
+  case IKind::PushDualRas:
+    break;
+  case IKind::SaveRetAddr:
+    if (Inst.DestGpr == NoReg)
+      return "save_ret_addr needs a GPR destination";
+    break;
+  case IKind::LoadEmbTarget:
+    if (!ProducesValue)
+      return "load_emb_target needs a destination";
+    break;
+  case IKind::CondExit:
+    if (!alpha::isCondBranch(Inst.AlphaOp))
+      return "cond_exit needs a conditional branch opcode";
+    if (Inst.A.isNone() || Inst.A.isImm())
+      return "cond_exit needs a register condition operand";
+    break;
+  case IKind::JumpPredict:
+    if (Inst.A.isNone() || Inst.A.isImm())
+      return "jump_predict needs a register condition operand";
+    if (Variant != IsaVariant::Straight && !Inst.A.isAcc())
+      return "jump_predict condition must be an accumulator";
+    if (Inst.B.isNone() || Inst.B.isImm())
+      return "jump_predict needs the actual target operand";
+    break;
+  case IKind::JumpDispatch:
+  case IKind::ReturnDual:
+    if (Inst.B.isNone() || Inst.B.isImm())
+      return "indirect transfer needs a register target operand";
+    break;
+  case IKind::Branch:
+  case IKind::Halt:
+  case IKind::Gentrap:
+    break;
+  }
+  return "";
+}

@@ -1,0 +1,45 @@
+//===- interp/ArchState.h - Architected Alpha register state --------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architected (V-ISA visible) state of the guest: the 32 integer
+/// registers and the program counter. The precise-trap machinery
+/// reconstructs exactly this structure, and the equivalence tests compare
+/// instances of it between the interpreter and the translated-code
+/// executor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_INTERP_ARCHSTATE_H
+#define ILDP_INTERP_ARCHSTATE_H
+
+#include "alpha/AlphaIsa.h"
+
+#include <array>
+#include <cstdint>
+
+namespace ildp {
+
+/// Architected Alpha integer state. R31 is hardwired to zero.
+struct ArchState {
+  std::array<uint64_t, alpha::NumGprs> Gpr{};
+  uint64_t Pc = 0;
+
+  uint64_t readGpr(unsigned Reg) const {
+    return Reg == alpha::RegZero ? 0 : Gpr[Reg];
+  }
+
+  void writeGpr(unsigned Reg, uint64_t Value) {
+    if (Reg != alpha::RegZero)
+      Gpr[Reg] = Value;
+  }
+
+  bool operator==(const ArchState &) const = default;
+};
+
+} // namespace ildp
+
+#endif // ILDP_INTERP_ARCHSTATE_H

@@ -1,0 +1,100 @@
+//===- interp/Interpreter.h - Functional Alpha interpreter ----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The functional Alpha interpreter: the reference V-ISA semantics. The
+/// co-designed VM runs it during the interpret/profile stage (paper Section
+/// 3.1) and every translated-code backend is validated against it.
+///
+/// step() reports everything the profiler and superblock recorder need:
+/// the decoded instruction, control-flow outcome, and memory address. Traps
+/// (memory faults, GENTRAP, illegal instructions) are reported precisely —
+/// architected state is left exactly as of the trapping instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_INTERP_INTERPRETER_H
+#define ILDP_INTERP_INTERPRETER_H
+
+#include "alpha/AlphaInst.h"
+#include "interp/ArchState.h"
+#include "mem/GuestMemory.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace ildp {
+
+/// Why execution stopped or what a step produced.
+enum class StepStatus : uint8_t {
+  Ok,      ///< Instruction retired normally.
+  Halted,  ///< CALL_PAL HALT retired; program finished.
+  Trapped, ///< The instruction raised a precise trap.
+};
+
+/// Precise trap descriptor.
+enum class TrapKind : uint8_t {
+  None,
+  MemUnmapped,  ///< Load/store to an unmapped page.
+  MemUnaligned, ///< Misaligned load/store.
+  FetchFault,   ///< Instruction fetch failed.
+  IllegalInst,  ///< Undecodable instruction word.
+  Gentrap,      ///< CALL_PAL GENTRAP.
+};
+
+struct Trap {
+  TrapKind Kind = TrapKind::None;
+  uint64_t Pc = 0;      ///< V-ISA address of the trapping instruction.
+  uint64_t MemAddr = 0; ///< Faulting address for memory traps.
+};
+
+/// Everything one retired (or trapped) instruction did.
+struct StepInfo {
+  StepStatus Status = StepStatus::Ok;
+  uint64_t Pc = 0;
+  alpha::AlphaInst Inst;
+  uint64_t NextPc = 0;   ///< Actual successor PC (valid when Status==Ok).
+  bool IsControl = false;
+  bool Taken = false;    ///< For control transfers: was it taken?
+  uint64_t MemAddr = 0;  ///< Effective address for loads/stores.
+  Trap TrapInfo;
+};
+
+/// Functional Alpha interpreter over a GuestMemory image.
+class Interpreter {
+public:
+  explicit Interpreter(GuestMemory &Mem) : Mem(Mem) {}
+
+  ArchState &state() { return State; }
+  const ArchState &state() const { return State; }
+  GuestMemory &memory() { return Mem; }
+
+  /// Executes one instruction at State.Pc. On StepStatus::Ok, State.Pc has
+  /// advanced to the successor. On Trapped, architected state (including
+  /// Pc) is left at the trapping instruction.
+  StepInfo step();
+
+  /// Runs until HALT, a trap, or \p MaxSteps instructions.
+  /// Returns the last StepInfo (Status Ok means MaxSteps was hit).
+  StepInfo run(uint64_t MaxSteps);
+
+  /// Number of instructions retired by this interpreter so far.
+  uint64_t retiredCount() const { return Retired; }
+
+  /// Decodes the instruction at \p Addr via the decode cache (shared with
+  /// the superblock recorder so decode work is not repeated).
+  const alpha::AlphaInst *decodeAt(uint64_t Addr);
+
+private:
+  GuestMemory &Mem;
+  ArchState State;
+  uint64_t Retired = 0;
+  std::unordered_map<uint64_t, alpha::AlphaInst> DecodeCache;
+};
+
+} // namespace ildp
+
+#endif // ILDP_INTERP_INTERPRETER_H

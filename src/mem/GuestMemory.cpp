@@ -1,0 +1,106 @@
+//===- mem/GuestMemory.cpp - Sparse guest address space -------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/GuestMemory.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace ildp;
+
+uint8_t *GuestMemory::pageFor(uint64_t Addr, bool Allocate) {
+  uint64_t PageIndex = Addr >> PageShift;
+  auto It = Pages.find(PageIndex);
+  if (It != Pages.end())
+    return It->second.get();
+  if (!Allocate)
+    return nullptr;
+  auto Page = std::make_unique<uint8_t[]>(PageSize);
+  std::memset(Page.get(), 0, PageSize);
+  uint8_t *Raw = Page.get();
+  Pages.emplace(PageIndex, std::move(Page));
+  return Raw;
+}
+
+const uint8_t *GuestMemory::pageFor(uint64_t Addr) const {
+  auto It = Pages.find(Addr >> PageShift);
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+void GuestMemory::mapRegion(uint64_t Base, uint64_t Size) {
+  if (Size == 0)
+    return;
+  uint64_t First = Base >> PageShift;
+  uint64_t Last = (Base + Size - 1) >> PageShift;
+  for (uint64_t Index = First; Index <= Last; ++Index)
+    (void)pageFor(Index << PageShift, /*Allocate=*/true);
+}
+
+bool GuestMemory::isMapped(uint64_t Addr) const {
+  return pageFor(Addr) != nullptr;
+}
+
+MemAccessResult GuestMemory::load(uint64_t Addr, unsigned Size) const {
+  assert((Size == 1 || Size == 2 || Size == 4 || Size == 8) &&
+         "Unsupported access size");
+  MemAccessResult Result;
+  if (Addr & (Size - 1)) {
+    Result.Fault = MemFaultKind::Unaligned;
+    return Result;
+  }
+  const uint8_t *Page = pageFor(Addr);
+  if (!Page) {
+    Result.Fault = MemFaultKind::Unmapped;
+    return Result;
+  }
+  // Natural alignment guarantees the access does not cross a page boundary.
+  uint64_t Offset = Addr & (PageSize - 1);
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != Size; ++I)
+    Value |= uint64_t(Page[Offset + I]) << (8 * I);
+  Result.Value = Value;
+  return Result;
+}
+
+MemFaultKind GuestMemory::store(uint64_t Addr, uint64_t Value, unsigned Size) {
+  assert((Size == 1 || Size == 2 || Size == 4 || Size == 8) &&
+         "Unsupported access size");
+  if (Addr & (Size - 1))
+    return MemFaultKind::Unaligned;
+  uint8_t *Page = pageFor(Addr, /*Allocate=*/false);
+  if (!Page)
+    return MemFaultKind::Unmapped;
+  uint64_t Offset = Addr & (PageSize - 1);
+  for (unsigned I = 0; I != Size; ++I)
+    Page[Offset + I] = uint8_t(Value >> (8 * I));
+  return MemFaultKind::None;
+}
+
+void GuestMemory::writeBlob(uint64_t Addr, const void *Data, uint64_t Size) {
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  for (uint64_t I = 0; I != Size; ++I) {
+    uint8_t *Page = pageFor(Addr + I, /*Allocate=*/true);
+    Page[(Addr + I) & (PageSize - 1)] = Bytes[I];
+  }
+}
+
+void GuestMemory::poke8(uint64_t Addr, uint8_t Value) {
+  writeBlob(Addr, &Value, 1);
+}
+
+void GuestMemory::poke32(uint64_t Addr, uint32_t Value) {
+  uint8_t Bytes[4];
+  for (unsigned I = 0; I != 4; ++I)
+    Bytes[I] = uint8_t(Value >> (8 * I));
+  writeBlob(Addr, Bytes, 4);
+}
+
+void GuestMemory::poke64(uint64_t Addr, uint64_t Value) {
+  uint8_t Bytes[8];
+  for (unsigned I = 0; I != 8; ++I)
+    Bytes[I] = uint8_t(Value >> (8 * I));
+  writeBlob(Addr, Bytes, 8);
+}

@@ -1,0 +1,99 @@
+//===- mem/GuestMemory.h - Sparse guest address space ---------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse, page-granular 64-bit guest memory image shared by the Alpha
+/// interpreter, the I-ISA functional executor, and the workload loader.
+///
+/// Accesses outside mapped pages and misaligned accesses report faults
+/// instead of aborting: these are exactly the potentially-excepting events
+/// (PEIs) the paper's precise-trap machinery (Section 2.2) must recover
+/// from, and the trap tests inject them deliberately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_MEM_GUESTMEMORY_H
+#define ILDP_MEM_GUESTMEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace ildp {
+
+/// Why a guest memory access failed.
+enum class MemFaultKind {
+  None,      ///< Access succeeded.
+  Unmapped,  ///< No page is mapped at the address.
+  Unaligned, ///< Address not naturally aligned for the access size.
+};
+
+/// Result of a guest load: the value plus the fault status.
+struct MemAccessResult {
+  uint64_t Value = 0;
+  MemFaultKind Fault = MemFaultKind::None;
+
+  bool ok() const { return Fault == MemFaultKind::None; }
+};
+
+/// Sparse paged little-endian guest memory.
+///
+/// Pages are allocated on demand by mapRegion() (or implicitly by the
+/// poke*() test helpers). Regular load()/store() never allocate: they fault
+/// on unmapped addresses, which the VM turns into precise traps.
+class GuestMemory {
+public:
+  static constexpr unsigned PageShift = 12;
+  static constexpr uint64_t PageSize = uint64_t(1) << PageShift;
+
+  GuestMemory() = default;
+
+  // GuestMemory owns page storage: movable, not copyable.
+  GuestMemory(const GuestMemory &) = delete;
+  GuestMemory &operator=(const GuestMemory &) = delete;
+  GuestMemory(GuestMemory &&) = default;
+  GuestMemory &operator=(GuestMemory &&) = default;
+
+  /// Maps (allocates and zeroes) all pages overlapping [Base, Base+Size).
+  void mapRegion(uint64_t Base, uint64_t Size);
+
+  /// Returns true if the byte at \p Addr is backed by a mapped page.
+  bool isMapped(uint64_t Addr) const;
+
+  /// Loads \p Size bytes (1, 2, 4, or 8) from \p Addr, little-endian.
+  /// Requires natural alignment; faults otherwise.
+  MemAccessResult load(uint64_t Addr, unsigned Size) const;
+
+  /// Stores the low \p Size bytes of \p Value at \p Addr, little-endian.
+  /// Requires natural alignment; returns the fault status.
+  MemFaultKind store(uint64_t Addr, uint64_t Value, unsigned Size);
+
+  /// Copies a raw byte blob into guest memory, mapping pages as needed.
+  void writeBlob(uint64_t Addr, const void *Data, uint64_t Size);
+
+  /// Test/loader convenience: stores that map pages on demand.
+  void poke8(uint64_t Addr, uint8_t Value);
+  void poke32(uint64_t Addr, uint32_t Value);
+  void poke64(uint64_t Addr, uint64_t Value);
+
+  /// Fetches a 32-bit instruction word; instruction fetch requires 4-byte
+  /// alignment on Alpha.
+  MemAccessResult fetch32(uint64_t Addr) const { return load(Addr, 4); }
+
+  /// Number of currently mapped pages (for footprint statistics).
+  size_t mappedPageCount() const { return Pages.size(); }
+
+private:
+  uint8_t *pageFor(uint64_t Addr, bool Allocate);
+  const uint8_t *pageFor(uint64_t Addr) const;
+
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Pages;
+};
+
+} // namespace ildp
+
+#endif // ILDP_MEM_GUESTMEMORY_H

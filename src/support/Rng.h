@@ -1,0 +1,60 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small xorshift64* generator. Every stochastic component in the project
+/// (random cache replacement, synthetic workload data) draws from an
+/// explicitly seeded Rng so simulations are bit-reproducible run to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SUPPORT_RNG_H
+#define ILDP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ildp {
+
+/// Deterministic xorshift64* pseudo-random number generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull)
+      : State(Seed ? Seed : 1) {}
+
+  /// Returns the next raw 64-bit pseudo-random value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "Bound must be nonzero");
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "Empty range");
+    return Lo + static_cast<int64_t>(nextBelow(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Numer/Denom.
+  bool nextChance(uint64_t Numer, uint64_t Denom) {
+    assert(Denom != 0 && Numer <= Denom && "Bad probability");
+    return nextBelow(Denom) < Numer;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace ildp
+
+#endif // ILDP_SUPPORT_RNG_H

@@ -1,0 +1,62 @@
+//===- support/SatCounter.h - Saturating counters -------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N-bit saturating counter used by the branch predictors in src/uarch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SUPPORT_SATCOUNTER_H
+#define ILDP_SUPPORT_SATCOUNTER_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ildp {
+
+/// An N-bit up/down saturating counter (the classic bimodal predictor cell).
+class SatCounter {
+public:
+  explicit SatCounter(unsigned Bits = 2, unsigned Initial = 0)
+      : Max((1u << Bits) - 1), Value(Initial) {
+    assert(Bits >= 1 && Bits <= 8 && "Unreasonable counter width");
+    assert(Initial <= Max && "Initial value out of range");
+  }
+
+  /// Increments toward saturation.
+  void increment() {
+    if (Value < Max)
+      ++Value;
+  }
+
+  /// Decrements toward zero.
+  void decrement() {
+    if (Value > 0)
+      --Value;
+  }
+
+  /// Trains the counter toward \p Taken.
+  void update(bool Taken) {
+    if (Taken)
+      increment();
+    else
+      decrement();
+  }
+
+  /// Returns the predicted direction (counter in its upper half).
+  bool predictTaken() const { return Value > Max / 2; }
+
+  unsigned value() const { return Value; }
+  unsigned max() const { return Max; }
+
+private:
+  unsigned Max;
+  unsigned Value;
+};
+
+} // namespace ildp
+
+#endif // ILDP_SUPPORT_SATCOUNTER_H

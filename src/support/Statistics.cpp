@@ -1,0 +1,54 @@
+//===- support/Statistics.cpp - Named statistic counters ------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+using namespace ildp;
+
+void StatisticSet::add(const std::string &Name, uint64_t Delta) {
+  Counters[Name] += Delta;
+}
+
+void StatisticSet::set(const std::string &Name, uint64_t Value) {
+  Counters[Name] = Value;
+}
+
+uint64_t StatisticSet::get(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+bool StatisticSet::has(const std::string &Name) const {
+  return Counters.count(Name) != 0;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+StatisticSet::getWithPrefix(const std::string &Prefix) const {
+  std::vector<std::pair<std::string, uint64_t>> Result;
+  for (auto It = Counters.lower_bound(Prefix), E = Counters.end(); It != E;
+       ++It) {
+    if (It->first.compare(0, Prefix.size(), Prefix) != 0)
+      break;
+    Result.push_back(*It);
+  }
+  return Result;
+}
+
+void StatisticSet::mergeFrom(const StatisticSet &Other) {
+  for (const auto &[Name, Value] : Other.Counters)
+    Counters[Name] += Value;
+}
+
+std::string StatisticSet::toString() const {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters) {
+    Out += Name;
+    Out += " = ";
+    Out += std::to_string(Value);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- support/Statistics.h - Named statistic counters --------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight named-counter registry. Components (translator, timing
+/// models, VM driver) register counters into a StatisticSet; the benchmark
+/// harness reads them back by name to print paper-style tables.
+///
+/// Unlike LLVM's global \c Statistic, counters here are instance-scoped so
+/// that several simulator configurations can run side by side in one process
+/// (the benches sweep machine parameters in a single binary).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SUPPORT_STATISTICS_H
+#define ILDP_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ildp {
+
+/// A collection of named 64-bit counters with hierarchical dotted names
+/// ("dbt.fragments", "uarch.bpred.mispredicts", ...).
+class StatisticSet {
+public:
+  /// Adds \p Delta to the counter \p Name, creating it at zero if absent.
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Sets the counter \p Name to \p Value.
+  void set(const std::string &Name, uint64_t Value);
+
+  /// Returns the value of \p Name, or zero if it was never touched.
+  uint64_t get(const std::string &Name) const;
+
+  /// Returns true if the counter \p Name exists.
+  bool has(const std::string &Name) const;
+
+  /// Returns all counters whose name starts with \p Prefix, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>>
+  getWithPrefix(const std::string &Prefix) const;
+
+  /// Merges all counters of \p Other into this set (summing).
+  void mergeFrom(const StatisticSet &Other);
+
+  /// Removes every counter.
+  void clear() { Counters.clear(); }
+
+  /// Renders the whole set as "name = value" lines (sorted), for debugging.
+  std::string toString() const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace ildp
+
+#endif // ILDP_SUPPORT_STATISTICS_H

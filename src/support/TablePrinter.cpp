@@ -1,0 +1,94 @@
+//===- support/TablePrinter.cpp - Fixed-width table output ----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ildp;
+
+std::string ildp::formatFloat(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TablePrinter::beginRow() { Rows.emplace_back(); }
+
+void TablePrinter::cell(const std::string &Text) {
+  assert(!Rows.empty() && "cell() before beginRow()");
+  Rows.back().push_back(Text);
+}
+
+void TablePrinter::cellInt(int64_t Value) { cell(std::to_string(Value)); }
+
+void TablePrinter::cellFloat(double Value, int Decimals) {
+  cell(formatFloat(Value, Decimals));
+}
+
+std::string TablePrinter::toString() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t I = 0; I != Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size() && I != Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : "";
+      if (I == 0) {
+        Line += Cell;
+        Line.append(Widths[I] - Cell.size(), ' ');
+      } else {
+        Line += "  ";
+        Line.append(Widths[I] - Cell.size(), ' ');
+        Line += Cell;
+      }
+    }
+    // Trim trailing spaces so output diffs cleanly.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Headers);
+  size_t RuleWidth = 0;
+  for (size_t I = 0; I != Widths.size(); ++I)
+    RuleWidth += Widths[I] + (I == 0 ? 0 : 2);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+std::string TablePrinter::toCsv() const {
+  auto RenderRow = [](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I)
+        Line += ',';
+      Line += Row[I];
+    }
+    Line += '\n';
+    return Line;
+  };
+  std::string Out = RenderRow(Headers);
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::fputs(toString().c_str(), stdout);
+}

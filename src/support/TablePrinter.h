@@ -1,0 +1,61 @@
+//===- support/TablePrinter.h - Fixed-width table output ------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats rows of mixed string/number cells into an aligned text table (and
+/// optionally CSV). The bench binaries use this to print the paper's tables
+/// and figure series in a uniform way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SUPPORT_TABLEPRINTER_H
+#define ILDP_SUPPORT_TABLEPRINTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ildp {
+
+/// Accumulates a table of cells and renders it column-aligned.
+class TablePrinter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  void beginRow();
+
+  /// Appends a string cell to the current row.
+  void cell(const std::string &Text);
+
+  /// Appends an integer cell.
+  void cellInt(int64_t Value);
+
+  /// Appends a floating-point cell with \p Decimals fraction digits.
+  void cellFloat(double Value, int Decimals = 2);
+
+  /// Renders the table with aligned columns. Column 0 is left-aligned,
+  /// all other columns right-aligned.
+  std::string toString() const;
+
+  /// Renders the table as comma-separated values.
+  std::string toCsv() const;
+
+  /// Convenience: renders with toString() and writes to stdout.
+  void print() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p Value with \p Decimals fraction digits ("3.14").
+std::string formatFloat(double Value, int Decimals = 2);
+
+} // namespace ildp
+
+#endif // ILDP_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,82 @@
+//===- uarch/Cache.cpp - Set-associative cache model ----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/Cache.h"
+
+#include "support/BitUtil.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+Cache::Cache(const CacheParams &P, uint64_t Seed) : Params(P), Rand(Seed) {
+  assert(isPowerOf2(P.LineBytes) && "Line size must be a power of two");
+  unsigned Lines = P.SizeBytes / P.LineBytes;
+  assert(P.Assoc >= 1 && Lines >= P.Assoc && "Bad cache geometry");
+  NumSets = Lines / P.Assoc;
+  assert(isPowerOf2(NumSets) && "Set count must be a power of two");
+  LineShift = log2Floor(P.LineBytes);
+  Ways.resize(size_t(NumSets) * P.Assoc);
+}
+
+Cache::Way *Cache::findLine(uint64_t Addr) {
+  uint64_t Line = Addr >> LineShift;
+  unsigned Set = unsigned(Line & (NumSets - 1));
+  uint64_t Tag = Line >> log2Floor(NumSets);
+  Way *Base = &Ways[size_t(Set) * Params.Assoc];
+  for (unsigned W = 0; W != Params.Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == Tag)
+      return &Base[W];
+  return nullptr;
+}
+
+const Cache::Way *Cache::findLine(uint64_t Addr) const {
+  return const_cast<Cache *>(this)->findLine(Addr);
+}
+
+bool Cache::access(uint64_t Addr) {
+  ++Stamp;
+  if (Way *Line = findLine(Addr)) {
+    Line->Lru = Stamp;
+    ++Hits;
+    return true;
+  }
+  ++Misses;
+  uint64_t LineAddr = Addr >> LineShift;
+  unsigned Set = unsigned(LineAddr & (NumSets - 1));
+  uint64_t Tag = LineAddr >> log2Floor(NumSets);
+  Way *Base = &Ways[size_t(Set) * Params.Assoc];
+
+  Way *Victim = nullptr;
+  for (unsigned W = 0; W != Params.Assoc; ++W) {
+    if (!Base[W].Valid) {
+      Victim = &Base[W];
+      break;
+    }
+  }
+  if (!Victim) {
+    if (Params.RandomRepl) {
+      Victim = &Base[Rand.nextBelow(Params.Assoc)];
+    } else {
+      Victim = &Base[0];
+      for (unsigned W = 1; W != Params.Assoc; ++W)
+        if (Base[W].Lru < Victim->Lru)
+          Victim = &Base[W];
+    }
+  }
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->Lru = Stamp;
+  return false;
+}
+
+bool Cache::probe(uint64_t Addr) const { return findLine(Addr) != nullptr; }
+
+void Cache::invalidate(uint64_t Addr) {
+  if (Way *Line = findLine(Addr))
+    Line->Valid = false;
+}

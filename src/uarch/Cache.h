@@ -1,0 +1,90 @@
+//===- uarch/Cache.h - Set-associative cache model ------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic set-associative cache tag array (LRU or seeded-random
+/// replacement) plus the two-level hierarchy used by the timing models.
+/// Timing is additive-latency (no MSHR/bandwidth modeling): an access
+/// returns its total latency and updates tag state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_UARCH_CACHE_H
+#define ILDP_UARCH_CACHE_H
+
+#include "support/Rng.h"
+#include "uarch/Params.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ildp {
+namespace uarch {
+
+/// Tag-array-only cache model.
+class Cache {
+public:
+  explicit Cache(const CacheParams &Params, uint64_t Seed = 1);
+
+  /// Looks up \p Addr; on a miss the line is allocated. Returns true on
+  /// hit.
+  bool access(uint64_t Addr);
+
+  /// Lookup without allocation (e.g. store-through probes).
+  bool probe(uint64_t Addr) const;
+
+  /// Invalidates the line containing \p Addr if present.
+  void invalidate(uint64_t Addr);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  const CacheParams &params() const { return Params; }
+
+private:
+  struct Way {
+    uint64_t Tag = ~uint64_t(0);
+    uint64_t Lru = 0;
+    bool Valid = false;
+  };
+
+  CacheParams Params;
+  unsigned NumSets;
+  unsigned LineShift;
+  std::vector<Way> Ways; ///< NumSets x Assoc.
+  uint64_t Stamp = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  Rng Rand;
+
+  Way *findLine(uint64_t Addr);
+  const Way *findLine(uint64_t Addr) const;
+};
+
+/// L2 + memory behind an L1 (latencies from Table 1).
+class MemorySide {
+public:
+  explicit MemorySide(const MemoryParams &Params, uint64_t Seed = 7)
+      : L2(Params.L2, Seed), MemLatency(Params.MemLatency) {}
+
+  /// Latency of servicing an L1 miss for \p Addr.
+  unsigned missLatency(uint64_t Addr) {
+    if (L2Cache().access(Addr))
+      return L2Cache().params().HitLatency;
+    return L2Cache().params().HitLatency + MemLatency;
+  }
+
+  Cache &L2Cache() { return L2; }
+
+private:
+  Cache L2;
+  unsigned MemLatency;
+};
+
+} // namespace uarch
+} // namespace ildp
+
+#endif // ILDP_UARCH_CACHE_H

@@ -1,0 +1,137 @@
+//===- uarch/FrontEnd.cpp - Shared fetch/predict front end ----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/FrontEnd.h"
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+FrontEnd::FrontEnd(const FrontEndParams &P, MemorySide &Mem,
+                   bool UseConventionalRas)
+    : Params(P), Mem(Mem), UseConventionalRas(UseConventionalRas),
+      ICache(P.ICache, /*Seed=*/3), Gshare(P.GshareEntries, P.GshareHistBits),
+      TargetBuffer(P.BtbEntries, P.BtbAssoc), Ras(P.RasEntries) {}
+
+void FrontEnd::startSegment(uint64_t AtCycle) {
+  if (FetchCycle < AtCycle)
+    FetchCycle = AtCycle;
+  FetchedThisCycle = 0;
+  BlocksThisCycle = 0;
+  BreakPending = false;
+  CurLine = ~uint64_t(0);
+}
+
+FrontEnd::Fetched FrontEnd::next(const TraceOp &Op) {
+  if (BreakPending) {
+    advanceCycle();
+    BreakPending = false;
+  }
+  if (FetchedThisCycle >= Params.FetchWidth)
+    advanceCycle();
+
+  // I-cache: access once per line.
+  uint64_t Line = Op.Pc / Params.ICache.LineBytes;
+  if (Line != CurLine) {
+    CurLine = Line;
+    ++Stats.ICacheAccesses;
+    if (!ICache.access(Op.Pc)) {
+      ++Stats.ICacheMisses;
+      FetchCycle += ICache.params().HitLatency + Mem.missLatency(Op.Pc);
+      FetchedThisCycle = 0;
+      BlocksThisCycle = 0;
+    }
+  }
+
+  Fetched Result;
+  ++FetchedThisCycle;
+
+  // Control-transfer prediction.
+  bool IsControl = Op.Class == OpClass::CondBr ||
+                   Op.Class == OpClass::DirectBr ||
+                   Op.Class == OpClass::Indirect ||
+                   Op.Class == OpClass::Return;
+  if (IsControl) {
+    ++Stats.ControlOps;
+    // A branch ends a basic block; at most MaxBlocksPerCycle can be fetched
+    // per cycle.
+    if (++BlocksThisCycle >= Params.MaxBlocksPerCycle && !Op.Taken)
+      BreakPending = true;
+
+    switch (Op.Class) {
+    case OpClass::CondBr: {
+      ++Stats.CondBranches;
+      bool Pred = Gshare.predict(Op.Pc);
+      if (Pred != Op.Taken) {
+        ++Stats.CondMispredicts;
+        Result.NeedResolveRedirect = true;
+      } else if (Op.Taken) {
+        // Correct direction; the target must come from the BTB.
+        if (TargetBuffer.predict(Op.Pc) != Op.NextPc) {
+          ++Stats.Misfetches;
+          FetchCycle += Params.RedirectLatency;
+        }
+      }
+      Gshare.update(Op.Pc, Op.Taken);
+      if (Op.Taken)
+        TargetBuffer.update(Op.Pc, Op.NextPc);
+      break;
+    }
+    case OpClass::DirectBr: {
+      if (TargetBuffer.predict(Op.Pc) != Op.NextPc) {
+        ++Stats.Misfetches;
+        FetchCycle += Params.RedirectLatency;
+      }
+      TargetBuffer.update(Op.Pc, Op.NextPc);
+      break;
+    }
+    case OpClass::Indirect: {
+      if (TargetBuffer.predict(Op.Pc) != Op.NextPc) {
+        ++Stats.TargetMispredicts;
+        Result.NeedResolveRedirect = true;
+      }
+      TargetBuffer.update(Op.Pc, Op.NextPc);
+      break;
+    }
+    case OpClass::Return: {
+      bool Hit;
+      if (Op.RasHitKnown) {
+        Hit = Op.RasHit; // Dual-address RAS, resolved by the VM.
+      } else if (UseConventionalRas) {
+        Hit = Ras.pop() == Op.NextPc;
+      } else {
+        Hit = TargetBuffer.predict(Op.Pc) == Op.NextPc;
+        TargetBuffer.update(Op.Pc, Op.NextPc);
+      }
+      if (!Hit) {
+        ++Stats.RasMispredicts;
+        Result.NeedResolveRedirect = true;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+
+    if (Op.Taken && !Result.NeedResolveRedirect)
+      BreakPending = true; // Redirected fetch starts next cycle.
+  }
+
+  if (UseConventionalRas && Op.RasPush)
+    Ras.push(Op.Pc + Op.SizeBytes);
+
+  Result.DispatchCycle = FetchCycle + Params.FrontPipeDepth;
+  return Result;
+}
+
+void FrontEnd::redirect(uint64_t ResolveCycle) {
+  uint64_t Resume = ResolveCycle + Params.RedirectLatency;
+  if (FetchCycle < Resume)
+    FetchCycle = Resume;
+  FetchedThisCycle = 0;
+  BlocksThisCycle = 0;
+  BreakPending = false;
+  CurLine = ~uint64_t(0);
+}

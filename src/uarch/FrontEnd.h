@@ -1,0 +1,106 @@
+//===- uarch/FrontEnd.h - Shared fetch/predict front end ------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction-fetch front end shared by the superscalar and ILDP
+/// timing models: fetch bandwidth (4 wide, up to 3 sequential basic blocks
+/// per cycle), the direct-mapped I-cache, the g-share/BTB/RAS prediction
+/// structures, and the 3-cycle misfetch/misprediction redirection of
+/// Table 1. For DBT runs the dual-address RAS outcome arrives pre-resolved
+/// on the trace op (the VM models the structure architecturally).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_UARCH_FRONTEND_H
+#define ILDP_UARCH_FRONTEND_H
+
+#include "uarch/Cache.h"
+#include "uarch/Predictors.h"
+#include "uarch/Trace.h"
+
+namespace ildp {
+namespace uarch {
+
+/// Front-end statistics (Figure 4's misprediction taxonomy).
+struct FrontEndStats {
+  uint64_t ControlOps = 0;
+  uint64_t CondBranches = 0;
+  uint64_t CondMispredicts = 0;
+  uint64_t TargetMispredicts = 0; ///< Indirect-jump target mispredictions.
+  uint64_t RasMispredicts = 0;
+  uint64_t Misfetches = 0; ///< Taken branch with BTB miss/wrong target.
+  uint64_t ICacheAccesses = 0;
+  uint64_t ICacheMisses = 0;
+
+  uint64_t totalMispredicts() const {
+    return CondMispredicts + TargetMispredicts + RasMispredicts;
+  }
+};
+
+/// One-pass trace-driven fetch model.
+class FrontEnd {
+public:
+  /// \p UseConventionalRas: predict returns with the hardware RAS trained
+  /// by RasPush ops (original-Alpha runs). When false, returns are either
+  /// pre-resolved (dual-address RAS) or BTB-predicted like other indirect
+  /// jumps.
+  FrontEnd(const FrontEndParams &Params, MemorySide &Mem,
+           bool UseConventionalRas);
+
+  /// Marks a pipeline drain: fetch resumes empty at \p AtCycle.
+  void startSegment(uint64_t AtCycle);
+
+  struct Fetched {
+    uint64_t DispatchCycle = 0;
+    /// The op was mispredicted; the backend must call redirect() with its
+    /// resolve cycle before fetching further.
+    bool NeedResolveRedirect = false;
+  };
+
+  /// Fetches the next trace op and returns its dispatch cycle.
+  Fetched next(const TraceOp &Op);
+
+  /// Applies the resolve-time redirect for the op that requested it.
+  void redirect(uint64_t ResolveCycle);
+
+  /// Back-pressure from the window/ROB: fetch cannot run ahead.
+  void clampFetch(uint64_t MinFetchCycle) {
+    if (FetchCycle < MinFetchCycle)
+      FetchCycle = MinFetchCycle;
+  }
+
+  uint64_t fetchCycle() const { return FetchCycle; }
+  const FrontEndStats &stats() const { return Stats; }
+
+private:
+  FrontEndParams Params;
+  MemorySide &Mem;
+  bool UseConventionalRas;
+
+  Cache ICache;
+  GsharePredictor Gshare;
+  Btb TargetBuffer;
+  ReturnAddressStack Ras;
+
+  uint64_t FetchCycle = 0;
+  unsigned FetchedThisCycle = 0;
+  unsigned BlocksThisCycle = 0;
+  bool BreakPending = false; ///< Last op was a taken transfer.
+  uint64_t CurLine = ~uint64_t(0);
+
+  FrontEndStats Stats;
+
+  void advanceCycle() {
+    ++FetchCycle;
+    FetchedThisCycle = 0;
+    BlocksThisCycle = 0;
+  }
+};
+
+} // namespace uarch
+} // namespace ildp
+
+#endif // ILDP_UARCH_FRONTEND_H

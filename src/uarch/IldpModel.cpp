@@ -1,0 +1,179 @@
+//===- uarch/IldpModel.cpp - ILDP distributed microarchitecture timing ----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/IldpModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+IldpModel::IldpModel(const IldpParams &P)
+    : Params(P), Mem(P.Memory, /*Seed=*/21),
+      Front(P.Front, Mem, /*UseConventionalRas=*/false),
+      CommitSlots(P.Width), RobRing(P.RobSize, 0) {
+  assert(P.NumPEs >= 1 && P.NumPEs <= 8 && "Unsupported PE count");
+  Pes.resize(P.NumPEs);
+  for (unsigned I = 0; I != P.NumPEs; ++I) {
+    Pes[I].DCache = std::make_unique<Cache>(P.DCache, /*Seed=*/31 + I);
+    Pes[I].FifoRing.assign(P.FifoDepth, 0);
+  }
+  AccPe.fill(-1);
+  GprPe.fill(-1);
+}
+
+void IldpModel::beginSegment() {
+  Front.startSegment(LastCommit + 1);
+  ++Stats.Segments;
+}
+
+unsigned IldpModel::loadLatency(unsigned PeIdx, uint64_t Addr) {
+  // Loads access the PE-local replica; a miss goes to the shared L2.
+  if (Pes[PeIdx].DCache->access(Addr))
+    return Params.DCache.HitLatency;
+  ++Stats.DCacheMisses;
+  return Params.DCache.HitLatency + Mem.missLatency(Addr);
+}
+
+unsigned IldpModel::steer(const TraceOp &Op) {
+  // Strand continuation: follow the accumulator to its PE.
+  if (Op.AccIn && Op.StrandAcc != NoTraceReg && AccPe[Op.StrandAcc] >= 0) {
+    ++Continuations;
+    return unsigned(AccPe[Op.StrandAcc]);
+  }
+  if (!Op.AccIn && Op.StrandAcc != NoTraceReg) {
+    uint64_t MinLoad = Pes[0].LastIssue;
+    for (unsigned I = 1; I != Params.NumPEs; ++I)
+      MinLoad = std::min(MinLoad, Pes[I].LastIssue);
+
+    // New strand: dependence-affine steering (the ISCA 2002 design steers
+    // by accumulator number toward producers). If a GPR source was
+    // produced on a PE that is not badly backlogged, start the strand
+    // there — the value arrives without the global communication latency.
+    if (Params.CommLatency > 0) {
+      for (uint8_t Src : {Op.Src1, Op.Src2}) {
+        if (Src == NoTraceReg || Src >= TraceAccBase)
+          continue;
+        int Producer = GprPe[Src];
+        if (Producer < 0)
+          continue;
+        if (Pes[Producer].LastIssue <= MinLoad + 2 * Params.CommLatency) {
+          ++Continuations;
+          return unsigned(Producer);
+        }
+      }
+    }
+    // Otherwise pick the least-loaded PE (earliest last issue), breaking
+    // ties round-robin to spread strands.
+    unsigned Best = RoundRobin % Params.NumPEs;
+    for (unsigned I = 0; I != Params.NumPEs; ++I) {
+      unsigned Cand = (RoundRobin + I) % Params.NumPEs;
+      if (Pes[Cand].LastIssue < Pes[Best].LastIssue)
+        Best = Cand;
+    }
+    ++RoundRobin;
+    return Best;
+  }
+  // No accumulator involvement (chaining/dispatch code): least loaded.
+  unsigned Best = 0;
+  for (unsigned I = 1; I != Params.NumPEs; ++I)
+    if (Pes[I].LastIssue < Pes[Best].LastIssue)
+      Best = I;
+  return Best;
+}
+
+uint64_t IldpModel::gprReadyAt(uint8_t Reg, unsigned PeIdx) const {
+  if (Reg >= GprReady.size())
+    return 0;
+  uint64_t Ready = GprReady[Reg];
+  if (Ready == 0 || GprPe[Reg] < 0 || unsigned(GprPe[Reg]) == PeIdx)
+    return Ready;
+  return Ready + Params.CommLatency;
+}
+
+void IldpModel::consume(const TraceOp &Op) {
+  uint64_t RobFree = RobRing[OpIndex % Params.RobSize];
+  if (RobFree)
+    Front.clampFetch(RobFree > Params.Front.FrontPipeDepth
+                         ? RobFree - Params.Front.FrontPipeDepth
+                         : 0);
+
+  FrontEnd::Fetched Fetch = Front.next(Op);
+  uint64_t Dispatch = std::max(Fetch.DispatchCycle, RobFree);
+
+  unsigned PeIdx = steer(Op);
+  Pe &P = Pes[PeIdx];
+
+  // FIFO capacity back-pressure — and dispatch is in order, so a stalled
+  // instruction holds up everything behind it regardless of target PE.
+  uint64_t FifoFree = P.FifoRing[P.FifoIndex % Params.FifoDepth];
+  Dispatch = std::max({Dispatch, FifoFree, LastDispatch});
+  LastDispatch = Dispatch;
+
+  // Operand readiness: accumulator input is PE-local (the producer sits
+  // earlier in the same FIFO); GPR inputs may cross PEs.
+  uint64_t Ready = Dispatch + 1;
+  if (Op.AccIn && Op.StrandAcc != NoTraceReg)
+    Ready = std::max(Ready, AccReady[Op.StrandAcc]);
+  if (Op.Src1 != NoTraceReg && Op.Src1 < TraceAccBase)
+    Ready = std::max(Ready, gprReadyAt(Op.Src1, PeIdx));
+  if (Op.Src2 != NoTraceReg && Op.Src2 < TraceAccBase)
+    Ready = std::max(Ready, gprReadyAt(Op.Src2, PeIdx));
+
+  // In-order single issue per PE.
+  uint64_t Issue = std::max(Ready, P.LastIssue + 1);
+  P.LastIssue = Issue;
+  P.FifoRing[P.FifoIndex % Params.FifoDepth] = Issue;
+  ++P.FifoIndex;
+
+  unsigned Latency = 1;
+  switch (Op.Class) {
+  case OpClass::IntMul:
+    Latency = Params.MulLatency;
+    break;
+  case OpClass::Load:
+    ++Stats.Loads;
+    Latency = 1 + loadLatency(PeIdx, Op.MemAddr);
+    break;
+  case OpClass::Store: {
+    ++Stats.Stores;
+    // Stores update every replica (kept coherent by broadcast).
+    for (Pe &Other : Pes)
+      Other.DCache->access(Op.MemAddr);
+    break;
+  }
+  default:
+    break;
+  }
+  uint64_t Complete = Issue + Latency;
+
+  if (Op.StrandAcc != NoTraceReg) {
+    AccReady[Op.StrandAcc] = Complete;
+    AccPe[Op.StrandAcc] = int(PeIdx);
+  }
+  if (Op.Dest != NoTraceReg && Op.Dest < TraceAccBase &&
+      !Op.GprWriteArchOnly) {
+    GprReady[Op.Dest] = Complete;
+    GprPe[Op.Dest] = int(PeIdx);
+  }
+
+  uint64_t Commit = CommitSlots.findSlot(std::max(Complete + 1, LastCommit));
+  LastCommit = std::max(LastCommit, Commit);
+  RobRing[OpIndex % Params.RobSize] = Commit;
+  ++OpIndex;
+
+  ++Stats.Insts;
+  Stats.VInsts += Op.VCredit;
+
+  if (Fetch.NeedResolveRedirect)
+    Front.redirect(Complete);
+}
+
+uint64_t IldpModel::finish() {
+  Stats.Cycles = LastCommit;
+  return LastCommit;
+}

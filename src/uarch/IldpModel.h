@@ -1,0 +1,90 @@
+//===- uarch/IldpModel.h - ILDP distributed microarchitecture timing ------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ILDP machine (Table 1, right column; Kim & Smith ISCA 2002): a
+/// 4-wide pipelined front end steering instructions by accumulator number
+/// into 4/6/8 processing elements. Each PE has an in-order issue FIFO, a
+/// local physical accumulator, a local copy of the GPR file, and a
+/// replicated L1 data cache. Values communicated between PEs through GPRs
+/// incur the global communication latency (0 or 2 cycles); intra-strand
+/// accumulator values are PE-local and free. A shared 128-entry ROB
+/// commits 4 per cycle. Architected-state-only GPR writes (modified ISA)
+/// bypass the critical-path communication network entirely — they retire
+/// to the shadow file (Section 2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_UARCH_ILDPMODEL_H
+#define ILDP_UARCH_ILDPMODEL_H
+
+#include "uarch/FrontEnd.h"
+#include "uarch/SlotRing.h"
+#include "uarch/SuperscalarModel.h" // PipelineStats
+
+#include <memory>
+#include <vector>
+
+namespace ildp {
+namespace uarch {
+
+/// Trace-driven ILDP pipeline model.
+class IldpModel : public TimingModel {
+public:
+  explicit IldpModel(const IldpParams &Params);
+
+  void beginSegment() override;
+  void consume(const TraceOp &Op) override;
+  uint64_t finish() override;
+
+  const PipelineStats &stats() const { return Stats; }
+  const FrontEndStats &frontEndStats() const { return Front.stats(); }
+
+  /// Steering statistics: instructions that continued on their strand's PE.
+  uint64_t strandContinuations() const { return Continuations; }
+
+private:
+  IldpParams Params;
+  MemorySide Mem;
+  FrontEnd Front;
+  SlotRing CommitSlots;
+
+  struct Pe {
+    std::unique_ptr<Cache> DCache; ///< Replicated L1 data cache.
+    uint64_t LastIssue = 0;
+    /// Issue cycles of the last FifoDepth ops (FIFO occupancy).
+    std::vector<uint64_t> FifoRing;
+    uint64_t FifoIndex = 0;
+  };
+  std::vector<Pe> Pes;
+
+  std::vector<uint64_t> RobRing;
+  uint64_t OpIndex = 0;
+  uint64_t LastCommit = 0;
+  /// Dispatch is in order: a full target FIFO stalls everything behind it.
+  uint64_t LastDispatch = 0;
+
+  /// Accumulator state: completion time of the last writer and its PE.
+  std::array<uint64_t, 8> AccReady{};
+  std::array<int, 8> AccPe{};
+  /// GPR state: completion time and producing PE (-1 = start of time,
+  /// available everywhere).
+  std::array<uint64_t, 64> GprReady{};
+  std::array<int, 64> GprPe{};
+
+  unsigned RoundRobin = 0;
+  uint64_t Continuations = 0;
+  PipelineStats Stats;
+
+  unsigned loadLatency(unsigned PeIdx, uint64_t Addr);
+  unsigned steer(const TraceOp &Op);
+  uint64_t gprReadyAt(uint8_t Reg, unsigned PeIdx) const;
+};
+
+} // namespace uarch
+} // namespace ildp
+
+#endif // ILDP_UARCH_ILDPMODEL_H

@@ -1,0 +1,96 @@
+//===- uarch/Params.h - Table 1 microarchitecture parameters --------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Table 1 machine configurations: the idealized 4-way
+/// out-of-order superscalar reference and the ILDP microarchitecture with
+/// 4/6/8 processing elements, replicated L1 data caches, and explicit
+/// global communication latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_UARCH_PARAMS_H
+#define ILDP_UARCH_PARAMS_H
+
+#include <cstdint>
+
+namespace ildp {
+namespace uarch {
+
+/// Cache geometry.
+struct CacheParams {
+  unsigned LineBytes = 64;
+  unsigned Assoc = 4;        ///< 1 = direct-mapped.
+  unsigned SizeBytes = 32 * 1024;
+  unsigned HitLatency = 2;
+  bool RandomRepl = false;   ///< Random vs LRU replacement.
+};
+
+/// Shared front-end parameters (both machines, Table 1 top rows).
+struct FrontEndParams {
+  unsigned FetchWidth = 4;
+  unsigned MaxBlocksPerCycle = 3; ///< Up to 3 sequential basic blocks.
+  unsigned GshareEntries = 16 * 1024;
+  unsigned GshareHistBits = 12;
+  unsigned BtbEntries = 512;
+  unsigned BtbAssoc = 4;
+  unsigned RasEntries = 8;
+  unsigned RedirectLatency = 3; ///< Misfetch and misprediction redirection.
+  CacheParams ICache{/*LineBytes=*/128, /*Assoc=*/1,
+                     /*SizeBytes=*/32 * 1024, /*HitLatency=*/1,
+                     /*RandomRepl=*/false};
+  unsigned FrontPipeDepth = 3; ///< Fetch-to-dispatch stages.
+};
+
+/// Memory-side latencies shared by both machines.
+struct MemoryParams {
+  CacheParams L2{/*LineBytes=*/128, /*Assoc=*/4,
+                 /*SizeBytes=*/1024 * 1024, /*HitLatency=*/8,
+                 /*RandomRepl=*/true};
+  unsigned MemLatency = 76; ///< 72-cycle latency + 4-cycle burst.
+};
+
+/// The idealized out-of-order superscalar (original / straightened runs).
+struct SuperscalarParams {
+  FrontEndParams Front;
+  MemoryParams Memory;
+  CacheParams DCache{/*LineBytes=*/64, /*Assoc=*/4,
+                     /*SizeBytes=*/32 * 1024, /*HitLatency=*/2,
+                     /*RandomRepl=*/true};
+  unsigned RobSize = 128; ///< Issue window size == ROB size.
+  unsigned Width = 4;     ///< Decode/retire bandwidth.
+  unsigned IssueWidth = 4;
+  unsigned NumFus = 4;    ///< Fully symmetric functional units.
+  unsigned MulLatency = 7;
+};
+
+/// The ILDP distributed microarchitecture.
+struct IldpParams {
+  FrontEndParams Front;
+  MemoryParams Memory;
+  /// Replicated per-PE L1 data cache: 32KB/4-way (same as the superscalar)
+  /// or the 8KB/2-way small option.
+  CacheParams DCache{/*LineBytes=*/64, /*Assoc=*/4,
+                     /*SizeBytes=*/32 * 1024, /*HitLatency=*/2,
+                     /*RandomRepl=*/true};
+  unsigned NumPEs = 8;      ///< 4, 6, or 8 processing elements.
+  unsigned CommLatency = 0; ///< Global (inter-PE) communication latency.
+  unsigned RobSize = 128;
+  unsigned Width = 4;       ///< Decode/retire bandwidth.
+  unsigned MulLatency = 7;
+  unsigned FifoDepth = 32;  ///< Per-PE issue FIFO capacity.
+
+  /// The paper's 8KB replicated cache option.
+  void useSmallDCache() {
+    DCache.SizeBytes = 8 * 1024;
+    DCache.Assoc = 2;
+  }
+};
+
+} // namespace uarch
+} // namespace ildp
+
+#endif // ILDP_UARCH_PARAMS_H

@@ -1,0 +1,82 @@
+//===- uarch/Predictors.cpp - Branch prediction structures ----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/Predictors.h"
+
+#include "support/BitUtil.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+GsharePredictor::GsharePredictor(unsigned Entries, unsigned HistBits) {
+  assert(isPowerOf2(Entries) && "G-share table size must be a power of two");
+  assert(HistBits <= log2Floor(Entries) && "History wider than the index");
+  Table.assign(Entries, SatCounter(2, 1)); // Weakly not-taken.
+  Mask = Entries - 1;
+  HistMask = (1u << HistBits) - 1;
+}
+
+unsigned GsharePredictor::index(uint64_t Pc) const {
+  return (unsigned(Pc >> 2) ^ History) & Mask;
+}
+
+bool GsharePredictor::predict(uint64_t Pc) const {
+  return Table[index(Pc)].predictTaken();
+}
+
+void GsharePredictor::update(uint64_t Pc, bool Taken) {
+  Table[index(Pc)].update(Taken);
+  History = ((History << 1) | unsigned(Taken)) & HistMask;
+}
+
+Btb::Btb(unsigned NumEntries, unsigned Associativity)
+    : Entries(NumEntries), NumSets(NumEntries / Associativity),
+      Assoc(Associativity) {
+  assert(isPowerOf2(NumSets) && "BTB set count must be a power of two");
+}
+
+uint64_t Btb::predict(uint64_t Pc) const {
+  uint64_t Line = Pc >> 2;
+  unsigned Set = unsigned(Line & (NumSets - 1));
+  uint64_t Tag = Line >> log2Floor(NumSets);
+  const Entry *Base = &Entries[size_t(Set) * Assoc];
+  for (unsigned W = 0; W != Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == Tag)
+      return Base[W].Target;
+  return 0;
+}
+
+void Btb::update(uint64_t Pc, uint64_t Target) {
+  ++Stamp;
+  uint64_t Line = Pc >> 2;
+  unsigned Set = unsigned(Line & (NumSets - 1));
+  uint64_t Tag = Line >> log2Floor(NumSets);
+  Entry *Base = &Entries[size_t(Set) * Assoc];
+  for (unsigned W = 0; W != Assoc; ++W) {
+    Entry &E = Base[W];
+    if (E.Valid && E.Tag == Tag) {
+      E.Target = Target;
+      E.Lru = Stamp;
+      return;
+    }
+  }
+  Entry *Victim = nullptr;
+  for (unsigned W = 0; W != Assoc; ++W) {
+    Entry &E = Base[W];
+    if (!E.Valid) {
+      Victim = &E;
+      break;
+    }
+    if (!Victim || E.Lru < Victim->Lru)
+      Victim = &E;
+  }
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->Target = Target;
+  Victim->Lru = Stamp;
+}

@@ -1,0 +1,140 @@
+//===- uarch/Predictors.h - Branch prediction structures ------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Table 1 prediction structures: a 16K-entry 12-bit-history g-share
+/// direction predictor, a 512-entry 4-way BTB, the conventional 8-entry
+/// return address stack, and the paper's proposed **dual-address RAS**
+/// that pairs V-ISA return addresses with their translated I-ISA return
+/// addresses (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_UARCH_PREDICTORS_H
+#define ILDP_UARCH_PREDICTORS_H
+
+#include "support/SatCounter.h"
+#include "uarch/Params.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ildp {
+namespace uarch {
+
+/// G-share direction predictor.
+class GsharePredictor {
+public:
+  GsharePredictor(unsigned Entries, unsigned HistBits);
+
+  /// Predicts the direction of the branch at \p Pc.
+  bool predict(uint64_t Pc) const;
+
+  /// Trains on the actual outcome and updates global history.
+  void update(uint64_t Pc, bool Taken);
+
+private:
+  unsigned index(uint64_t Pc) const;
+
+  std::vector<SatCounter> Table;
+  unsigned Mask;
+  unsigned HistMask;
+  unsigned History = 0;
+};
+
+/// Branch target buffer (set-associative, LRU).
+class Btb {
+public:
+  Btb(unsigned Entries, unsigned Assoc);
+
+  /// Predicted target for the branch at \p Pc, or 0 on a BTB miss.
+  uint64_t predict(uint64_t Pc) const;
+
+  /// Installs/updates the target of the branch at \p Pc.
+  void update(uint64_t Pc, uint64_t Target);
+
+private:
+  struct Entry {
+    uint64_t Tag = 0;
+    uint64_t Target = 0;
+    uint64_t Lru = 0;
+    bool Valid = false;
+  };
+  std::vector<Entry> Entries;
+  unsigned NumSets;
+  unsigned Assoc;
+  uint64_t Stamp = 0;
+};
+
+/// Conventional return address stack.
+class ReturnAddressStack {
+public:
+  explicit ReturnAddressStack(unsigned Entries) : Stack(Entries) {}
+
+  void push(uint64_t Addr) {
+    Top = (Top + 1) % Stack.size();
+    Stack[Top] = Addr;
+    if (Depth < Stack.size())
+      ++Depth;
+  }
+
+  /// Pops the predicted return address (0 when empty).
+  uint64_t pop() {
+    if (Depth == 0)
+      return 0;
+    uint64_t Addr = Stack[Top];
+    Top = (Top + Stack.size() - 1) % Stack.size();
+    --Depth;
+    return Addr;
+  }
+
+private:
+  std::vector<uint64_t> Stack;
+  size_t Top = 0;
+  size_t Depth = 0;
+};
+
+/// The dual-address RAS (Section 3.2): entries pair the V-ISA return
+/// address with the corresponding translated (I-ISA) return address. On a
+/// return, the popped pair predicts the next I-fetch address; the V-ISA
+/// half is checked against the return instruction's register value.
+class DualAddressRas {
+public:
+  explicit DualAddressRas(unsigned Entries) : Stack(Entries) {}
+
+  struct Pair {
+    uint64_t VAddr = 0;
+    uint64_t IAddr = 0;
+  };
+
+  void push(uint64_t VAddr, uint64_t IAddr) {
+    Top = (Top + 1) % Stack.size();
+    Stack[Top] = {VAddr, IAddr};
+    if (Depth < Stack.size())
+      ++Depth;
+  }
+
+  /// Pops a prediction; returns false when the stack is empty.
+  bool pop(Pair &Out) {
+    if (Depth == 0)
+      return false;
+    Out = Stack[Top];
+    Top = (Top + Stack.size() - 1) % Stack.size();
+    --Depth;
+    return true;
+  }
+
+private:
+  std::vector<Pair> Stack;
+  size_t Top = 0;
+  size_t Depth = 0;
+};
+
+} // namespace uarch
+} // namespace ildp
+
+#endif // ILDP_UARCH_PREDICTORS_H

@@ -1,0 +1,56 @@
+//===- uarch/SlotRing.h - Per-cycle bandwidth slots -----------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ring of per-cycle slot counters used to model issue/commit bandwidth
+/// in the one-pass trace-driven pipeline models: findSlot() returns the
+/// first cycle at or after a lower bound with spare bandwidth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_UARCH_SLOTRING_H
+#define ILDP_UARCH_SLOTRING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ildp {
+namespace uarch {
+
+/// Bounded-width per-cycle resource.
+class SlotRing {
+public:
+  explicit SlotRing(unsigned Width, size_t RingSize = 8192)
+      : Width(Width), Cycle(RingSize, ~uint64_t(0)), Count(RingSize, 0) {}
+
+  /// First cycle >= \p Earliest with a free slot; claims it.
+  uint64_t findSlot(uint64_t Earliest) {
+    uint64_t C = Earliest;
+    for (;;) {
+      size_t Idx = C % Cycle.size();
+      if (Cycle[Idx] != C) {
+        Cycle[Idx] = C;
+        Count[Idx] = 0;
+      }
+      if (Count[Idx] < Width) {
+        ++Count[Idx];
+        return C;
+      }
+      ++C;
+    }
+  }
+
+private:
+  unsigned Width;
+  std::vector<uint64_t> Cycle;
+  std::vector<unsigned> Count;
+};
+
+} // namespace uarch
+} // namespace ildp
+
+#endif // ILDP_UARCH_SLOTRING_H

@@ -1,0 +1,91 @@
+//===- uarch/SuperscalarModel.cpp - Out-of-order superscalar timing -------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/SuperscalarModel.h"
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+SuperscalarModel::SuperscalarModel(const SuperscalarParams &P,
+                                   bool ConventionalRas)
+    : Params(P), Mem(P.Memory, /*Seed=*/11), DCache(P.DCache, /*Seed=*/13),
+      Front(P.Front, Mem, ConventionalRas), IssueSlots(P.IssueWidth),
+      CommitSlots(P.Width), RobRing(P.RobSize, 0) {}
+
+void SuperscalarModel::beginSegment() {
+  // Empty pipeline: fetch restarts after everything in flight drains.
+  Front.startSegment(LastCommit + 1);
+  ++Stats.Segments;
+}
+
+unsigned SuperscalarModel::loadLatency(uint64_t Addr) {
+  if (DCache.access(Addr))
+    return Params.DCache.HitLatency;
+  ++Stats.DCacheMisses;
+  return Params.DCache.HitLatency + Mem.missLatency(Addr);
+}
+
+void SuperscalarModel::consume(const TraceOp &Op) {
+  // ROB occupancy: the window entry of the instruction RobSize back must
+  // have committed before this one can enter.
+  uint64_t RobFree = RobRing[OpIndex % Params.RobSize];
+  if (RobFree)
+    Front.clampFetch(RobFree > Params.Front.FrontPipeDepth
+                         ? RobFree - Params.Front.FrontPipeDepth
+                         : 0);
+
+  FrontEnd::Fetched Fetch = Front.next(Op);
+  uint64_t Dispatch = std::max(Fetch.DispatchCycle, RobFree);
+
+  // Operand readiness.
+  uint64_t Ready = Dispatch;
+  if (Op.Src1 != NoTraceReg)
+    Ready = std::max(Ready, RegReady[Op.Src1]);
+  if (Op.Src2 != NoTraceReg)
+    Ready = std::max(Ready, RegReady[Op.Src2]);
+
+  uint64_t Issue = IssueSlots.findSlot(std::max(Ready, Dispatch + 1));
+
+  unsigned Latency = 1;
+  switch (Op.Class) {
+  case OpClass::IntMul:
+    Latency = Params.MulLatency;
+    break;
+  case OpClass::Load:
+    ++Stats.Loads;
+    Latency = 1 + loadLatency(Op.MemAddr);
+    break;
+  case OpClass::Store:
+    ++Stats.Stores;
+    // Stores write the cache at commit; latency off the critical path.
+    DCache.access(Op.MemAddr);
+    break;
+  default:
+    break;
+  }
+  uint64_t Complete = Issue + Latency;
+
+  if (Op.Dest != NoTraceReg)
+    RegReady[Op.Dest] = Complete;
+
+  // In-order commit, Width per cycle.
+  uint64_t Commit =
+      CommitSlots.findSlot(std::max(Complete + 1, LastCommit));
+  LastCommit = std::max(LastCommit, Commit);
+  RobRing[OpIndex % Params.RobSize] = Commit;
+  ++OpIndex;
+
+  ++Stats.Insts;
+  Stats.VInsts += Op.VCredit;
+
+  if (Fetch.NeedResolveRedirect)
+    Front.redirect(Complete);
+}
+
+uint64_t SuperscalarModel::finish() {
+  Stats.Cycles = LastCommit;
+  return LastCommit;
+}

@@ -1,0 +1,86 @@
+//===- uarch/SuperscalarModel.h - Out-of-order superscalar timing ---------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's reference machine (Table 1, left column): an idealized
+/// 4-wide out-of-order superscalar with a 128-entry ROB-sized issue
+/// window, four symmetric functional units, oldest-first issue, and no
+/// communication latency. Used for the "original" and
+/// "code-straightening-only" simulations.
+///
+/// The model is one-pass trace-driven: each committed instruction's
+/// fetch/dispatch/issue/complete/commit cycles are derived from
+/// dependence-readiness and structural constraints (fetch bandwidth +
+/// prediction via the shared FrontEnd, window occupancy, issue bandwidth,
+/// cache latencies, in-order commit). Branches resolve at completion and
+/// redirect the front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_UARCH_SUPERSCALARMODEL_H
+#define ILDP_UARCH_SUPERSCALARMODEL_H
+
+#include "uarch/FrontEnd.h"
+#include "uarch/SlotRing.h"
+
+#include <array>
+
+namespace ildp {
+namespace uarch {
+
+/// Backend statistics shared by both machines.
+struct PipelineStats {
+  uint64_t Cycles = 0;
+  uint64_t Insts = 0;   ///< Committed (I-ISA / native) instructions.
+  uint64_t VInsts = 0;  ///< V-ISA instructions credited.
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t DCacheMisses = 0;
+  uint64_t Segments = 0;
+
+  double ipc() const { return Cycles ? double(VInsts) / double(Cycles) : 0; }
+  double nativeIpc() const {
+    return Cycles ? double(Insts) / double(Cycles) : 0;
+  }
+};
+
+/// Trace-driven out-of-order superscalar model.
+class SuperscalarModel : public TimingModel {
+public:
+  /// \p ConventionalRas: predict returns with the hardware RAS (original
+  /// Alpha code). DBT traces pass false.
+  SuperscalarModel(const SuperscalarParams &Params, bool ConventionalRas);
+
+  void beginSegment() override;
+  void consume(const TraceOp &Op) override;
+  uint64_t finish() override;
+
+  const PipelineStats &stats() const { return Stats; }
+  const FrontEndStats &frontEndStats() const { return Front.stats(); }
+
+private:
+  SuperscalarParams Params;
+  MemorySide Mem;
+  Cache DCache;
+  FrontEnd Front;
+  SlotRing IssueSlots;
+  SlotRing CommitSlots;
+
+  /// Commit cycles of the last RobSize instructions (window occupancy).
+  std::vector<uint64_t> RobRing;
+  uint64_t OpIndex = 0;
+  uint64_t LastCommit = 0;
+  std::array<uint64_t, 80> RegReady{}; ///< Unified regs (64 GPR + 8 acc).
+
+  PipelineStats Stats;
+
+  unsigned loadLatency(uint64_t Addr);
+};
+
+} // namespace uarch
+} // namespace ildp
+
+#endif // ILDP_UARCH_SUPERSCALARMODEL_H

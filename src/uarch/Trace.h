@@ -1,0 +1,86 @@
+//===- uarch/Trace.h - Committed-instruction trace format -----------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The committed-instruction stream consumed by the timing models. The VM
+/// produces one TraceOp per executed instruction — V-ISA instructions for
+/// the "original" superscalar runs, I-ISA (or straightened-Alpha)
+/// instructions plus chaining/dispatch overhead for DBT runs — and streams
+/// them into a TimingModel. Timing is trace-driven: functional execution is
+/// the single source of truth and both microarchitectures see identical
+/// streams (see DESIGN.md, key decisions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_UARCH_TRACE_H
+#define ILDP_UARCH_TRACE_H
+
+#include <cstdint>
+
+namespace ildp {
+namespace uarch {
+
+/// Operation classes relevant to timing.
+enum class OpClass : uint8_t {
+  IntAlu,   ///< Single-cycle integer operation.
+  IntMul,   ///< Integer multiply.
+  Load,
+  Store,
+  CondBr,   ///< Conditional branch (direction-predicted).
+  DirectBr, ///< Unconditional direct branch (always taken).
+  Indirect, ///< Register-indirect jump (BTB target-predicted).
+  Return,   ///< Return (RAS-predicted).
+};
+
+constexpr uint8_t NoTraceReg = 0xFF;
+/// Unified register-id space for dependence tracking: 0..63 = I-ISA GPRs
+/// (0..31 architected), 64..71 = accumulators, NoTraceReg = none.
+constexpr uint8_t TraceAccBase = 64;
+
+/// One committed instruction.
+struct TraceOp {
+  OpClass Class = OpClass::IntAlu;
+  uint64_t Pc = 0;       ///< Fetch address (V-PC or translation-cache I-PC).
+  uint8_t SizeBytes = 4; ///< Instruction size (I-cache accounting).
+  uint64_t MemAddr = 0;  ///< Effective address (loads/stores).
+
+  bool Taken = false;    ///< Actual direction of control transfers.
+  uint64_t NextPc = 0;   ///< Actual successor address.
+
+  uint8_t Src1 = NoTraceReg; ///< Unified source register ids.
+  uint8_t Src2 = NoTraceReg;
+  uint8_t Dest = NoTraceReg; ///< Unified destination register id.
+
+  // ---- ILDP steering / hierarchy info ----
+  uint8_t StrandAcc = NoTraceReg; ///< Destination accumulator (strand id).
+  bool AccIn = false;  ///< Reads its strand's accumulator (stays on-PE).
+  bool GprWriteArchOnly = false; ///< Modified-ISA shadow-file-only write.
+
+  // ---- Return-address-stack info ----
+  bool RasPush = false; ///< Call: pushes a return address.
+  bool RasHitKnown = false; ///< Return under the dual-address RAS: the VM
+                            ///< resolved the prediction architecturally.
+  bool RasHit = false;      ///< Valid when RasHitKnown.
+
+  uint8_t VCredit = 0; ///< V-ISA instructions retired with this op.
+};
+
+/// A streaming timing-model interface. beginSegment() marks a pipeline
+/// drain/refill boundary (the paper starts timing with an empty pipeline
+/// whenever control re-enters translated code, Section 4.1).
+class TimingModel {
+public:
+  virtual ~TimingModel() = default;
+  virtual void beginSegment() = 0;
+  virtual void consume(const TraceOp &Op) = 0;
+  /// Completes all in-flight work and returns the final cycle count.
+  virtual uint64_t finish() = 0;
+};
+
+} // namespace uarch
+} // namespace ildp
+
+#endif // ILDP_UARCH_TRACE_H

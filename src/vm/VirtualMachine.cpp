@@ -1,0 +1,590 @@
+//===- vm/VirtualMachine.cpp - The co-designed virtual machine ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+
+#include "core/SuperblockBuilder.h"
+#include "core/Translator.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::vm;
+using namespace ildp::iisa;
+using ildp::uarch::OpClass;
+using ildp::uarch::TraceOp;
+
+VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
+                               const VmConfig &Config)
+    : Mem(Mem), Config(Config), Interp(Mem),
+      Profile(Config.Dbt.HotThreshold) {
+  Interp.state().Pc = EntryPc;
+  Profile.addCandidate(EntryPc);
+}
+
+void VirtualMachine::dualRasPush(uint64_t VRet) {
+  if (DualRas.size() >= DualRasDepth)
+    DualRas.erase(DualRas.begin());
+  DualRas.push_back(VRet);
+  ++Hot.RasPushes;
+}
+
+bool VirtualMachine::dualRasPop(uint64_t Actual) {
+  if (DualRas.empty())
+    return false;
+  uint64_t VRet = DualRas.back();
+  DualRas.pop_back();
+  return VRet == Actual;
+}
+
+// ---------------------------------------------------------------------------
+// Interpretation, profiling, recording.
+// ---------------------------------------------------------------------------
+
+static void registerCandidates(dbt::ProfileController &Profile,
+                               const StepInfo &Info) {
+  if (!Info.IsControl || Info.Status != StepStatus::Ok)
+    return;
+  if (alpha::isIndirectBranch(Info.Inst.Op)) {
+    Profile.addCandidate(Info.NextPc);
+    return;
+  }
+  // Targets of backward conditional branches.
+  if (alpha::isCondBranch(Info.Inst.Op) && Info.Taken &&
+      Info.NextPc <= Info.Pc)
+    Profile.addCandidate(Info.NextPc);
+}
+
+void VirtualMachine::installFragment(dbt::Fragment Frag) {
+  // Dynamo-style phase-change detection: an abrupt increase in fragment
+  // generation rate triggers a full cache flush so the new phase's paths
+  // can form fresh fragments (Section 4.1 discussion).
+  if (Config.FlushOnPhaseChange) {
+    RecentCreates.push_back(GuestInsts);
+    while (!RecentCreates.empty() &&
+           RecentCreates.front() + Config.PhaseWindow < GuestInsts)
+      RecentCreates.erase(RecentCreates.begin());
+    if (RecentCreates.size() > Config.PhaseFragmentThreshold &&
+        TCache.fragmentCount() > Config.PhaseFragmentThreshold) {
+      TCache.flush();
+      Profile.resetAfterFlush();
+      RecentCreates.clear();
+      ++Flushes;
+    }
+  }
+
+  uint64_t Entry = Frag.EntryVAddr;
+  dbt::Fragment &Installed = TCache.install(std::move(Frag));
+  Profile.markTranslated(Entry);
+  // Exit targets of existing fragments become trace-start candidates.
+  for (const dbt::ExitRecord &Exit : Installed.Exits)
+    Profile.addCandidate(Exit.VTarget);
+  Stats.add("dbt.fragments");
+  Stats.add("dbt.body_insts", Installed.Body.size());
+  Stats.add("dbt.body_bytes", Installed.BodyBytes);
+  Stats.add("dbt.source_insts", Installed.SourceInsts);
+  Stats.add("dbt.nops_removed", Installed.NopsRemoved);
+}
+
+void VirtualMachine::recordAndTranslate(uint64_t HotPc) {
+  dbt::SuperblockBuilder Builder(HotPc, Config.Dbt.MaxSuperblockInsts);
+  for (;;) {
+    StepInfo Info = Interp.step();
+    if (Info.Status != StepStatus::Trapped) {
+      ++GuestInsts;
+      ++Hot.InterpInsts;
+      registerCandidates(Profile, Info);
+    }
+    if (Builder.append(Info) == dbt::SuperblockBuilder::Status::Done)
+      break;
+    if (Info.Status != StepStatus::Ok)
+      break;
+  }
+  assert(Builder.done() && "Recording ended without a superblock");
+  dbt::Superblock Sb = Builder.take();
+  if (Sb.Insts.empty()) {
+    // The very first instruction trapped; nothing to translate.
+    Profile.markTranslated(HotPc);
+    return;
+  }
+
+  dbt::ChainEnv Env;
+  Env.IsTranslated = [this](uint64_t VAddr) { return TCache.contains(VAddr); };
+  dbt::TranslationResult Result = translate(Sb, Config.Dbt, Env);
+  Result.Cost.addTo(Stats);
+  Stats.add("dbt.uops", Result.Uops);
+  Stats.add("dbt.strands", Result.Strands);
+  Stats.add("dbt.spills", Result.Spills);
+  Stats.add("dbt.precopies", Result.PreCopies);
+  Stats.add("dbt.trap_promotions", Result.TrapPromotions);
+  installFragment(std::move(Result.Frag));
+}
+
+VirtualMachine::InterpOutcome VirtualMachine::interpretUntilTranslated() {
+  while (GuestInsts < Config.MaxGuestInsts) {
+    uint64_t Pc = Interp.state().Pc;
+    if (TCache.contains(Pc))
+      return {StepStatus::Ok, {}};
+    if (Profile.bump(Pc)) {
+      recordAndTranslate(Pc);
+      continue;
+    }
+    StepInfo Info = Interp.step();
+    if (Info.Status == StepStatus::Trapped)
+      return {StepStatus::Trapped, Info.TrapInfo};
+    ++GuestInsts;
+    ++Hot.InterpInsts;
+    if (Info.Status == StepStatus::Halted)
+      return {StepStatus::Halted, {}};
+    registerCandidates(Profile, Info);
+  }
+  return {StepStatus::Ok, {}};
+}
+
+// ---------------------------------------------------------------------------
+// Translated execution.
+// ---------------------------------------------------------------------------
+
+static OpClass classOf(const IisaInst &Inst) {
+  switch (Inst.Kind) {
+  case IKind::Compute:
+    return alpha::isMul(Inst.AlphaOp) ? OpClass::IntMul : OpClass::IntAlu;
+  case IKind::Load:
+    return OpClass::Load;
+  case IKind::Store:
+    return OpClass::Store;
+  case IKind::CondExit:
+  case IKind::JumpPredict:
+    return OpClass::CondBr;
+  case IKind::Branch:
+  case IKind::JumpDispatch:
+    return OpClass::DirectBr;
+  case IKind::ReturnDual:
+    return OpClass::Return;
+  default:
+    return OpClass::IntAlu;
+  }
+}
+
+static uint8_t traceReg(const IOperand &Op) {
+  switch (Op.K) {
+  case IOperand::Kind::Gpr:
+    return Op.Reg == alpha::RegZero ? uarch::NoTraceReg : Op.Reg;
+  case IOperand::Kind::Acc:
+    return uint8_t(uarch::TraceAccBase + Op.Reg);
+  default:
+    return uarch::NoTraceReg;
+  }
+}
+
+void VirtualMachine::emitFragmentTrace(
+    const dbt::Fragment &Frag, const std::vector<IisaEvent> &Events,
+    const iisa::IExit &Exit, uint64_t NextIPc) {
+  if (!Timing)
+    return;
+  for (size_t E = 0; E != Events.size(); ++E) {
+    const IisaEvent &Ev = Events[E];
+    const IisaInst &Inst = Frag.Body[Ev.Index];
+    TraceOp Op;
+    Op.Class = classOf(Inst);
+    Op.Pc = Frag.instPc(Ev.Index);
+    Op.SizeBytes = Inst.SizeBytes;
+    Op.MemAddr = Ev.MemAddr;
+    Op.Src1 = traceReg(Inst.A);
+    Op.Src2 = traceReg(Inst.B);
+    Op.Dest = Inst.DestGpr == NoReg || Inst.DestGpr == alpha::RegZero
+                  ? uarch::NoTraceReg
+                  : Inst.DestGpr;
+    Op.StrandAcc = Inst.DestAcc == NoReg
+                       ? (Inst.A.isAcc()   ? Inst.A.Reg
+                          : Inst.B.isAcc() ? Inst.B.Reg
+                                           : uarch::NoTraceReg)
+                       : Inst.DestAcc;
+    Op.AccIn = Inst.A.isAcc() || Inst.B.isAcc();
+    Op.GprWriteArchOnly = Inst.GprWriteArchOnly;
+    Op.VCredit = Inst.VCredit;
+    Op.RasPush = Inst.Kind == IKind::PushDualRas;
+
+    bool IsLast = E + 1 == Events.size();
+    switch (Inst.Kind) {
+    case IKind::CondExit:
+      Op.Taken = Ev.Taken;
+      Op.NextPc = Ev.Taken ? NextIPc : Frag.instPc(Ev.Index) + Inst.SizeBytes;
+      if (Ev.Taken && !IsLast)
+        Op.NextPc = 0; // Unreachable: taken exits end the event list.
+      break;
+    case IKind::JumpPredict:
+      Op.Taken = Ev.Taken; // Taken = prediction hit (branch to target).
+      Op.NextPc = NextIPc;
+      break;
+    case IKind::Branch:
+    case IKind::JumpDispatch:
+      Op.Taken = true;
+      Op.NextPc = NextIPc;
+      break;
+    case IKind::ReturnDual:
+      Op.Taken = true;
+      Op.NextPc = NextIPc;
+      Op.RasHitKnown = true;
+      Op.RasHit = Exit.K == iisa::IExit::Kind::Return && NextIPc != 0 &&
+                  NextIPc != DispatchIPc && NextIPc != TranslatorIPc;
+      break;
+    default:
+      Op.NextPc = Frag.instPc(Ev.Index) + Inst.SizeBytes;
+      break;
+    }
+    Timing->consume(Op);
+  }
+}
+
+void VirtualMachine::emitStubBranch(uint64_t FromIPc) {
+  ++Hot.StubInsts;
+  if (!Timing)
+    return;
+  TraceOp Op;
+  Op.Class = OpClass::DirectBr;
+  Op.Pc = FromIPc;
+  Op.Taken = true;
+  Op.NextPc = DispatchIPc;
+  Timing->consume(Op);
+}
+
+void VirtualMachine::emitDispatch(uint64_t TargetVAddr, uint64_t ResolvedIPc) {
+  ++Hot.DispatchCalls;
+  Hot.DispatchInsts += DispatchInsts;
+  if (!Timing)
+    return;
+  // The shared dispatch sequence: hash the V-PC, probe the PC translation
+  // table (Figure 3), and jump indirect. All instructions sit at fixed
+  // translation-cache addresses, so the final indirect jump shares one BTB
+  // entry across every dispatch — the no_pred pathology of Section 4.3.
+  uint64_t Hash = (TargetVAddr >> 2) * 0x9E3779B1ull;
+  uint64_t Bucket = DispatchTableBase + (Hash & 0x3FFF) * 16;
+  uint8_t ChainReg = 60;
+  for (unsigned I = 0; I != DispatchInsts; ++I) {
+    TraceOp Op;
+    Op.Pc = DispatchIPc + I * 4;
+    Op.Src1 = ChainReg;
+    bool IsLoad = I == 4 || I == 7 || I == 10 || I == 13;
+    if (I + 1 == DispatchInsts) {
+      Op.Class = OpClass::Indirect;
+      Op.Taken = true;
+      Op.NextPc = ResolvedIPc;
+    } else if (IsLoad) {
+      Op.Class = OpClass::Load;
+      Op.MemAddr = Bucket + (I & 1) * 8;
+      Op.Dest = ChainReg;
+    } else {
+      Op.Class = OpClass::IntAlu;
+      Op.Dest = ChainReg;
+    }
+    Timing->consume(Op);
+  }
+}
+
+uint64_t VirtualMachine::exitTargetIPc(const iisa::IExit &Exit,
+                                       dbt::Fragment *Next) {
+  (void)Exit;
+  return Next ? Next->IBase : TranslatorIPc;
+}
+
+VirtualMachine::SegmentOutcome
+VirtualMachine::executeTranslated(dbt::Fragment *Frag) {
+  ExecState.loadArchState(Interp.state());
+  std::vector<IisaEvent> Events;
+  ++Hot.Segments;
+
+  auto ToInterp = [&](uint64_t VPc) {
+    ArchState Arch = ExecState.toArchState();
+    Arch.Pc = VPc;
+    Interp.state() = Arch;
+    SegmentOutcome Out;
+    Out.K = SegmentOutcome::Kind::ToInterpreter;
+    Out.NextVPc = VPc;
+    return Out;
+  };
+
+  for (;;) {
+    if (GuestInsts >= Config.MaxGuestInsts) {
+      SegmentOutcome Out = ToInterp(Frag->EntryVAddr);
+      Out.K = SegmentOutcome::Kind::Budget;
+      return Out;
+    }
+
+    Events.clear();
+    iisa::IExit Exit = iisa::execute(Frag->Body.data(), Frag->Body.size(),
+                                     ExecState, Mem, &Events);
+    ++Frag->ExecCount;
+
+    // Accounting pass (also performs dual-RAS pushes).
+    for (const IisaEvent &Ev : Events) {
+      const IisaInst &Inst = Frag->Body[Ev.Index];
+      ++Hot.FragInsts;
+      GuestInsts += Inst.VCredit;
+      Hot.VInstsTranslated += Inst.VCredit;
+      if (Inst.Kind == IKind::CopyToGpr || Inst.Kind == IKind::CopyFromGpr)
+        ++Hot.CopyInsts;
+      if (Inst.IsSourceOp) {
+        ++Hot.SourceOps;
+        ++Hot.Usage[size_t(Inst.Usage)];
+      }
+      if (Inst.Kind == IKind::PushDualRas &&
+          Config.Dbt.Chaining == dbt::ChainPolicy::SwPredRas)
+        dualRasPush(Inst.VTarget);
+    }
+
+    // Exit decision.
+    dbt::Fragment *Next = nullptr;
+    bool NeedStubDispatch = false;
+    bool RasMiss = false;
+    switch (Exit.K) {
+    case iisa::IExit::Kind::Chained:
+      Next = TCache.lookup(Exit.VTarget);
+      ++(Next ? Hot.ExitChained : Hot.ExitChainedMissing);
+      break;
+    case iisa::IExit::Kind::ToTranslator:
+      ++Hot.ExitTranslator;
+      break;
+    case iisa::IExit::Kind::PredictHit:
+      Next = TCache.lookup(Exit.VTarget);
+      ++(Next ? Hot.PredictHit : Hot.PredictHitUntranslated);
+      break;
+    case iisa::IExit::Kind::PredictMiss:
+      Next = TCache.lookup(Exit.VTarget);
+      NeedStubDispatch = true;
+      ++Hot.PredictMiss;
+      break;
+    case iisa::IExit::Kind::Dispatch:
+      Next = TCache.lookup(Exit.VTarget);
+      NeedStubDispatch = true;
+      ++Hot.ExitDispatch;
+      break;
+    case iisa::IExit::Kind::Return: {
+      bool VMatch = dualRasPop(Exit.VTarget);
+      Next = VMatch ? TCache.lookup(Exit.VTarget) : nullptr;
+      if (Next) {
+        ++Hot.ReturnHit;
+      } else {
+        // Mispredicted return: the unconditional branch after the return
+        // redirects to dispatch (Section 3.2).
+        RasMiss = true;
+        NeedStubDispatch = true;
+        Next = TCache.lookup(Exit.VTarget);
+        ++Hot.ReturnMiss;
+      }
+      break;
+    }
+    case iisa::IExit::Kind::Halt:
+      ++Hot.ExitHalt;
+      break;
+    case iisa::IExit::Kind::Trap:
+      ++Hot.ExitTrap;
+      break;
+    }
+
+    // Trace emission.
+    uint64_t NextIPc;
+    if (Exit.K == iisa::IExit::Kind::Return && RasMiss)
+      NextIPc = Frag->IBase + Frag->BodyBytes; // Falls into the stub.
+    else if (NeedStubDispatch)
+      NextIPc = Frag->IBase + Frag->BodyBytes;
+    else
+      NextIPc = exitTargetIPc(Exit, Next);
+    // Correct the RasHit signal for the emitter: a hit jumps straight to
+    // the target fragment.
+    if (Exit.K == iisa::IExit::Kind::Return && !RasMiss)
+      NextIPc = exitTargetIPc(Exit, Next);
+    emitFragmentTrace(*Frag, Events, Exit, NextIPc);
+    if (NeedStubDispatch) {
+      emitStubBranch(Frag->IBase + Frag->BodyBytes);
+      emitDispatch(Exit.VTarget, Next ? Next->IBase : TranslatorIPc);
+    }
+
+    switch (Exit.K) {
+    case iisa::IExit::Kind::Halt: {
+      // Count the HALT itself.
+      SegmentOutcome Out;
+      ArchState Arch = ExecState.toArchState();
+      Arch.Pc = Frag->Body[Exit.InstIndex].VAddr;
+      Interp.state() = Arch;
+      Out.K = SegmentOutcome::Kind::Halted;
+      return Out;
+    }
+    case iisa::IExit::Kind::Trap: {
+      SegmentOutcome Out;
+      Out.K = SegmentOutcome::Kind::Trapped;
+      Out.Trap = dbt::recoverTrapState(*Frag, Exit.InstIndex, ExecState,
+                                       Exit.TrapInfo);
+      // Leave the interpreter at the recovered state (the VM could resume
+      // interpretation there after trap delivery).
+      Interp.state() = Out.Trap.Arch;
+      return Out;
+    }
+    default:
+      break;
+    }
+
+    if (!Next)
+      return ToInterp(Exit.VTarget);
+    Frag = Next;
+  }
+}
+
+const StatisticSet &VirtualMachine::stats() {
+  Stats.set("interp.insts", Hot.InterpInsts);
+  Stats.set("vm.segments", Hot.Segments);
+  Stats.set("vm.guest_insts", GuestInsts);
+  Stats.set("vm.vinsts_translated", Hot.VInstsTranslated);
+  Stats.set("frag.insts", Hot.FragInsts);
+  Stats.set("frag.copy_insts", Hot.CopyInsts);
+  Stats.set("frag.source_ops", Hot.SourceOps);
+  for (size_t I = 0; I != Hot.Usage.size(); ++I)
+    Stats.set(std::string("usage.") + getUsageName(UsageClass(I)),
+              Hot.Usage[I]);
+  Stats.set("exit.chained", Hot.ExitChained);
+  Stats.set("exit.chained_missing", Hot.ExitChainedMissing);
+  Stats.set("exit.translator", Hot.ExitTranslator);
+  Stats.set("exit.predict_hit", Hot.PredictHit);
+  Stats.set("exit.predict_hit_untranslated", Hot.PredictHitUntranslated);
+  Stats.set("exit.predict_miss", Hot.PredictMiss);
+  Stats.set("exit.dispatch", Hot.ExitDispatch);
+  Stats.set("exit.return_hit", Hot.ReturnHit);
+  Stats.set("exit.return_miss", Hot.ReturnMiss);
+  Stats.set("exit.halt", Hot.ExitHalt);
+  Stats.set("exit.trap", Hot.ExitTrap);
+  Stats.set("stub.insts", Hot.StubInsts);
+  Stats.set("dispatch.calls", Hot.DispatchCalls);
+  Stats.set("dispatch.insts", Hot.DispatchInsts);
+  Stats.set("ras.push", Hot.RasPushes);
+  Stats.set("tcache.fragments", TCache.fragmentCount());
+  Stats.set("tcache.body_bytes", TCache.totalBodyBytes());
+  Stats.set("tcache.unique_source_insts", TCache.uniqueSourceInsts());
+  Stats.set("tcache.patches", TCache.patchCount());
+  Stats.set("tcache.flushes", TCache.flushCount());
+  return Stats;
+}
+
+// ---------------------------------------------------------------------------
+// Top-level run loop.
+// ---------------------------------------------------------------------------
+
+RunResult VirtualMachine::run() {
+  RunResult Result;
+  while (GuestInsts < Config.MaxGuestInsts) {
+    uint64_t Pc = Interp.state().Pc;
+    if (dbt::Fragment *Frag = TCache.lookup(Pc)) {
+      if (Timing)
+        Timing->beginSegment();
+      SegmentOutcome Out = executeTranslated(Frag);
+      switch (Out.K) {
+      case SegmentOutcome::Kind::ToInterpreter:
+        continue;
+      case SegmentOutcome::Kind::Halted:
+        Result.Reason = StopReason::Halted;
+        return Result;
+      case SegmentOutcome::Kind::Trapped:
+        Result.Reason = StopReason::Trapped;
+        Result.Trap = Out.Trap;
+        return Result;
+      case SegmentOutcome::Kind::Budget:
+        Result.Reason = StopReason::Budget;
+        return Result;
+      }
+    }
+    InterpOutcome Out = interpretUntilTranslated();
+    if (Out.Status == StepStatus::Halted) {
+      Result.Reason = StopReason::Halted;
+      return Result;
+    }
+    if (Out.Status == StepStatus::Trapped) {
+      Result.Reason = StopReason::Trapped;
+      Result.Trap.Arch = Interp.state();
+      Result.Trap.TrapInfo = Out.TrapInfo;
+      return Result;
+    }
+  }
+  Result.Reason = StopReason::Budget;
+  return Result;
+}
+
+// ---------------------------------------------------------------------------
+// Original (non-DBT) simulation.
+// ---------------------------------------------------------------------------
+
+StepStatus vm::runOriginal(GuestMemory &Mem, uint64_t EntryPc,
+                           uarch::TimingModel *Model, uint64_t MaxInsts,
+                           StatisticSet *Stats) {
+  Interpreter Interp(Mem);
+  Interp.state().Pc = EntryPc;
+  if (Model)
+    Model->beginSegment();
+
+  for (uint64_t N = 0; N != MaxInsts; ++N) {
+    StepInfo Info = Interp.step();
+    if (Info.Status == StepStatus::Trapped)
+      return StepStatus::Trapped;
+
+    if (Model) {
+      const alpha::AlphaInst &Inst = Info.Inst;
+      TraceOp Op;
+      Op.Pc = Info.Pc;
+      Op.MemAddr = Info.MemAddr;
+      Op.Taken = Info.Taken;
+      Op.NextPc = Info.NextPc;
+      Op.VCredit = Inst.isNop() ? 0 : 1;
+      std::array<uint8_t, 3> Ins;
+      unsigned NumIns = Inst.inputRegs(Ins);
+      if (NumIns > 0)
+        Op.Src1 = Ins[0];
+      if (NumIns > 1)
+        Op.Src2 = Ins[1];
+      int OutReg = Inst.outputReg();
+      Op.Dest = OutReg < 0 ? uarch::NoTraceReg : uint8_t(OutReg);
+      switch (Inst.info().Kind) {
+      case alpha::InstKind::Mul:
+        Op.Class = OpClass::IntMul;
+        break;
+      case alpha::InstKind::Load:
+        Op.Class = OpClass::Load;
+        break;
+      case alpha::InstKind::Store:
+        Op.Class = OpClass::Store;
+        break;
+      case alpha::InstKind::CondBranch:
+        Op.Class = OpClass::CondBr;
+        break;
+      case alpha::InstKind::Br:
+        Op.Class = OpClass::DirectBr;
+        break;
+      case alpha::InstKind::Bsr:
+        Op.Class = OpClass::DirectBr;
+        Op.RasPush = true;
+        break;
+      case alpha::InstKind::Jmp:
+        Op.Class = OpClass::Indirect;
+        break;
+      case alpha::InstKind::Jsr:
+        Op.Class = OpClass::Indirect;
+        Op.RasPush = true;
+        break;
+      case alpha::InstKind::Ret:
+        Op.Class = OpClass::Return;
+        Op.Taken = true;
+        break;
+      default:
+        Op.Class = OpClass::IntAlu;
+        break;
+      }
+      Model->consume(Op);
+    }
+    if (Stats)
+      Stats->add("orig.insts");
+
+    if (Info.Status == StepStatus::Halted)
+      return StepStatus::Halted;
+  }
+  return StepStatus::Ok;
+}

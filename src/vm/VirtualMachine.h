@@ -1,0 +1,182 @@
+//===- vm/VirtualMachine.h - The co-designed virtual machine --------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The co-designed VM of Figure 1: interpret/profile -> record ->
+/// translate -> execute-translated, with mode switching exactly as
+/// Section 4.1 describes. Detailed timing covers translated code only
+/// (including all chaining and dispatch code); every re-entry into
+/// translated execution starts the pipeline empty.
+///
+/// The VM also models the architecturally visible parts of chaining: the
+/// shared dispatch code (20 instructions ending in an indirect jump at a
+/// fixed translation-cache location — hence the single-BTB-entry pathology
+/// of Section 4.3), the exit stubs, and the proposed dual-address return
+/// address stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_VM_VIRTUALMACHINE_H
+#define ILDP_VM_VIRTUALMACHINE_H
+
+#include "core/Config.h"
+#include "core/ProfileController.h"
+#include "core/TranslationCache.h"
+#include "core/TrapRecovery.h"
+#include "interp/Interpreter.h"
+#include "support/Statistics.h"
+#include "uarch/Trace.h"
+
+#include <memory>
+
+namespace ildp {
+namespace vm {
+
+/// VM run configuration.
+struct VmConfig {
+  dbt::DbtConfig Dbt;
+  /// Stop after this many guest (V-ISA) instructions, interpreted plus
+  /// translated (safety net; workloads normally HALT first).
+  uint64_t MaxGuestInsts = 400'000'000;
+
+  /// Dynamo-style translation-cache flushing on program phase changes
+  /// (Section 4.1 notes the paper's system lacks this and may pay for it):
+  /// when fragment creation accelerates past PhaseFragmentThreshold new
+  /// fragments within PhaseWindow guest instructions, the whole cache is
+  /// flushed and hot paths re-qualify, giving fragments a second chance to
+  /// form along the new phase's paths.
+  bool FlushOnPhaseChange = false;
+  uint64_t PhaseWindow = 200'000;
+  unsigned PhaseFragmentThreshold = 24;
+};
+
+/// Why the VM stopped.
+enum class StopReason : uint8_t {
+  Halted,
+  Trapped,
+  Budget,
+};
+
+/// Result of a VM run.
+struct RunResult {
+  StopReason Reason = StopReason::Halted;
+  /// Valid when Reason == Trapped: the precisely recovered state.
+  dbt::RecoveredState Trap;
+};
+
+/// The co-designed virtual machine.
+class VirtualMachine {
+public:
+  VirtualMachine(GuestMemory &Mem, uint64_t EntryPc, const VmConfig &Config);
+
+  /// Optional timing model; when set, all translated execution (fragments,
+  /// stubs, dispatch) is streamed into it.
+  void setTimingModel(uarch::TimingModel *Model) { Timing = Model; }
+
+  /// Runs to completion (HALT), a precise trap, or the budget.
+  RunResult run();
+
+  /// Run statistics. Hot-path counters are synced into the set on call.
+  const StatisticSet &stats();
+  dbt::TranslationCache &tcache() { return TCache; }
+  const Interpreter &interpreter() const { return Interp; }
+
+  /// Synthetic address of the shared dispatch code in the translation
+  /// cache address space.
+  static constexpr uint64_t DispatchIPc = 0x2F0000000ull;
+  /// Synthetic address representing "exit to the translator/VM".
+  static constexpr uint64_t TranslatorIPc = 0x2F8000000ull;
+  /// Guest region used by the dispatch code's PC-translation-table loads.
+  static constexpr uint64_t DispatchTableBase = 0x0F0000000ull;
+  /// Instruction count of the shared dispatch sequence (Section 3.2).
+  static constexpr unsigned DispatchInsts = 20;
+
+private:
+  GuestMemory &Mem;
+  VmConfig Config;
+  Interpreter Interp;
+  dbt::ProfileController Profile;
+  dbt::TranslationCache TCache;
+  uarch::TimingModel *Timing = nullptr;
+  StatisticSet Stats;
+
+  /// Dual-address RAS (architectural model; Section 3.2). Entries hold the
+  /// V-ISA return address; the paired I-ISA address is resolved against
+  /// the translation cache at pop time.
+  std::vector<uint64_t> DualRas;
+  static constexpr size_t DualRasDepth = 8;
+
+  uint64_t GuestInsts = 0; ///< V-ISA instructions executed (both modes).
+  iisa::IExecState ExecState;
+  /// GuestInsts stamps of recent fragment creations (flush heuristic).
+  std::vector<uint64_t> RecentCreates;
+  uint64_t Flushes = 0;
+
+  /// Hot-path counters (kept out of the string-keyed StatisticSet).
+  struct HotCounters {
+    uint64_t InterpInsts = 0;
+    uint64_t Segments = 0;
+    uint64_t FragInsts = 0;
+    uint64_t VInstsTranslated = 0;
+    uint64_t CopyInsts = 0;
+    uint64_t SourceOps = 0;
+    std::array<uint64_t, 9> Usage{}; ///< Indexed by iisa::UsageClass.
+    uint64_t ExitChained = 0;
+    uint64_t ExitChainedMissing = 0;
+    uint64_t ExitTranslator = 0;
+    uint64_t PredictHit = 0;
+    uint64_t PredictHitUntranslated = 0;
+    uint64_t PredictMiss = 0;
+    uint64_t ExitDispatch = 0;
+    uint64_t ReturnHit = 0;
+    uint64_t ReturnMiss = 0;
+    uint64_t ExitHalt = 0;
+    uint64_t ExitTrap = 0;
+    uint64_t StubInsts = 0;
+    uint64_t DispatchCalls = 0;
+    uint64_t DispatchInsts = 0;
+    uint64_t RasPushes = 0;
+  };
+  HotCounters Hot;
+
+  // ---- Interpretation / profiling ----
+  struct InterpOutcome {
+    StepStatus Status;
+    Trap TrapInfo;
+  };
+  InterpOutcome interpretUntilTranslated();
+  void recordAndTranslate(uint64_t HotPc);
+  void installFragment(dbt::Fragment Frag);
+
+  // ---- Translated execution ----
+  struct SegmentOutcome {
+    enum class Kind { ToInterpreter, Halted, Trapped, Budget } K;
+    uint64_t NextVPc = 0;
+    dbt::RecoveredState Trap;
+  };
+  SegmentOutcome executeTranslated(dbt::Fragment *Frag);
+  void emitFragmentTrace(const dbt::Fragment &Frag,
+                         const std::vector<iisa::IisaEvent> &Events,
+                         const iisa::IExit &Exit, uint64_t NextIPc);
+  void emitStubBranch(uint64_t FromIPc);
+  void emitDispatch(uint64_t TargetVAddr, uint64_t ResolvedIPc);
+  uint64_t exitTargetIPc(const iisa::IExit &Exit, dbt::Fragment *Next);
+
+  void dualRasPush(uint64_t VRet);
+  bool dualRasPop(uint64_t Actual);
+};
+
+/// Runs \p Mem's program at \p EntryPc through the plain interpreter,
+/// streaming every retired V-ISA instruction into \p Model (the paper's
+/// "original" superscalar simulation). Returns the stop status.
+StepStatus runOriginal(GuestMemory &Mem, uint64_t EntryPc,
+                       uarch::TimingModel *Model, uint64_t MaxInsts,
+                       StatisticSet *Stats = nullptr);
+
+} // namespace vm
+} // namespace ildp
+
+#endif // ILDP_VM_VIRTUALMACHINE_H

@@ -1,0 +1,63 @@
+//===- workloads/Builders.h - Shared workload-building helpers ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers and layout conventions shared by the workload builders.
+/// All addresses stay below 2^31 so LDAH/LDA pairs can form any pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_WORKLOADS_BUILDERS_H
+#define ILDP_WORKLOADS_BUILDERS_H
+
+#include "alpha/Assembler.h"
+#include "mem/GuestMemory.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+namespace ildp {
+namespace workloads {
+
+/// Guest memory layout shared by all workloads.
+constexpr uint64_t CodeBase = 0x10000000;
+constexpr uint64_t DataBase = 0x20000000;
+constexpr uint64_t Data2Base = 0x28000000;
+constexpr uint64_t StackTop = 0x30010000; ///< Stack grows down from here.
+
+// Register conventions (beyond the standard Alpha software ones):
+//   r9  (s0): running checksum accumulator
+//   r30 (sp), r26 (ra), r27 (pv) as usual; v0 = final checksum.
+
+/// Fills [Base, Base+Bytes) with deterministic pseudo-random bytes.
+void fillRandomBytes(GuestMemory &Mem, uint64_t Base, uint64_t Bytes,
+                     uint64_t Seed);
+
+/// Fills a quadword table with deterministic pseudo-random values.
+void fillRandomQwords(GuestMemory &Mem, uint64_t Base, uint64_t Count,
+                      uint64_t Seed);
+
+/// Emits the standard epilogue: v0 <- s0, HALT.
+void emitEpilogue(alpha::Assembler &Asm);
+
+// Per-workload builders. Each maps the program into \p Mem and returns its
+// image descriptor.
+WorkloadImage buildGzip(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildBzip2(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildCrafty(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildEon(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildGap(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildGcc(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildMcf(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildParser(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildPerlbmk(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildTwolf(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildVortex(GuestMemory &Mem, unsigned Scale);
+WorkloadImage buildVpr(GuestMemory &Mem, unsigned Scale);
+
+} // namespace workloads
+} // namespace ildp
+
+#endif // ILDP_WORKLOADS_BUILDERS_H

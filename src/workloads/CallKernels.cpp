@@ -1,0 +1,295 @@
+//===- workloads/CallKernels.cpp - Call-dominated SPEC stand-ins ----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call-dominated workloads: parser (recursive-descent expression
+/// parsing — deep BSR/RET recursion stressing return prediction) and
+/// vortex (record store/lookup with BSR-dominated procedure structure, the
+/// paper's lowest chaining expansion).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace ildp;
+using namespace ildp::workloads;
+using namespace ildp::alpha;
+using Op = alpha::Opcode;
+
+namespace {
+
+void commit(GuestMemory &Mem, Assembler &Asm, std::vector<uint32_t> Words) {
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(Asm.baseAddr() + I * 4, Words[I]);
+}
+
+// Token values for the parser grammar.
+enum ParserTok : uint8_t {
+  TokPlus = 10,
+  TokTimes = 11,
+  TokLParen = 12,
+  TokRParen = 13,
+  TokEndExpr = 14,
+  TokEndInput = 15,
+};
+
+void genFactor(std::vector<uint8_t> &Out, Rng &Rand, int Depth);
+
+void genTerm(std::vector<uint8_t> &Out, Rng &Rand, int Depth) {
+  genFactor(Out, Rand, Depth);
+  while (Rand.nextChance(3, 10)) {
+    Out.push_back(TokTimes);
+    genFactor(Out, Rand, Depth);
+  }
+}
+
+void genExpr(std::vector<uint8_t> &Out, Rng &Rand, int Depth) {
+  genTerm(Out, Rand, Depth);
+  while (Rand.nextChance(4, 10)) {
+    Out.push_back(TokPlus);
+    genTerm(Out, Rand, Depth);
+  }
+}
+
+void genFactor(std::vector<uint8_t> &Out, Rng &Rand, int Depth) {
+  if (Depth < 5 && Rand.nextChance(1, 4)) {
+    Out.push_back(TokLParen);
+    genExpr(Out, Rand, Depth + 1);
+    Out.push_back(TokRParen);
+  } else {
+    Out.push_back(uint8_t(Rand.nextBelow(10)));
+  }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// 197.parser — recursive-descent parsing of arithmetic expressions:
+// genuine recursion through BSR/RET with stack frames.
+// ---------------------------------------------------------------------------
+WorkloadImage workloads::buildParser(GuestMemory &Mem, unsigned Scale) {
+  // Generate a valid token stream of expressions host-side.
+  std::vector<uint8_t> Tokens;
+  Rng Rand(0x9A25E2);
+  const unsigned Exprs = 2200 * Scale;
+  for (unsigned I = 0; I != Exprs; ++I) {
+    genExpr(Tokens, Rand, 0);
+    Tokens.push_back(TokEndExpr);
+  }
+  Tokens.push_back(TokEndInput);
+  Mem.mapRegion(DataBase, Tokens.size() + 64);
+  Mem.writeBlob(DataBase, Tokens.data(), Tokens.size());
+  Mem.mapRegion(StackTop - 0x20000, 0x20000);
+
+  Assembler Asm(CodeBase);
+  auto MainLoop = Asm.createLabel("main_loop");
+  auto Done = Asm.createLabel("done");
+  auto ParseExpr = Asm.createLabel("parse_expr");
+  auto ExprLoop = Asm.createLabel("expr_loop");
+  auto ExprDone = Asm.createLabel("expr_done");
+  auto ParseTerm = Asm.createLabel("parse_term");
+  auto TermLoop = Asm.createLabel("term_loop");
+  auto TermDone = Asm.createLabel("term_done");
+  auto ParseFactor = Asm.createLabel("parse_factor");
+  auto FactorParen = Asm.createLabel("factor_paren");
+
+  // r16 = token cursor, r9 = checksum, r7 = value mask, r1 = result.
+  Asm.loadImm(RegSP, int64_t(StackTop - 64));
+  Asm.loadImm(16, int64_t(DataBase));
+  Asm.loadImm(7, 0xFFFF);
+  Asm.movi(0, 9);
+
+  Asm.bind(MainLoop);
+  Asm.ldbu(1, 0, 16);
+  Asm.operatei(Op::CMPEQ, 1, TokEndInput, 2);
+  Asm.condBr(Op::BNE, 2, Done);
+  Asm.bsr(RegRA, ParseExpr);
+  Asm.operate(Op::ADDQ, 9, 1, 9);
+  Asm.lda(16, 1, 16); // consume the end-of-expression token
+  Asm.br(MainLoop);
+  Asm.bind(Done);
+  emitEpilogue(Asm);
+
+  // parse_expr: term (('+') term)*; result in r1, r10 caller-saved here.
+  Asm.bind(ParseExpr);
+  Asm.lda(RegSP, -16, RegSP);
+  Asm.stq(RegRA, 0, RegSP);
+  Asm.stq(10, 8, RegSP);
+  Asm.bsr(RegRA, ParseTerm);
+  Asm.mov(1, 10);
+  Asm.bind(ExprLoop);
+  Asm.ldbu(2, 0, 16);
+  Asm.operatei(Op::CMPEQ, 2, TokPlus, 3);
+  Asm.condBr(Op::BEQ, 3, ExprDone);
+  Asm.lda(16, 1, 16);
+  Asm.bsr(RegRA, ParseTerm);
+  Asm.operate(Op::ADDQ, 10, 1, 10);
+  Asm.br(ExprLoop);
+  Asm.bind(ExprDone);
+  Asm.mov(10, 1);
+  Asm.ldq(RegRA, 0, RegSP);
+  Asm.ldq(10, 8, RegSP);
+  Asm.lda(RegSP, 16, RegSP);
+  Asm.ret(RegRA);
+
+  // parse_term: factor (('*') factor)*.
+  Asm.bind(ParseTerm);
+  Asm.lda(RegSP, -16, RegSP);
+  Asm.stq(RegRA, 0, RegSP);
+  Asm.stq(11, 8, RegSP);
+  Asm.bsr(RegRA, ParseFactor);
+  Asm.mov(1, 11);
+  Asm.bind(TermLoop);
+  Asm.ldbu(2, 0, 16);
+  Asm.operatei(Op::CMPEQ, 2, TokTimes, 3);
+  Asm.condBr(Op::BEQ, 3, TermDone);
+  Asm.lda(16, 1, 16);
+  Asm.bsr(RegRA, ParseFactor);
+  Asm.operate(Op::MULQ, 11, 1, 11);
+  Asm.operate(Op::AND, 11, 7, 11); // keep values bounded
+  Asm.br(TermLoop);
+  Asm.bind(TermDone);
+  Asm.mov(11, 1);
+  Asm.ldq(RegRA, 0, RegSP);
+  Asm.ldq(11, 8, RegSP);
+  Asm.lda(RegSP, 16, RegSP);
+  Asm.ret(RegRA);
+
+  // parse_factor: digit | '(' expr ')'.
+  Asm.bind(ParseFactor);
+  Asm.ldbu(2, 0, 16);
+  Asm.lda(16, 1, 16);
+  Asm.operatei(Op::CMPEQ, 2, TokLParen, 3);
+  Asm.condBr(Op::BNE, 3, FactorParen);
+  Asm.mov(2, 1); // digit value
+  Asm.operatei(Op::SLL, 2, 2, 3);
+  Asm.operate(Op::XOR, 3, 2, 3);
+  Asm.operate(Op::ADDQ, 9, 3, 9); // lexical checksum
+  Asm.ret(RegRA);
+  Asm.bind(FactorParen);
+  Asm.lda(RegSP, -16, RegSP);
+  Asm.stq(RegRA, 0, RegSP);
+  Asm.bsr(RegRA, ParseExpr); // recursion
+  Asm.ldq(RegRA, 0, RegSP);
+  Asm.lda(RegSP, 16, RegSP);
+  Asm.lda(16, 1, 16); // consume ')'
+  Asm.ret(RegRA);
+
+  std::vector<uint32_t> Words = Asm.finalize();
+  commit(Mem, Asm, std::move(Words));
+
+  WorkloadImage Image;
+  Image.Name = "parser";
+  Image.EntryPc = CodeBase;
+  Image.ApproxInsts = uint64_t(Tokens.size()) * 16;
+  return Image;
+}
+
+// ---------------------------------------------------------------------------
+// 255.vortex — an object-store: hash-bucket record insertion and chained
+// lookup, structured as BSR-called procedures (direct calls dominate).
+// ---------------------------------------------------------------------------
+WorkloadImage workloads::buildVortex(GuestMemory &Mem, unsigned Scale) {
+  constexpr uint64_t BucketBase = Data2Base;          // 1024 head pointers
+  constexpr uint64_t AllocBase = Data2Base + 0x4000;  // node arena
+  const unsigned Inserts = 9000 * Scale;
+  Mem.mapRegion(BucketBase, 0x4000);
+  Mem.mapRegion(AllocBase, uint64_t(Inserts) * 24 + 4096);
+  Mem.mapRegion(StackTop - 0x10000, 0x10000);
+
+  Assembler Asm(CodeBase);
+  auto MainLoop = Asm.createLabel("main_loop");
+  auto Insert = Asm.createLabel("insert");
+  auto Lookup = Asm.createLabel("lookup");
+  auto LookLoop = Asm.createLabel("look_loop");
+  auto LookMiss = Asm.createLabel("look_miss");
+  auto LookHit = Asm.createLabel("look_hit");
+  auto Bucket = Asm.createLabel("bucket");
+
+  // r0 = buckets, r12 = bump allocator, r8 = key LCG, r21 = hash
+  // multiplier, r13 = delayed key for lookups, r17 = iterations.
+  Asm.loadImm(RegSP, int64_t(StackTop - 64));
+  Asm.loadImm(0, int64_t(BucketBase));
+  Asm.loadImm(12, int64_t(AllocBase));
+  Asm.loadImm(8, 0xF00D);
+  Asm.loadImm(21, int64_t(0x2545F4914F6CDD1Dull));
+  Asm.movi(0, 13);
+  Asm.movi(0, 9);
+  Asm.loadImm(17, Inserts);
+
+  Asm.bind(MainLoop);
+  // Key generation (LCG).
+  Asm.operate(Op::MULQ, 8, 21, 8);
+  Asm.lda(8, 777, 8);
+  Asm.mov(8, 2);
+  Asm.bsr(RegRA, Insert);
+  // Look up a key inserted earlier (r13 lags the key stream).
+  Asm.mov(13, 2);
+  Asm.bsr(RegRA, Lookup);
+  Asm.operatei(Op::AND, 17, 7, 3);
+  Asm.operate(Op::CMOVEQ, 3, 8, 13); // refresh the lagged key sometimes
+  Asm.operatei(Op::SUBL, 17, 1, 17);
+  Asm.condBr(Op::BNE, 17, MainLoop);
+  emitEpilogue(Asm);
+
+  // bucket: r3 <- &buckets[hash(r2)] (shared helper, BSR-called).
+  Asm.bind(Bucket);
+  Asm.operate(Op::MULQ, 2, 21, 3);
+  Asm.operatei(Op::SRL, 3, 54, 3);
+  Asm.operate(Op::S8ADDQ, 3, 0, 3);
+  Asm.ret(RegRA);
+
+  // insert(key=r2): push a 24-byte node {key, next, tag16} onto its chain.
+  Asm.bind(Insert);
+  Asm.mov(RegRA, 25);
+  Asm.bsr(RegRA, Bucket);
+  Asm.mov(25, RegRA);
+  Asm.stq(2, 0, 12);  // node->key
+  Asm.ldq(4, 0, 3);   // old head
+  Asm.stq(4, 8, 12);  // node->next
+  Asm.stw(2, 16, 12); // node->tag (16-bit field: stw/ldwu coverage)
+  Asm.stq(12, 0, 3);  // head = node
+  Asm.lda(12, 24, 12);
+  // Record checksum maintenance (in-place local chain).
+  Asm.operatei(Op::SRL, 2, 11, 4);
+  Asm.operate(Op::XOR, 4, 2, 4);
+  Asm.operatei(Op::SLL, 4, 1, 4);
+  Asm.operate(Op::ADDQ, 9, 4, 9);
+  Asm.ret(RegRA);
+
+  // lookup(key=r2): walk the chain; on hit add the tag to the checksum.
+  Asm.bind(Lookup);
+  Asm.mov(RegRA, 25);
+  Asm.bsr(RegRA, Bucket);
+  Asm.mov(25, RegRA);
+  Asm.ldq(4, 0, 3); // head
+  Asm.condBr(Op::BEQ, 4, LookMiss);
+  Asm.bind(LookLoop);
+  Asm.ldq(5, 0, 4);
+  Asm.operate(Op::CMPEQ, 5, 2, 6);
+  Asm.condBr(Op::BNE, 6, LookHit);
+  Asm.ldq(4, 8, 4);
+  Asm.condBr(Op::BNE, 4, LookLoop);
+  Asm.bind(LookMiss);
+  Asm.operatei(Op::ADDQ, 9, 1, 9);
+  Asm.ret(RegRA);
+  Asm.bind(LookHit);
+  Asm.ldwu(6, 16, 4);
+  Asm.operate(Op::ADDQ, 9, 6, 9);
+  Asm.ret(RegRA);
+
+  std::vector<uint32_t> Words = Asm.finalize();
+  commit(Mem, Asm, std::move(Words));
+
+  WorkloadImage Image;
+  Image.Name = "vortex";
+  Image.EntryPc = CodeBase;
+  Image.ApproxInsts = uint64_t(Inserts) * 45;
+  return Image;
+}

@@ -1,0 +1,75 @@
+//===- workloads/Common.cpp - Shared workload-building helpers ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::workloads;
+using namespace ildp::alpha;
+
+void workloads::fillRandomBytes(GuestMemory &Mem, uint64_t Base,
+                                uint64_t Bytes, uint64_t Seed) {
+  Rng Rand(Seed);
+  Mem.mapRegion(Base, Bytes);
+  for (uint64_t I = 0; I < Bytes; I += 8) {
+    uint64_t Value = Rand.next();
+    for (unsigned B = 0; B != 8 && I + B < Bytes; ++B)
+      Mem.poke8(Base + I + B, uint8_t(Value >> (8 * B)));
+  }
+}
+
+void workloads::fillRandomQwords(GuestMemory &Mem, uint64_t Base,
+                                 uint64_t Count, uint64_t Seed) {
+  Rng Rand(Seed);
+  Mem.mapRegion(Base, Count * 8);
+  for (uint64_t I = 0; I != Count; ++I)
+    Mem.poke64(Base + I * 8, Rand.next());
+}
+
+void workloads::emitEpilogue(Assembler &Asm) {
+  Asm.mov(9, RegV0); // v0 <- s0 (checksum).
+  Asm.halt();
+}
+
+const std::vector<std::string> &workloads::workloadNames() {
+  static const std::vector<std::string> Names = {
+      "bzip2", "crafty", "eon",     "gap",   "gcc",    "gzip",
+      "mcf",   "parser", "perlbmk", "twolf", "vortex", "vpr"};
+  return Names;
+}
+
+WorkloadImage workloads::buildWorkload(const std::string &Name,
+                                       GuestMemory &Mem, unsigned Scale) {
+  assert(Scale >= 1 && "Scale must be positive");
+  if (Name == "gzip")
+    return buildGzip(Mem, Scale);
+  if (Name == "bzip2")
+    return buildBzip2(Mem, Scale);
+  if (Name == "crafty")
+    return buildCrafty(Mem, Scale);
+  if (Name == "eon")
+    return buildEon(Mem, Scale);
+  if (Name == "gap")
+    return buildGap(Mem, Scale);
+  if (Name == "gcc")
+    return buildGcc(Mem, Scale);
+  if (Name == "mcf")
+    return buildMcf(Mem, Scale);
+  if (Name == "parser")
+    return buildParser(Mem, Scale);
+  if (Name == "perlbmk")
+    return buildPerlbmk(Mem, Scale);
+  if (Name == "twolf")
+    return buildTwolf(Mem, Scale);
+  if (Name == "vortex")
+    return buildVortex(Mem, Scale);
+  if (Name == "vpr")
+    return buildVpr(Mem, Scale);
+  assert(false && "Unknown workload name");
+  return {};
+}

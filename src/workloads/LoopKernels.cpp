@@ -1,0 +1,476 @@
+//===- workloads/LoopKernels.cpp - Loop-dominated SPEC stand-ins ----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop-dominated workloads: gzip (the paper's Figure 2 kernel plus a
+/// quadword match scanner), bzip2 (move-to-front coding), crafty (bitboard
+/// scans), mcf (pointer chasing), twolf (random swaps), and vpr (grid
+/// relaxation sweeps).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::workloads;
+using namespace ildp::alpha;
+using Op = alpha::Opcode;
+
+// ---------------------------------------------------------------------------
+// 164.gzip — the paper's own example loop (Figure 2) over a byte buffer,
+// plus a longest-match style quadword comparison scan (cmpbge/cttz).
+// ---------------------------------------------------------------------------
+WorkloadImage workloads::buildGzip(GuestMemory &Mem, unsigned Scale) {
+  constexpr uint64_t BufBytes = 16 * 1024;
+  constexpr uint64_t TableQwords = 256;
+  fillRandomBytes(Mem, DataBase, BufBytes, 0xA11CE);
+  fillRandomQwords(Mem, Data2Base, TableQwords, 0xB0B);
+  Mem.mapRegion(StackTop - 0x10000, 0x10000);
+
+  Assembler Asm(CodeBase);
+  const unsigned InnerLen = 2048;
+  const unsigned Outer = 12 * Scale;
+  const unsigned Pairs = 384 * Scale;
+
+  // r0 = hash table, r1 = hash state, r9 = checksum, r18 = outer counter,
+  // r20 = buffer base, r7 = offset mask, r8 = hash multiplier.
+  Asm.loadImm(0, int64_t(Data2Base));
+  Asm.loadImm(20, int64_t(DataBase));
+  Asm.loadImm(7, 0x3FF8);
+  Asm.loadImm(8, int64_t(0x9E3779B1));
+  Asm.loadImm(1, 0x1234);
+  Asm.movi(0, 9);
+  Asm.loadImm(18, Outer);
+
+  // ---- Phase 1: the Figure 2 CRC/hash loop. ----
+  auto OuterLoop = Asm.createLabel("outer");
+  auto L1 = Asm.createLabel("L1");
+  Asm.bind(OuterLoop);
+  Asm.mov(20, 16);             // r16 = buffer
+  Asm.loadImm(17, InnerLen);   // r17 = count
+  Asm.bind(L1);
+  // The Figure 2 body, unrolled by four (as -fast compilation would).
+  for (int U = 0; U != 4; ++U) {
+    Asm.ldbu(3, 0, 16);                // ldbu r3, 0[r16]
+    Asm.operatei(Op::SUBL, 17, 1, 17); // subl r17, 1, r17
+    Asm.lda(16, 1, 16);                // lda r16, 1[r16]
+    Asm.operate(Op::XOR, 1, 3, 3);     // xor r1, r3, r3
+    Asm.operatei(Op::SRL, 1, 8, 1);    // srl r1, 8, r1
+    Asm.operatei(Op::AND, 3, 0xFF, 3); // and r3, 0xff, r3
+    Asm.operate(Op::S8ADDQ, 3, 0, 3);  // s8addq r3, r0, r3
+    Asm.ldq(3, 0, 3);                  // ldq r3, 0[r3]
+    Asm.operate(Op::XOR, 3, 1, 1);     // xor r3, r1, r1
+  }
+  Asm.condBr(Op::BNE, 17, L1);         // bne r17, L1
+  Asm.operate(Op::ADDQ, 9, 1, 9);
+  Asm.operatei(Op::SUBL, 18, 1, 18);
+  Asm.condBr(Op::BNE, 18, OuterLoop);
+
+  // ---- Phase 2: quadword match scanning. ----
+  Asm.loadImm(18, Pairs);
+  auto PairLoop = Asm.createLabel("pair");
+  auto MatchLoop = Asm.createLabel("match");
+  auto Mismatch = Asm.createLabel("mismatch");
+  auto MatchDone = Asm.createLabel("match_done");
+  Asm.bind(PairLoop);
+  Asm.operate(Op::AND, 1, 7, 4);      // off1
+  Asm.operatei(Op::SRL, 1, 16, 5);
+  Asm.operate(Op::AND, 5, 7, 5);      // off2
+  Asm.operate(Op::ADDQ, 4, 20, 4);
+  Asm.operate(Op::ADDQ, 5, 20, 5);
+  Asm.loadImm(6, 24);                 // max quadwords to scan
+  Asm.bind(MatchLoop);
+  Asm.ldq(2, 0, 4);
+  Asm.ldq(3, 0, 5);
+  Asm.operate(Op::XOR, 2, 3, 2);
+  Asm.condBr(Op::BNE, 2, Mismatch);
+  Asm.lda(4, 8, 4);
+  Asm.lda(5, 8, 5);
+  Asm.operatei(Op::SUBQ, 6, 1, 6);
+  Asm.condBr(Op::BNE, 6, MatchLoop);
+  Asm.br(MatchDone);
+  Asm.bind(Mismatch);
+  // First differing byte via cmpbge(0, diff) + cttz of the inverted mask.
+  Asm.operate(Op::CMPBGE, RegZero, 2, 3); // mask of zero bytes
+  Asm.operate(Op::ORNOT, RegZero, 3, 3);  // invert
+  Asm.operatei(Op::AND, 3, 0xFF, 3);
+  Asm.operate(Op::CTTZ, RegZero, 3, 3);   // first nonzero-byte index
+  Asm.operate(Op::ADDQ, 9, 3, 9);
+  Asm.bind(MatchDone);
+  Asm.operate(Op::MULQ, 1, 8, 1); // evolve the position hash
+  Asm.lda(1, 0x55, 1);
+  Asm.operatei(Op::SUBL, 18, 1, 18);
+  Asm.condBr(Op::BNE, 18, PairLoop);
+
+  emitEpilogue(Asm);
+  std::vector<uint32_t> Words = Asm.finalize();
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(CodeBase + I * 4, Words[I]);
+
+  WorkloadImage Image;
+  Image.Name = "gzip";
+  Image.EntryPc = CodeBase;
+  Image.ApproxInsts = uint64_t(Outer) * InnerLen * 10 + uint64_t(Pairs) * 40;
+  return Image;
+}
+
+// ---------------------------------------------------------------------------
+// 256.bzip2 — move-to-front coding with bucket counting: byte loads, short
+// data-dependent scan loops, and store-heavy table shifting.
+// ---------------------------------------------------------------------------
+WorkloadImage workloads::buildBzip2(GuestMemory &Mem, unsigned Scale) {
+  constexpr uint64_t InputBytes = 6 * 1024;
+  fillRandomBytes(Mem, DataBase, InputBytes, 0xBEEF);
+  // Restrict the alphabet to 16 symbols (keeps MTF scans short).
+  for (uint64_t I = 0; I != InputBytes; ++I) {
+    MemAccessResult R = Mem.load(DataBase + I, 1);
+    Mem.poke8(DataBase + I, uint8_t(R.Value & 0x0F));
+  }
+  // MTF table (16 bytes) + count buckets (16 longwords).
+  Mem.mapRegion(Data2Base, 4096);
+  for (unsigned I = 0; I != 16; ++I)
+    Mem.poke8(Data2Base + I, uint8_t(I));
+
+  Assembler Asm(CodeBase);
+  const unsigned Reps = 2 * Scale;
+
+  // r0 = MTF table, r1 = counts, r16 = input, r17 = remaining, r9 = sum.
+  Asm.loadImm(0, int64_t(Data2Base));
+  Asm.loadImm(1, int64_t(Data2Base + 256));
+  Asm.movi(0, 9);
+  Asm.loadImm(19, Reps);
+
+  auto RepLoop = Asm.createLabel("rep");
+  auto ByteLoop = Asm.createLabel("byte");
+  auto Scan = Asm.createLabel("scan");
+  auto ShiftLoop = Asm.createLabel("shift");
+  auto ShiftDone = Asm.createLabel("shift_done");
+  Asm.bind(RepLoop);
+  Asm.loadImm(16, int64_t(DataBase));
+  Asm.loadImm(17, InputBytes);
+  Asm.bind(ByteLoop);
+  Asm.ldbu(2, 0, 16); // c = *p++
+  Asm.lda(16, 1, 16);
+  // counts[c]++.
+  Asm.operate(Op::S4ADDQ, 2, 1, 3);
+  Asm.ldl(4, 0, 3);
+  Asm.operatei(Op::ADDL, 4, 1, 4);
+  Asm.stl(4, 0, 3);
+  // Scan the MTF table for c.
+  Asm.mov(0, 5);  // scan pointer
+  Asm.movi(0, 6); // index + 1
+  Asm.bind(Scan);
+  Asm.ldbu(7, 0, 5);
+  Asm.lda(5, 1, 5);
+  Asm.operatei(Op::ADDL, 6, 1, 6);
+  Asm.operate(Op::CMPEQ, 7, 2, 8);
+  Asm.condBr(Op::BEQ, 8, Scan);
+  Asm.operatei(Op::SUBL, 6, 1, 6); // j
+  Asm.lda(5, -1, 5);               // &table[j]
+  Asm.operate(Op::ADDQ, 9, 6, 9);  // checksum += j
+  // Shift table[0..j-1] up by one.
+  Asm.mov(6, 4);
+  Asm.condBr(Op::BEQ, 4, ShiftDone);
+  Asm.bind(ShiftLoop);
+  Asm.ldbu(7, -1, 5);
+  Asm.stb(7, 0, 5);
+  Asm.lda(5, -1, 5);
+  Asm.operatei(Op::SUBL, 4, 1, 4);
+  Asm.condBr(Op::BNE, 4, ShiftLoop);
+  Asm.bind(ShiftDone);
+  Asm.stb(2, 0, 0); // table[0] = c
+  // Rank entropy estimate (in-place local chain redefining kernel temps).
+  Asm.operatei(Op::SLL, 6, 2, 7);
+  Asm.operate(Op::XOR, 7, 2, 7);
+  Asm.operatei(Op::ADDL, 7, 3, 8);
+  Asm.operate(Op::ADDQ, 9, 8, 9);
+  Asm.operatei(Op::SUBL, 17, 1, 17);
+  Asm.condBr(Op::BNE, 17, ByteLoop);
+  Asm.operatei(Op::SUBL, 19, 1, 19);
+  Asm.condBr(Op::BNE, 19, RepLoop);
+
+  emitEpilogue(Asm);
+  std::vector<uint32_t> Words = Asm.finalize();
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(CodeBase + I * 4, Words[I]);
+
+  WorkloadImage Image;
+  Image.Name = "bzip2";
+  Image.EntryPc = CodeBase;
+  Image.ApproxInsts = uint64_t(Reps) * InputBytes * 45;
+  return Image;
+}
+
+// ---------------------------------------------------------------------------
+// 186.crafty — bitboard processing: population counts, lowest-set-bit
+// extraction, byte-manipulation mixing, attack-table probes.
+// ---------------------------------------------------------------------------
+WorkloadImage workloads::buildCrafty(GuestMemory &Mem, unsigned Scale) {
+  constexpr uint64_t Boards = 2048;
+  constexpr uint64_t AttackQwords = 64;
+  fillRandomQwords(Mem, DataBase, Boards, 0xC4AF7);
+  fillRandomQwords(Mem, Data2Base, AttackQwords, 0x7AB1E);
+
+  Assembler Asm(CodeBase);
+  const unsigned Reps = 2 * Scale;
+
+  // r0 = attack table, r16 = boards, r17 = count, r9 = checksum.
+  Asm.loadImm(0, int64_t(Data2Base));
+  Asm.movi(0, 9);
+  Asm.loadImm(19, Reps);
+
+  auto RepLoop = Asm.createLabel("rep");
+  auto BoardLoop = Asm.createLabel("board");
+  auto BitLoop = Asm.createLabel("bit");
+  auto BitsDone = Asm.createLabel("bits_done");
+  Asm.bind(RepLoop);
+  Asm.loadImm(16, int64_t(DataBase));
+  Asm.loadImm(17, Boards);
+  Asm.bind(BoardLoop);
+  Asm.ldq(1, 0, 16);
+  Asm.lda(16, 8, 16);
+  Asm.condBr(Op::BEQ, 1, BitsDone);
+  Asm.bind(BitLoop);
+  Asm.operate(Op::CTTZ, RegZero, 1, 2); // square = lowest set bit
+  Asm.operatei(Op::SUBQ, 1, 1, 3);
+  Asm.operate(Op::AND, 1, 3, 1); // clear lowest bit
+  Asm.operatei(Op::AND, 2, 63, 2);
+  Asm.operate(Op::S8ADDQ, 2, 0, 4);
+  Asm.ldq(5, 0, 4); // attack mask
+  Asm.operate(Op::CTPOP, RegZero, 5, 6);
+  Asm.operate(Op::ADDQ, 9, 6, 9);
+  // Byte-manipulation mixing (extbl/insbl/mskbl/zapnot).
+  Asm.operate(Op::EXTBL, 5, 2, 7);
+  Asm.operate(Op::INSBL, 7, 2, 7);
+  Asm.operate(Op::MSKBL, 5, 2, 5);
+  Asm.operate(Op::BIS, 5, 7, 5);
+  Asm.operatei(Op::ZAPNOT, 5, 0x55, 5);
+  Asm.operate(Op::XOR, 9, 5, 9);
+  // Mobility weighting (in-place local chain redefining kernel temps).
+  Asm.operatei(Op::SRL, 6, 2, 4);
+  Asm.operate(Op::ADDQ, 4, 6, 4);
+  Asm.operatei(Op::SLL, 4, 1, 5);
+  Asm.operatei(Op::ADDQ, 5, 3, 6);
+  Asm.operate(Op::ADDQ, 9, 6, 9);
+  Asm.condBr(Op::BNE, 1, BitLoop);
+  Asm.bind(BitsDone);
+  Asm.operatei(Op::SUBL, 17, 1, 17);
+  Asm.condBr(Op::BNE, 17, BoardLoop);
+  Asm.operatei(Op::SUBL, 19, 1, 19);
+  Asm.condBr(Op::BNE, 19, RepLoop);
+
+  emitEpilogue(Asm);
+  std::vector<uint32_t> Words = Asm.finalize();
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(CodeBase + I * 4, Words[I]);
+
+  WorkloadImage Image;
+  Image.Name = "crafty";
+  Image.EntryPc = CodeBase;
+  Image.ApproxInsts = uint64_t(Reps) * Boards * 32 * 14;
+  return Image;
+}
+
+// ---------------------------------------------------------------------------
+// 181.mcf — network-simplex flavored pointer chasing: chains of dependent
+// loads over a large node pool, with conditional-move successor selection.
+// ---------------------------------------------------------------------------
+WorkloadImage workloads::buildMcf(GuestMemory &Mem, unsigned Scale) {
+  constexpr uint64_t Nodes = 16384;
+  constexpr unsigned NodeBytes = 32; // {next, value, alt, pad}
+  Mem.mapRegion(DataBase, Nodes * NodeBytes);
+  Rng Rand(0x3C0FFEE);
+  for (uint64_t I = 0; I != Nodes; ++I) {
+    uint64_t Addr = DataBase + I * NodeBytes;
+    uint64_t Next = DataBase + Rand.nextBelow(Nodes) * NodeBytes;
+    uint64_t Alt = DataBase + Rand.nextBelow(Nodes) * NodeBytes;
+    Mem.poke64(Addr + 0, Next);
+    Mem.poke64(Addr + 8, Rand.next());
+    Mem.poke64(Addr + 16, Alt);
+  }
+
+  Assembler Asm(CodeBase);
+  const unsigned Steps = 36000 * Scale;
+
+  // r16 = current node, r17 = steps, r9 = checksum.
+  Asm.loadImm(16, int64_t(DataBase));
+  Asm.loadImm(17, Steps);
+  Asm.movi(0, 9);
+
+  auto Loop = Asm.createLabel("walk");
+  Asm.bind(Loop);
+  for (int U = 0; U != 4; ++U) { // unrolled node visits
+    Asm.ldq(1, 8, 16);  // value
+    Asm.ldq(2, 0, 16);  // next
+    Asm.ldq(3, 16, 16); // alt
+    Asm.operate(Op::ADDQ, 9, 1, 9);
+    // Cost computation: an in-place local chain (temps redefined within
+    // the block stay Local, like compiler-reused temporaries).
+    Asm.operatei(Op::SRL, 1, 7, 4);
+    Asm.operate(Op::XOR, 4, 1, 4);
+    Asm.operatei(Op::SLL, 4, 1, 4);
+    Asm.operatei(Op::SUBQ, 4, 3, 4);
+    Asm.operate(Op::ADDQ, 9, 4, 9);
+    Asm.operate(Op::CMOVLBS, 1, 2, 3); // r3 = (value & 1) ? next : alt
+    Asm.mov(3, 16);
+  }
+  Asm.operatei(Op::SUBL, 17, 4, 17);
+  Asm.condBr(Op::BNE, 17, Loop);
+
+  emitEpilogue(Asm);
+  std::vector<uint32_t> Words = Asm.finalize();
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(CodeBase + I * 4, Words[I]);
+
+  WorkloadImage Image;
+  Image.Name = "mcf";
+  Image.EntryPc = CodeBase;
+  Image.ApproxInsts = uint64_t(Steps) * 8;
+  return Image;
+}
+
+// ---------------------------------------------------------------------------
+// 300.twolf — simulated-annealing style random swaps: LCG index generation,
+// irregular loads, compare-and-swap with data-dependent branches.
+// ---------------------------------------------------------------------------
+WorkloadImage workloads::buildTwolf(GuestMemory &Mem, unsigned Scale) {
+  constexpr uint64_t Cells = 8192;
+  fillRandomQwords(Mem, DataBase, Cells, 0x2D01F);
+
+  Assembler Asm(CodeBase);
+  const unsigned Swaps = 16000 * Scale;
+
+  // r0 = array, r1 = LCG state, r7 = index mask, r8 = LCG multiplier.
+  Asm.loadImm(0, int64_t(DataBase));
+  Asm.loadImm(1, 0x5EED);
+  Asm.loadImm(7, int64_t((Cells - 1) * 8) & ~7ll);
+  Asm.loadImm(8, int64_t(6364136223846793005ull));
+  Asm.movi(0, 9);
+  Asm.loadImm(17, Swaps);
+
+  auto Loop = Asm.createLabel("swap");
+  Asm.bind(Loop);
+  for (int U = 0; U != 4; ++U) { // unrolled swap attempts
+    Asm.operate(Op::MULQ, 1, 8, 1);
+    Asm.lda(1, 12345, 1);
+    Asm.operatei(Op::SRL, 1, 20, 2);
+    Asm.operate(Op::AND, 2, 7, 2);
+    Asm.operatei(Op::SRL, 1, 40, 3);
+    Asm.operate(Op::AND, 3, 7, 3);
+    Asm.operate(Op::ADDQ, 0, 2, 2);
+    Asm.operate(Op::ADDQ, 0, 3, 3);
+    Asm.ldq(4, 0, 2);
+    Asm.ldq(5, 0, 3);
+    // Branch-free conditional swap (min/max via cmov, as compiled code
+    // would): keeps the unrolled body a single path.
+    Asm.operate(Op::CMPULT, 4, 5, 6);
+    Asm.mov(4, 10);
+    Asm.operate(Op::CMOVEQ, 6, 5, 10); // r10 = min-ordered first element
+    Asm.mov(5, 11);
+    Asm.operate(Op::CMOVEQ, 6, 4, 11); // r11 = the other
+    Asm.stq(10, 0, 2);
+    Asm.stq(11, 0, 3);
+    Asm.operate(Op::ADDQ, 9, 6, 9);
+    Asm.operate(Op::XOR, 9, 4, 9);
+    // Wirelength delta estimate (in-place local chain; also makes the
+    // earlier r2/r3 definitions locals by redefining them).
+    Asm.operatei(Op::SRL, 4, 9, 2);
+    Asm.operate(Op::XOR, 2, 5, 2);
+    Asm.operatei(Op::SLL, 2, 2, 3);
+    Asm.operatei(Op::ADDQ, 3, 7, 6);
+    Asm.operate(Op::ADDQ, 9, 6, 9);
+  }
+  // A rare data-dependent event (annealing acceptance): mispredict-rich.
+  auto NoBoost = Asm.createLabel("noboost");
+  Asm.operatei(Op::AND, 1, 0x1F, 10);
+  Asm.condBr(Op::BNE, 10, NoBoost);
+  Asm.operatei(Op::SLL, 9, 1, 9);
+  Asm.bind(NoBoost);
+  Asm.operatei(Op::SUBL, 17, 4, 17);
+  Asm.condBr(Op::BNE, 17, Loop);
+
+  emitEpilogue(Asm);
+  std::vector<uint32_t> Words = Asm.finalize();
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(CodeBase + I * 4, Words[I]);
+
+  WorkloadImage Image;
+  Image.Name = "twolf";
+  Image.EntryPc = CodeBase;
+  Image.ApproxInsts = uint64_t(Swaps) * 18;
+  return Image;
+}
+
+// ---------------------------------------------------------------------------
+// 175.vpr — routing-cost grid relaxation: regular nested loops over a 2D
+// longword grid with min-update conditional moves.
+// ---------------------------------------------------------------------------
+WorkloadImage workloads::buildVpr(GuestMemory &Mem, unsigned Scale) {
+  constexpr unsigned W = 64;
+  constexpr unsigned H = 64;
+  Mem.mapRegion(DataBase, uint64_t(W) * H * 4);
+  Rng Rand(0x9417);
+  for (unsigned I = 0; I != W * H; ++I)
+    Mem.poke32(DataBase + uint64_t(I) * 4, uint32_t(Rand.nextBelow(100000)));
+
+  Assembler Asm(CodeBase);
+  const unsigned Sweeps = 5 * Scale;
+
+  // r0 = grid, r18 = sweep counter, r9 = checksum.
+  Asm.loadImm(0, int64_t(DataBase));
+  Asm.movi(0, 9);
+  Asm.loadImm(18, Sweeps);
+
+  auto SweepLoop = Asm.createLabel("sweep");
+  auto RowLoop = Asm.createLabel("row");
+  auto ColLoop = Asm.createLabel("col");
+  Asm.bind(SweepLoop);
+  Asm.loadImm(20, H - 1); // remaining rows
+  // r22 = &grid[y][1], starting at y = 1.
+  Asm.lda(22, W * 4 + 4, 0);
+  Asm.bind(RowLoop);
+  Asm.loadImm(21, 60); // 60 columns, processed four per unrolled body
+  Asm.bind(ColLoop);
+  for (int U = 0; U != 4; ++U) { // unrolled relaxation steps
+    Asm.ldl(1, 0, 22);               // c
+    Asm.ldl(2, -4, 22);              // left
+    Asm.ldl(3, -int32_t(W) * 4, 22); // up
+    Asm.operate(Op::ADDL, 2, 3, 4);
+    Asm.operatei(Op::ADDL, 4, 1, 4);
+    Asm.operatei(Op::SRL, 4, 1, 4); // (left+up+1)/2-ish relaxation
+    Asm.operate(Op::CMPLT, 4, 1, 5);
+    Asm.operate(Op::CMOVNE, 5, 4, 1); // c = min(c, relaxed)
+    Asm.stl(1, 0, 22);
+    // Congestion estimate: in-place local chain reusing the kernel temps,
+    // which also turns the earlier r4/r5 definitions into locals.
+    Asm.operatei(Op::SRL, 1, 3, 4);
+    Asm.operate(Op::XOR, 4, 1, 4);
+    Asm.operatei(Op::ADDL, 4, 5, 4);
+    Asm.operatei(Op::ADDL, 4, 2, 5);
+    Asm.operate(Op::ADDQ, 9, 5, 9);
+    Asm.lda(22, 4, 22);
+  }
+  Asm.operatei(Op::SUBL, 21, 4, 21);
+  Asm.condBr(Op::BNE, 21, ColLoop);
+  Asm.lda(22, 16, 22); // skip columns 61..63 and column 0 of the next row
+  Asm.operatei(Op::SUBL, 20, 1, 20);
+  Asm.condBr(Op::BNE, 20, RowLoop);
+  Asm.operatei(Op::SUBL, 18, 1, 18);
+  Asm.condBr(Op::BNE, 18, SweepLoop);
+
+  emitEpilogue(Asm);
+  std::vector<uint32_t> Words = Asm.finalize();
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(CodeBase + I * 4, Words[I]);
+
+  WorkloadImage Image;
+  Image.Name = "vpr";
+  Image.EntryPc = CodeBase;
+  Image.ApproxInsts = uint64_t(Sweeps) * 60 * (H - 1) * 20;
+  return Image;
+}

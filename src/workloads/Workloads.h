@@ -1,0 +1,70 @@
+//===- workloads/Workloads.h - Synthetic SPEC CPU2000 INT stand-ins -------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Twelve synthetic Alpha guest programs, one per SPEC CPU2000 integer
+/// benchmark the paper evaluates (Section 4.1). The paper's DEC-cc-compiled
+/// Alpha binaries are unobtainable; each stand-in is hand-built with the
+/// Alpha assembler to match its namesake's dominant kernel shape — the
+/// instruction mix, control-flow profile (loop vs call vs indirect-dispatch
+/// dominated), and memory behaviour that drive every effect the paper
+/// measures (see DESIGN.md, substitutions):
+///
+///   gzip    — the paper's own Figure 2 CRC/hash inner loop + quadword
+///             match scanning (cmpbge/cttz),
+///   bzip2   — move-to-front coding + bucket counting (store heavy),
+///   crafty  — bitboard scans (64-bit logicals, ctpop/cttz, table probes),
+///   eon     — fixed-point shading with virtual-dispatch-style indirect
+///             calls through an object table,
+///   gap     — bytecode interpreter, jump-table dispatch via JMP,
+///   gcc     — token-stream state machine, branchy, linked-list walks,
+///   mcf     — network-simplex-style pointer chasing (dependent loads),
+///   parser  — recursive-descent parsing (deep BSR/RET recursion),
+///   perlbmk — opcode dispatch through an indirect-call handler table
+///             (worst-case chaining expansion, as in the paper),
+///   twolf   — pseudo-random placement swaps (irregular loads, cmov),
+///   vortex  — record store/lookup with BSR-dominated call structure,
+///   vpr     — routing-grid sweeps (nested loops, min-update cmovs).
+///
+/// Every workload ends with CALL_PAL HALT and leaves a data-dependent
+/// checksum in v0; the correctness suite cross-validates interpreter vs
+/// translated execution on final architected state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_WORKLOADS_WORKLOADS_H
+#define ILDP_WORKLOADS_WORKLOADS_H
+
+#include "mem/GuestMemory.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ildp {
+namespace workloads {
+
+/// A built guest program.
+struct WorkloadImage {
+  std::string Name;
+  uint64_t EntryPc = 0;
+  /// Rough dynamic V-ISA instruction count at Scale = 1 (for budgeting).
+  uint64_t ApproxInsts = 0;
+};
+
+/// Names of all twelve workloads, in the paper's Table 2 order.
+const std::vector<std::string> &workloadNames();
+
+/// Builds \p Name into \p Mem. \p Scale multiplies the main iteration
+/// counts (1 = the default used by the benches). Aborts on unknown names;
+/// check workloadNames() first.
+WorkloadImage buildWorkload(const std::string &Name, GuestMemory &Mem,
+                            unsigned Scale = 1);
+
+} // namespace workloads
+} // namespace ildp
+
+#endif // ILDP_WORKLOADS_WORKLOADS_H

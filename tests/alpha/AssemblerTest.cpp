@@ -1,0 +1,144 @@
+//===- tests/alpha/AssemblerTest.cpp --------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+#include "alpha/Decoder.h"
+#include "alpha/Semantics.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+TEST(Assembler, BackwardBranchDisplacement) {
+  Assembler Asm(0x1000);
+  auto L = Asm.createLabel("loop");
+  Asm.bind(L);
+  Asm.nop();
+  Asm.nop();
+  Asm.condBr(Op::BNE, 1, L); // at 0x1008, target 0x1000 -> disp -3.
+  std::vector<uint32_t> W = Asm.finalize();
+  AlphaInst B = decode(W[2]);
+  EXPECT_EQ(B.Op, Op::BNE);
+  EXPECT_EQ(B.Disp, -3);
+  EXPECT_EQ(B.branchTarget(0x1008), 0x1000u);
+}
+
+TEST(Assembler, ForwardBranchResolved) {
+  Assembler Asm(0x2000);
+  auto L = Asm.createLabel("fwd");
+  Asm.condBr(Op::BEQ, 2, L);
+  Asm.nop();
+  Asm.nop();
+  Asm.bind(L);
+  Asm.halt();
+  std::vector<uint32_t> W = Asm.finalize();
+  AlphaInst B = decode(W[0]);
+  EXPECT_EQ(B.branchTarget(0x2000), 0x200Cu);
+}
+
+TEST(Assembler, LabelAddr) {
+  Assembler Asm(0x3000);
+  Asm.nop();
+  auto L = Asm.createLabel();
+  Asm.bind(L);
+  Asm.nop();
+  (void)Asm.finalize();
+  EXPECT_EQ(Asm.labelAddr(L), 0x3004u);
+}
+
+namespace {
+
+/// Evaluates a loadImm sequence by interpreting its LDA/LDAH/SLL words.
+uint64_t evalLoadImm(const std::vector<uint32_t> &Words, uint8_t Reg) {
+  uint64_t Regs[32] = {};
+  for (uint32_t Word : Words) {
+    AlphaInst I = decode(Word);
+    switch (I.Op) {
+    case Op::LDA:
+    case Op::LDAH: {
+      uint64_t Base = I.Rb == RegZero ? 0 : Regs[I.Rb];
+      Regs[I.Ra] = evalIntOp(I.Op, Base, uint64_t(int64_t(I.Disp)));
+      break;
+    }
+    case Op::SLL:
+      Regs[I.Rc] = evalIntOp(Op::SLL, Regs[I.Ra], I.Lit);
+      break;
+    case Op::BIS: {
+      uint64_t B = I.HasLit ? I.Lit : (I.Rb == RegZero ? 0 : Regs[I.Rb]);
+      uint64_t A = I.Ra == RegZero ? 0 : Regs[I.Ra];
+      Regs[I.Rc] = A | B;
+      break;
+    }
+    default:
+      ADD_FAILURE() << "unexpected opcode in loadImm expansion: "
+                    << getMnemonic(I.Op);
+    }
+  }
+  return Regs[Reg];
+}
+
+class LoadImmTest : public ::testing::TestWithParam<int64_t> {};
+
+} // namespace
+
+TEST_P(LoadImmTest, MaterializesExactValue) {
+  int64_t Value = GetParam();
+  Assembler Asm(0x4000);
+  Asm.loadImm(5, Value);
+  std::vector<uint32_t> W = Asm.finalize();
+  EXPECT_EQ(evalLoadImm(W, 5), uint64_t(Value)) << "value " << Value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, LoadImmTest,
+    ::testing::Values(int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                      int64_t(-32768), int64_t(32767), int64_t(32768),
+                      int64_t(0x7FFF0000), int64_t(0x12345678),
+                      int64_t(-0x12345678), int64_t(0x7FFFFFFF),
+                      int64_t(-0x80000000ll), int64_t(0x100000000ll),
+                      int64_t(0x123456789ABCDEFll),
+                      int64_t(-0x123456789ABCDEFll),
+                      int64_t(0x8000000080000000ull),
+                      int64_t(0xDEADBEEFCAFEBABEull)));
+
+TEST(Assembler, LoadLabelAddrResolves) {
+  Assembler Asm(0x10000);
+  auto L = Asm.createLabel("target");
+  Asm.loadLabelAddr(4, L);
+  Asm.nop();
+  Asm.bind(L);
+  Asm.halt();
+  std::vector<uint32_t> W = Asm.finalize();
+  // The first two words are LDAH+LDA that materialize the label address.
+  std::vector<uint32_t> Pair(W.begin(), W.begin() + 2);
+  EXPECT_EQ(evalLoadImm(Pair, 4), Asm.labelAddr(L));
+}
+
+TEST(Assembler, JumpAndPalForms) {
+  Assembler Asm(0x5000);
+  Asm.jsr(26, 27);
+  Asm.ret();
+  Asm.gentrap();
+  Asm.halt();
+  std::vector<uint32_t> W = Asm.finalize();
+  EXPECT_EQ(decode(W[0]).Op, Op::JSR);
+  EXPECT_EQ(decode(W[0]).Ra, 26);
+  EXPECT_EQ(decode(W[0]).Rb, 27);
+  EXPECT_EQ(decode(W[1]).Op, Op::RET);
+  EXPECT_EQ(decode(W[1]).Rb, RegRA);
+  EXPECT_EQ(decode(W[2]).PalFunc, unsigned(PalGentrap));
+  EXPECT_EQ(decode(W[3]).PalFunc, unsigned(PalHalt));
+}
+
+TEST(Assembler, NopIsCanonical) {
+  Assembler Asm(0x6000);
+  Asm.nop();
+  std::vector<uint32_t> W = Asm.finalize();
+  AlphaInst I = decode(W[0]);
+  EXPECT_TRUE(I.isNop());
+}

@@ -1,0 +1,165 @@
+//===- tests/alpha/InstQueriesTest.cpp ------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operand-role queries (inputs/outputs) that the translator's usage
+/// analysis depends on, plus the classification predicates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/AlphaInst.h"
+#include "alpha/Disasm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+AlphaInst operate(Op O, uint8_t Ra, uint8_t Rb, uint8_t Rc) {
+  AlphaInst I;
+  I.Op = O;
+  I.Ra = Ra;
+  I.Rb = Rb;
+  I.Rc = Rc;
+  return I;
+}
+
+} // namespace
+
+TEST(InstQueries, OperateRoles) {
+  AlphaInst I = operate(Op::ADDQ, 1, 2, 3);
+  std::array<uint8_t, 3> Ins;
+  EXPECT_EQ(I.inputRegs(Ins), 2u);
+  EXPECT_EQ(Ins[0], 1);
+  EXPECT_EQ(Ins[1], 2);
+  EXPECT_EQ(I.outputReg(), 3);
+}
+
+TEST(InstQueries, LiteralSkipsRb) {
+  AlphaInst I = operate(Op::ADDQ, 1, 31, 3);
+  I.HasLit = true;
+  I.Lit = 7;
+  std::array<uint8_t, 3> Ins;
+  EXPECT_EQ(I.inputRegs(Ins), 1u);
+  EXPECT_EQ(Ins[0], 1);
+}
+
+TEST(InstQueries, ZeroRegisterFiltered) {
+  AlphaInst I = operate(Op::ADDQ, 31, 2, 31);
+  std::array<uint8_t, 3> Ins;
+  EXPECT_EQ(I.inputRegs(Ins), 1u);
+  EXPECT_EQ(Ins[0], 2);
+  EXPECT_EQ(I.outputReg(), -1);
+}
+
+TEST(InstQueries, CondMoveReadsOldDest) {
+  AlphaInst I = operate(Op::CMOVEQ, 1, 2, 3);
+  std::array<uint8_t, 3> Ins;
+  EXPECT_EQ(I.inputRegs(Ins), 3u);
+  EXPECT_EQ(Ins[2], 3);
+  EXPECT_EQ(I.outputReg(), 3);
+}
+
+TEST(InstQueries, LoadStoreRoles) {
+  AlphaInst L;
+  L.Op = Op::LDQ;
+  L.Ra = 3;
+  L.Rb = 16;
+  std::array<uint8_t, 3> Ins;
+  EXPECT_EQ(L.inputRegs(Ins), 1u);
+  EXPECT_EQ(Ins[0], 16);
+  EXPECT_EQ(L.outputReg(), 3);
+
+  AlphaInst S;
+  S.Op = Op::STQ;
+  S.Ra = 3;
+  S.Rb = 16;
+  EXPECT_EQ(S.inputRegs(Ins), 2u);
+  EXPECT_EQ(Ins[0], 16);
+  EXPECT_EQ(Ins[1], 3);
+  EXPECT_EQ(S.outputReg(), -1);
+}
+
+TEST(InstQueries, ControlRoles) {
+  AlphaInst B;
+  B.Op = Op::BNE;
+  B.Ra = 17;
+  std::array<uint8_t, 3> Ins;
+  EXPECT_EQ(B.inputRegs(Ins), 1u);
+  EXPECT_EQ(B.outputReg(), -1);
+
+  AlphaInst Bsr;
+  Bsr.Op = Op::BSR;
+  Bsr.Ra = 26;
+  EXPECT_EQ(Bsr.inputRegs(Ins), 0u);
+  EXPECT_EQ(Bsr.outputReg(), 26);
+
+  AlphaInst Jsr;
+  Jsr.Op = Op::JSR;
+  Jsr.Ra = 26;
+  Jsr.Rb = 27;
+  EXPECT_EQ(Jsr.inputRegs(Ins), 1u);
+  EXPECT_EQ(Ins[0], 27);
+  EXPECT_EQ(Jsr.outputReg(), 26);
+}
+
+TEST(InstQueries, Predicates) {
+  EXPECT_TRUE(isLoad(Op::LDBU));
+  EXPECT_FALSE(isLoad(Op::LDA)); // Address formation, not a memory access.
+  EXPECT_TRUE(isStore(Op::STW));
+  EXPECT_TRUE(isCondBranch(Op::BLBS));
+  EXPECT_TRUE(isDirectBranch(Op::BR));
+  EXPECT_TRUE(isDirectBranch(Op::BSR));
+  EXPECT_TRUE(isIndirectBranch(Op::RET));
+  EXPECT_TRUE(isCall(Op::JSR));
+  EXPECT_FALSE(isCall(Op::JMP));
+  EXPECT_TRUE(isCondMove(Op::CMOVGT));
+  EXPECT_TRUE(isMul(Op::UMULH));
+  EXPECT_TRUE(isPei(Op::LDQ));
+  EXPECT_TRUE(isPei(Op::STB));
+  EXPECT_TRUE(isPei(Op::CALL_PAL));
+  EXPECT_FALSE(isPei(Op::ADDQ));
+  EXPECT_TRUE(isControl(Op::CALL_PAL));
+  EXPECT_FALSE(isControl(Op::LDQ));
+}
+
+TEST(InstQueries, NopDetection) {
+  EXPECT_TRUE(operate(Op::BIS, 31, 31, 31).isNop());
+  EXPECT_TRUE(operate(Op::ADDQ, 1, 2, 31).isNop());
+  EXPECT_FALSE(operate(Op::ADDQ, 1, 2, 3).isNop());
+  AlphaInst Load;
+  Load.Op = Op::LDQ;
+  Load.Ra = 31;
+  Load.Rb = 2;
+  EXPECT_FALSE(Load.isNop()); // Prefetch: has a memory side effect.
+}
+
+TEST(InstQueries, DisasmSmoke) {
+  AlphaInst I = operate(Op::SUBL, 17, 31, 17);
+  I.HasLit = true;
+  I.Lit = 1;
+  EXPECT_EQ(disassemble(I, 0x1000), "subl r17, 1, r17");
+
+  AlphaInst L;
+  L.Op = Op::LDBU;
+  L.Ra = 3;
+  L.Rb = 16;
+  EXPECT_EQ(disassemble(L, 0), "ldbu r3, 0[r16]");
+
+  AlphaInst B;
+  B.Op = Op::BNE;
+  B.Ra = 17;
+  B.Disp = -4;
+  EXPECT_EQ(disassemble(B, 0x100C), "bne r17, 0x1000");
+
+  AlphaInst R;
+  R.Op = Op::RET;
+  R.Rb = 26;
+  EXPECT_EQ(disassemble(R, 0), "ret (r26)");
+}

@@ -1,0 +1,155 @@
+//===- tests/alpha/SemanticsPropertyTest.cpp ------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests of the pure Alpha semantics against independent oracle
+/// formulations over random operands, plus algebraic identities the
+/// translator's correctness silently depends on (the cmov decomposition
+/// identity, scaled-add composition, zap/extract duality).
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Semantics.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+class SemanticsProperty : public ::testing::TestWithParam<uint64_t> {
+protected:
+  Rng Rand{GetParam() * 0x9E3779B97F4A7C15ull + 1};
+};
+
+} // namespace
+
+TEST_P(SemanticsProperty, ScaledAddsCompose) {
+  for (int I = 0; I != 200; ++I) {
+    uint64_t A = Rand.next(), B = Rand.next();
+    EXPECT_EQ(evalIntOp(Op::S4ADDQ, A, B),
+              evalIntOp(Op::ADDQ, A * 4, B));
+    EXPECT_EQ(evalIntOp(Op::S8SUBQ, A, B),
+              evalIntOp(Op::SUBQ, A * 8, B));
+    EXPECT_EQ(evalIntOp(Op::S4ADDL, A, B),
+              evalIntOp(Op::ADDL, A * 4, B));
+  }
+}
+
+TEST_P(SemanticsProperty, LongwordOpsMatchQuadThenSext) {
+  for (int I = 0; I != 200; ++I) {
+    uint64_t A = Rand.next(), B = Rand.next();
+    EXPECT_EQ(evalIntOp(Op::ADDL, A, B),
+              uint64_t(int64_t(int32_t(uint32_t(A + B)))));
+    EXPECT_EQ(evalIntOp(Op::SUBL, A, B),
+              uint64_t(int64_t(int32_t(uint32_t(A - B)))));
+    EXPECT_EQ(evalIntOp(Op::MULL, A, B),
+              uint64_t(int64_t(int32_t(uint32_t(A) * uint32_t(B)))));
+  }
+}
+
+TEST_P(SemanticsProperty, UmulhMatchesWideMultiply) {
+  for (int I = 0; I != 200; ++I) {
+    uint64_t A = Rand.next(), B = Rand.next();
+    unsigned __int128 Wide = (unsigned __int128)A * B;
+    EXPECT_EQ(evalIntOp(Op::UMULH, A, B), uint64_t(Wide >> 64));
+    EXPECT_EQ(evalIntOp(Op::MULQ, A, B), uint64_t(Wide));
+  }
+}
+
+TEST_P(SemanticsProperty, ZapZapnotPartition) {
+  for (int I = 0; I != 200; ++I) {
+    uint64_t A = Rand.next();
+    uint64_t Mask = Rand.nextBelow(256);
+    // zap and zapnot with the same mask partition the value.
+    EXPECT_EQ(evalIntOp(Op::ZAP, A, Mask) | evalIntOp(Op::ZAPNOT, A, Mask),
+              A);
+    EXPECT_EQ(evalIntOp(Op::ZAP, A, Mask) & evalIntOp(Op::ZAPNOT, A, Mask),
+              0u);
+  }
+}
+
+TEST_P(SemanticsProperty, ExtractInsertMaskRoundTrip) {
+  for (int I = 0; I != 200; ++I) {
+    uint64_t A = Rand.next();
+    uint64_t Pos = Rand.nextBelow(8);
+    uint64_t Byte = evalIntOp(Op::EXTBL, A, Pos);
+    EXPECT_LT(Byte, 256u);
+    // Reinserting the extracted byte over the masked original restores A.
+    uint64_t Rebuilt = evalIntOp(Op::MSKBL, A, Pos) |
+                       evalIntOp(Op::INSBL, Byte, Pos);
+    EXPECT_EQ(Rebuilt, A);
+  }
+}
+
+TEST_P(SemanticsProperty, CmovDecompositionIdentity) {
+  // The translator's four-op decomposition must equal the architectural
+  // conditional move for every cmov flavor:
+  //   m = cond(a) ? ~0 : 0;  rc' = (b & m) | (rc & ~m)
+  static const Op Cmovs[] = {Op::CMOVEQ, Op::CMOVNE,  Op::CMOVLT,
+                             Op::CMOVGE, Op::CMOVLE,  Op::CMOVGT,
+                             Op::CMOVLBS, Op::CMOVLBC};
+  for (int I = 0; I != 400; ++I) {
+    Op O = Cmovs[Rand.nextBelow(std::size(Cmovs))];
+    uint64_t A = Rand.nextChance(1, 4) ? Rand.nextBelow(3) : Rand.next();
+    uint64_t B = Rand.next(), OldRc = Rand.next();
+    uint64_t Architectural = evalCmovCond(O, A) ? B : OldRc;
+    uint64_t M = evalCmovCond(O, A) ? ~uint64_t(0) : 0;
+    uint64_t T = evalIntOp(Op::AND, B, M);
+    uint64_t U = evalIntOp(Op::BIC, OldRc, M);
+    EXPECT_EQ(evalIntOp(Op::BIS, T, U), Architectural);
+  }
+}
+
+TEST_P(SemanticsProperty, BranchAndCmovConditionsAgree) {
+  // Matching branch/cmov predicates must agree on every value.
+  for (int I = 0; I != 200; ++I) {
+    uint64_t V = Rand.nextChance(1, 4) ? Rand.nextBelow(3) : Rand.next();
+    EXPECT_EQ(evalBranchCond(Op::BEQ, V), evalCmovCond(Op::CMOVEQ, V));
+    EXPECT_EQ(evalBranchCond(Op::BNE, V), evalCmovCond(Op::CMOVNE, V));
+    EXPECT_EQ(evalBranchCond(Op::BLT, V), evalCmovCond(Op::CMOVLT, V));
+    EXPECT_EQ(evalBranchCond(Op::BGE, V), evalCmovCond(Op::CMOVGE, V));
+    EXPECT_EQ(evalBranchCond(Op::BLE, V), evalCmovCond(Op::CMOVLE, V));
+    EXPECT_EQ(evalBranchCond(Op::BGT, V), evalCmovCond(Op::CMOVGT, V));
+    EXPECT_EQ(evalBranchCond(Op::BLBS, V), evalCmovCond(Op::CMOVLBS, V));
+    EXPECT_EQ(evalBranchCond(Op::BLBC, V), evalCmovCond(Op::CMOVLBC, V));
+    // Opposite predicates partition.
+    EXPECT_NE(evalBranchCond(Op::BEQ, V), evalBranchCond(Op::BNE, V));
+    EXPECT_NE(evalBranchCond(Op::BLT, V), evalBranchCond(Op::BGE, V));
+    EXPECT_NE(evalBranchCond(Op::BLE, V), evalBranchCond(Op::BGT, V));
+    EXPECT_NE(evalBranchCond(Op::BLBS, V), evalBranchCond(Op::BLBC, V));
+  }
+}
+
+TEST_P(SemanticsProperty, CountInstructionsAgreeWithBuiltins) {
+  for (int I = 0; I != 200; ++I) {
+    uint64_t V = Rand.nextChance(1, 8) ? 0 : Rand.next();
+    EXPECT_EQ(evalIntOp(Op::CTPOP, 0, V),
+              uint64_t(__builtin_popcountll(V)));
+    EXPECT_EQ(evalIntOp(Op::CTLZ, 0, V),
+              V ? uint64_t(__builtin_clzll(V)) : 64u);
+    EXPECT_EQ(evalIntOp(Op::CTTZ, 0, V),
+              V ? uint64_t(__builtin_ctzll(V)) : 64u);
+  }
+}
+
+TEST_P(SemanticsProperty, CmpbgeByteOracle) {
+  for (int I = 0; I != 200; ++I) {
+    uint64_t A = Rand.next(), B = Rand.next();
+    uint64_t Mask = evalIntOp(Op::CMPBGE, A, B);
+    for (unsigned Byte = 0; Byte != 8; ++Byte) {
+      bool Expected =
+          uint8_t(A >> (8 * Byte)) >= uint8_t(B >> (8 * Byte));
+      EXPECT_EQ((Mask >> Byte) & 1, uint64_t(Expected));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsProperty,
+                         ::testing::Range(uint64_t(1), uint64_t(6)));

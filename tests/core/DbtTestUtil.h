@@ -1,0 +1,65 @@
+//===- tests/core/DbtTestUtil.h - Shared translator-test helpers ----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_TESTS_CORE_DBTTESTUTIL_H
+#define ILDP_TESTS_CORE_DBTTESTUTIL_H
+
+#include "alpha/Assembler.h"
+#include "core/Lowering.h"
+#include "core/StrandAlloc.h"
+#include "core/SuperblockBuilder.h"
+#include "core/Translator.h"
+#include "core/UsageAnalysis.h"
+#include "interp/Interpreter.h"
+
+#include <memory>
+
+namespace ildp {
+namespace dbttest {
+
+/// An assembled program plus an interpreter, with recording helpers.
+struct Program {
+  GuestMemory Mem;
+  std::unique_ptr<Interpreter> Interp;
+  uint64_t Entry;
+
+  explicit Program(alpha::Assembler &Asm) : Entry(Asm.baseAddr()) {
+    std::vector<uint32_t> Words = Asm.finalize();
+    for (size_t I = 0; I != Words.size(); ++I)
+      Mem.poke32(Asm.baseAddr() + I * 4, Words[I]);
+    Interp = std::make_unique<Interpreter>(Mem);
+    Interp->state().Pc = Entry;
+  }
+
+  /// Records one superblock starting at the current PC.
+  dbt::Superblock record(unsigned MaxInsts = 200) {
+    dbt::SuperblockBuilder B(Interp->state().Pc, MaxInsts);
+    while (B.append(Interp->step()) !=
+           dbt::SuperblockBuilder::Status::Done) {
+    }
+    return B.take();
+  }
+};
+
+/// Runs lowering + analysis (+ allocation for accumulator variants) on a
+/// superblock, returning the annotated block.
+inline dbt::LoweredBlock analyze(const dbt::Superblock &Sb,
+                                 const dbt::DbtConfig &Config,
+                                 dbt::StrandAllocResult *AllocOut = nullptr) {
+  dbt::LoweredBlock Block = dbt::lower(Sb, Config);
+  dbt::analyzeUsage(Block, Config);
+  if (Config.Variant != iisa::IsaVariant::Straight) {
+    dbt::StrandAllocResult Alloc = formStrandsAndAllocate(Block, Config);
+    if (AllocOut)
+      *AllocOut = std::move(Alloc);
+  }
+  return Block;
+}
+
+} // namespace dbttest
+} // namespace ildp
+
+#endif // ILDP_TESTS_CORE_DBTTESTUTIL_H

@@ -1,0 +1,211 @@
+//===- tests/core/Fig2GoldenTest.cpp --------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's own worked example as a golden test: the 164.gzip loop of
+/// Figure 2 translated to the basic and modified accumulator ISAs. The
+/// generated code must reproduce the structure the paper shows — strand
+/// assignment, copy placement (basic), destination-GPR annotation
+/// (modified), and the two-instruction chain ending.
+///
+//===----------------------------------------------------------------------===//
+
+#include "DbtTestUtil.h"
+
+#include "core/CodeGen.h"
+#include "iisa/Disasm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using namespace ildp::dbt;
+using namespace ildp::dbttest;
+using Op = Opcode;
+
+namespace {
+
+/// Assembles Figure 2(a) with the loop at a known address and a live data
+/// environment so recording follows the loop.
+struct Fig2Program {
+  std::unique_ptr<Program> Prog;
+  uint64_t LoopEntry = 0;
+
+  Fig2Program() {
+    Assembler Asm(0x10000);
+    // Environment: r16 = buffer, r17 = count, r0 = table, r1 = hash.
+    Asm.loadImm(16, 0x20000);
+    Asm.loadImm(17, 64);
+    Asm.loadImm(0, 0x21000);
+    Asm.loadImm(1, 0x1234);
+    auto L1 = Asm.createLabel("L1");
+    Asm.bind(L1);
+    Asm.ldbu(3, 0, 16);                // ldbu r3, 0[r16]
+    Asm.operatei(Op::SUBL, 17, 1, 17); // subl r17, 1, r17
+    Asm.lda(16, 1, 16);                // lda r16, 1[r16]
+    Asm.operate(Op::XOR, 1, 3, 3);     // xor r1, r3, r3
+    Asm.operatei(Op::SRL, 1, 8, 1);    // srl r1, 8, r1
+    Asm.operatei(Op::AND, 3, 0xFF, 3); // and r3, 0xff, r3
+    Asm.operate(Op::S8ADDQ, 3, 0, 3);  // s8addq r3, r0, r3
+    Asm.ldq(3, 0, 3);                  // ldq r3, 0[r3]
+    Asm.operate(Op::XOR, 3, 1, 1);     // xor r3, r1, r1
+    Asm.condBr(Op::BNE, 17, L1);       // bne r17, L1
+    Asm.halt();                        // L2:
+    Prog = std::make_unique<Program>(Asm);
+    LoopEntry = Asm.labelAddr(L1);
+    // Table entries must land inside the mapped table region: the hash
+    // chain indexes table[byte & 0xff].
+    Prog->Mem.mapRegion(0x20000, 0x2000);
+    // Run to the loop head, then record one iteration.
+    while (Prog->Interp->state().Pc != LoopEntry)
+      Prog->Interp->step();
+  }
+};
+
+std::vector<std::string> disasmBody(const Fragment &Frag) {
+  std::vector<std::string> Lines;
+  for (const auto &Inst : Frag.Body)
+    Lines.push_back(iisa::disassemble(Inst));
+  return Lines;
+}
+
+std::string hex(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx", (unsigned long long)V);
+  return Buf;
+}
+
+} // namespace
+
+TEST(Fig2Golden, BasicIsa) {
+  Fig2Program P;
+  Superblock Sb = P.Prog->record();
+  ASSERT_EQ(Sb.End, SbEndReason::BackwardTaken);
+  ASSERT_EQ(Sb.Insts.size(), 10u);
+
+  DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Basic;
+  TranslationResult R = translate(Sb, Config, ChainEnv());
+
+  // Figure 2(c), with the set-VPC-base prologue (Section 2.2) first.
+  const std::vector<std::string> Expected = {
+      "VPC <- " + hex(P.LoopEntry),
+      "A0 <- mem[R16]",       // ldbu
+      "A1 <- R17 - 1",        // subl
+      "R17 <- A1",            //   copy (live out)
+      "A2 <- R16 + 1",        // lda
+      "R16 <- A2",            //   copy (live out)
+      "A0 <- R1 xor A0",      // xor r1, r3, r3
+      "A3 <- R1 >> 8",        // srl
+      "A0 <- A0 and 255",     // and
+      "A0 <- 8*A0 + R0",      // s8addq
+      "A0 <- mem[A0]",        // ldq
+      "R3 <- A0",             //   copy (live out)
+      "A3 <- R3 xor A3",      // xor r3, r1, r1
+      "R1 <- A3",             //   copy (live out)
+      "P <- " + hex(P.LoopEntry) + ", if (A1 != 0)",
+      // L2 is not yet translated: a call-translator exit, patched later.
+      "P <- " + hex(P.LoopEntry + 10 * 4) + " [translator]",
+  };
+  EXPECT_EQ(disasmBody(R.Frag), Expected);
+
+  // Exactly the paper's structure: 4 copy instructions, strand count 4,
+  // both exits recorded.
+  unsigned Copies = 0;
+  for (const auto &Inst : R.Frag.Body)
+    Copies += Inst.Kind == iisa::IKind::CopyToGpr;
+  EXPECT_EQ(Copies, 4u);
+  EXPECT_EQ(R.Strands, 4u);
+  EXPECT_EQ(R.Spills, 0u);
+  ASSERT_EQ(R.Frag.Exits.size(), 2u);
+  EXPECT_EQ(R.Frag.Exits[0].VTarget, P.LoopEntry); // self-chain
+  EXPECT_FALSE(R.Frag.Exits[0].Pending);
+
+  // PEI table: the two loads, with correct V-addresses.
+  ASSERT_EQ(R.Frag.PeiTable.size(), 2u);
+  EXPECT_EQ(R.Frag.PeiTable[0].VAddr, P.LoopEntry);
+  EXPECT_EQ(R.Frag.PeiTable[1].VAddr, P.LoopEntry + 7 * 4);
+}
+
+TEST(Fig2Golden, ModifiedIsa) {
+  Fig2Program P;
+  Superblock Sb = P.Prog->record();
+
+  DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Modified;
+  TranslationResult R = translate(Sb, Config, ChainEnv());
+
+  // Figure 2(d): destination registers explicit, no copy instructions.
+  const std::vector<std::string> Expected = {
+      "VPC <- " + hex(P.LoopEntry),
+      "R3 (A0) <- mem[R16]",
+      "R17 (A1) <- R17 - 1",
+      "R16 (A2) <- R16 + 1",
+      "R3 (A0) <- R1 xor A0",
+      "R1 (A3) <- R1 >> 8",
+      "R3 (A0) <- A0 and 255",
+      "R3 (A0) <- 8*A0 + R0",
+      "R3 (A0) <- mem[A0]",
+      "R1 (A3) <- R3 xor A3",
+      "P <- " + hex(P.LoopEntry) + ", if (A1 != 0)",
+      "P <- " + hex(P.LoopEntry + 10 * 4) + " [translator]",
+  };
+  EXPECT_EQ(disasmBody(R.Frag), Expected);
+
+  for (const auto &Inst : R.Frag.Body) {
+    EXPECT_NE(Inst.Kind, iisa::IKind::CopyToGpr);
+    EXPECT_NE(Inst.Kind, iisa::IKind::CopyFromGpr);
+  }
+
+  // Dynamic instruction counts: basic 16 vs modified 12 for this loop —
+  // the copy elimination the paper quantifies in Table 2.
+  DbtConfig BasicConfig;
+  BasicConfig.Variant = iisa::IsaVariant::Basic;
+  TranslationResult BasicR = translate(Sb, BasicConfig, ChainEnv());
+  EXPECT_EQ(BasicR.Frag.Body.size(), 16u);
+  EXPECT_EQ(R.Frag.Body.size(), 12u);
+  // Static footprint: modified spends more bytes per instruction but has
+  // fewer instructions — for this loop the two roughly cancel.
+  EXPECT_LE(R.Frag.BodyBytes, BasicR.Frag.BodyBytes);
+}
+
+TEST(Fig2Golden, ModifiedShadowWriteClassification) {
+  Fig2Program P;
+  Superblock Sb = P.Prog->record();
+  DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Modified;
+  TranslationResult R = translate(Sb, Config, ChainEnv());
+
+  // Intermediate r3/r1 definitions are consumed through accumulators and
+  // redefined before the exit: shadow-file-only writes. The final
+  // (live-out) definitions are operational.
+  const auto &Body = R.Frag.Body;
+  EXPECT_TRUE(Body[4].GprWriteArchOnly);   // xor r1,r3,r3 (local)
+  EXPECT_TRUE(Body[5].GprWriteArchOnly);   // srl (local)
+  EXPECT_TRUE(Body[6].GprWriteArchOnly);   // and (local)
+  EXPECT_FALSE(Body[2].GprWriteArchOnly);  // subl r17 (live out)
+  EXPECT_FALSE(Body[8].GprWriteArchOnly);  // ldq r3 (live out)
+  EXPECT_FALSE(Body[9].GprWriteArchOnly);  // final xor r1 (live out)
+}
+
+TEST(Fig2Golden, BasicPeiTableCoversAccHeldState) {
+  Fig2Program P;
+  Superblock Sb = P.Prog->record();
+  DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Basic;
+  TranslationResult R = translate(Sb, Config, ChainEnv());
+
+  // At the first load (the ldbu), nothing is held in accumulators yet
+  // (all live state is in the GPR file at loop entry).
+  EXPECT_TRUE(R.Frag.PeiTable[0].AccHeldRegs.empty());
+  // At the second load (the ldq), r3's current architected value is the
+  // s8addq result, which lives only in A0 at that point.
+  const auto &Held = R.Frag.PeiTable[1].AccHeldRegs;
+  bool R3InA0 = false;
+  for (auto [Reg, Acc] : Held)
+    R3InA0 |= Reg == 3 && Acc == 0;
+  EXPECT_TRUE(R3InA0);
+}

@@ -1,0 +1,279 @@
+//===- tests/core/LoweringTest.cpp ----------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::dbt;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+SourceInst src(uint64_t VAddr, AlphaInst Inst, bool Taken = false,
+               uint64_t NextVAddr = 0) {
+  SourceInst S;
+  S.VAddr = VAddr;
+  S.Inst = Inst;
+  S.Taken = Taken;
+  S.NextVAddr = NextVAddr ? NextVAddr : VAddr + 4;
+  return S;
+}
+
+AlphaInst operate(Op O, uint8_t Ra, uint8_t Rb, uint8_t Rc) {
+  AlphaInst I;
+  I.Op = O;
+  I.Ra = Ra;
+  I.Rb = Rb;
+  I.Rc = Rc;
+  return I;
+}
+
+AlphaInst operatei(Op O, uint8_t Ra, uint8_t Lit, uint8_t Rc) {
+  AlphaInst I;
+  I.Op = O;
+  I.Ra = Ra;
+  I.HasLit = true;
+  I.Lit = Lit;
+  I.Rc = Rc;
+  return I;
+}
+
+AlphaInst memInst(Op O, uint8_t Ra, int32_t Disp, uint8_t Rb) {
+  AlphaInst I;
+  I.Op = O;
+  I.Ra = Ra;
+  I.Rb = Rb;
+  I.Disp = Disp;
+  return I;
+}
+
+DbtConfig modifiedConfig() {
+  DbtConfig C;
+  C.Variant = iisa::IsaVariant::Modified;
+  return C;
+}
+
+} // namespace
+
+TEST(Lowering, MemorySplitOnDisplacement) {
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, memInst(Op::LDQ, 3, 0, 16)));
+  Sb.Insts.push_back(src(0x1004, memInst(Op::LDQ, 4, 8, 16)));
+  Sb.End = SbEndReason::MaxSize;
+  Sb.FinalNextVAddr = 0x1008;
+
+  LoweredBlock B = lower(Sb, modifiedConfig());
+  // Zero-displacement load: one uop; disp 8: address add + load.
+  ASSERT_EQ(B.List.Uops.size(), 3u);
+  EXPECT_EQ(B.List.Uops[0].Kind, UopKind::Load);
+  EXPECT_EQ(B.List.Uops[1].Kind, UopKind::Alu);
+  EXPECT_EQ(B.List.Uops[1].Op, Op::LDA);
+  EXPECT_TRUE(isTempValue(B.List.Uops[1].Out));
+  EXPECT_EQ(B.List.Uops[2].Kind, UopKind::Load);
+  EXPECT_EQ(B.List.Uops[2].In2.Id, B.List.Uops[1].Out);
+  // V-credit: the address add leads its source instruction.
+  EXPECT_EQ(B.List.Uops[1].VCredit, 1);
+  EXPECT_EQ(B.List.Uops[2].VCredit, 0);
+}
+
+TEST(Lowering, NoSplitMode) {
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, memInst(Op::LDQ, 3, 8, 16)));
+  Sb.End = SbEndReason::MaxSize;
+  DbtConfig C = modifiedConfig();
+  C.SplitMemoryOps = false;
+  LoweredBlock B = lower(Sb, C);
+  ASSERT_EQ(B.List.Uops.size(), 1u);
+  EXPECT_EQ(B.List.Uops[0].MemDisp, 8);
+}
+
+TEST(Lowering, CmovTwoOpDecomposition) {
+  // The modified ISA's default: the paper's two-instruction decomposition
+  // (mask + blend through the readable destination-GPR field).
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, operate(Op::CMOVEQ, 1, 2, 3)));
+  Sb.End = SbEndReason::MaxSize;
+  LoweredBlock B = lower(Sb, modifiedConfig());
+  ASSERT_EQ(B.List.Uops.size(), 2u);
+  EXPECT_EQ(B.List.Uops[0].Kind, UopKind::CmovMask);
+  EXPECT_EQ(B.List.Uops[1].Kind, UopKind::CmovBlend);
+  EXPECT_EQ(B.List.Uops[1].Out, ValueId(3));
+  EXPECT_EQ(B.List.Uops[1].In1.Id, B.List.Uops[0].Out);
+  EXPECT_EQ(B.List.Uops[0].VCredit, 1);
+  EXPECT_EQ(B.List.Uops[1].VCredit, 0);
+}
+
+TEST(Lowering, CmovFourOpDecomposition) {
+  // The basic ISA (and modified with CmovTwoOp off) uses the generic
+  // mask/and/bic/bis expansion.
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, operate(Op::CMOVEQ, 1, 2, 3)));
+  Sb.End = SbEndReason::MaxSize;
+  for (auto Make : {+[] {
+                      DbtConfig C;
+                      C.Variant = iisa::IsaVariant::Basic;
+                      return C;
+                    },
+                    +[] {
+                      DbtConfig C;
+                      C.Variant = iisa::IsaVariant::Modified;
+                      C.CmovTwoOp = false;
+                      return C;
+                    }}) {
+    LoweredBlock B = lower(Sb, Make());
+    ASSERT_EQ(B.List.Uops.size(), 4u);
+    EXPECT_EQ(B.List.Uops[0].Kind, UopKind::CmovMask);
+    EXPECT_EQ(B.List.Uops[1].Op, Op::AND);
+    EXPECT_EQ(B.List.Uops[2].Op, Op::BIC);
+    EXPECT_EQ(B.List.Uops[3].Op, Op::BIS);
+    EXPECT_EQ(B.List.Uops[3].Out, ValueId(3));
+    // The mask temp feeds both AND and BIC.
+    EXPECT_EQ(B.List.Uops[1].In2.Id, B.List.Uops[0].Out);
+    EXPECT_EQ(B.List.Uops[2].In2.Id, B.List.Uops[0].Out);
+    // Only the first carries the V-credit.
+    EXPECT_EQ(B.List.Uops[0].VCredit, 1);
+    EXPECT_EQ(B.List.Uops[3].VCredit, 0);
+  }
+}
+
+TEST(Lowering, StraightKeepsCmovWhole) {
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, operate(Op::CMOVEQ, 1, 2, 3)));
+  Sb.End = SbEndReason::MaxSize;
+  DbtConfig C;
+  C.Variant = iisa::IsaVariant::Straight;
+  LoweredBlock B = lower(Sb, C);
+  ASSERT_EQ(B.List.Uops.size(), 1u);
+  EXPECT_EQ(B.List.Uops[0].Op, Op::CMOVEQ);
+}
+
+TEST(Lowering, NopsRemovedWithoutCredit) {
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, operate(Op::BIS, 31, 31, 31))); // NOP
+  Sb.Insts.push_back(src(0x1004, operatei(Op::ADDQ, 1, 1, 1)));
+  Sb.End = SbEndReason::MaxSize;
+  LoweredBlock B = lower(Sb, modifiedConfig());
+  ASSERT_EQ(B.List.Uops.size(), 1u);
+  EXPECT_EQ(B.NopsRemoved, 1u);
+  // NOPs are excluded from V-ISA characteristics entirely (Section 4.4).
+  EXPECT_EQ(B.List.Uops[0].VCredit, 1);
+}
+
+TEST(Lowering, StraightenedBrCarriesCredit) {
+  AlphaInst Br;
+  Br.Op = Op::BR;
+  Br.Ra = 31;
+  Br.Disp = 2;
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, Br, true, 0x100C));
+  Sb.Insts.push_back(src(0x100C, operatei(Op::ADDQ, 1, 1, 1)));
+  Sb.End = SbEndReason::MaxSize;
+  LoweredBlock B = lower(Sb, modifiedConfig());
+  ASSERT_EQ(B.List.Uops.size(), 1u);
+  // The removed BR is real retired work; its credit lands on the add.
+  EXPECT_EQ(B.List.Uops[0].VCredit, 2);
+  EXPECT_EQ(B.NopsRemoved, 1u);
+}
+
+TEST(Lowering, TakenSideExitReversed) {
+  AlphaInst Beq;
+  Beq.Op = Op::BEQ;
+  Beq.Ra = 1;
+  Beq.Disp = 4;
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, Beq, /*Taken=*/true, 0x1014));
+  Sb.Insts.push_back(src(0x1014, operatei(Op::ADDQ, 1, 1, 1)));
+  Sb.End = SbEndReason::MaxSize;
+  LoweredBlock B = lower(Sb, modifiedConfig());
+  ASSERT_EQ(B.SideExits.size(), 1u);
+  const Uop &Cond = B.List.Uops[B.SideExits[0].UopIdx];
+  EXPECT_EQ(Cond.Op, Op::BNE); // reversed
+  EXPECT_EQ(B.SideExits[0].ExitVAddr, 0x1004u); // exits to fall-through
+}
+
+TEST(Lowering, NotTakenSideExitKeepsSense) {
+  AlphaInst Beq;
+  Beq.Op = Op::BEQ;
+  Beq.Ra = 1;
+  Beq.Disp = 4;
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, Beq, /*Taken=*/false));
+  Sb.Insts.push_back(src(0x1004, operatei(Op::ADDQ, 1, 1, 1)));
+  Sb.End = SbEndReason::MaxSize;
+  LoweredBlock B = lower(Sb, modifiedConfig());
+  ASSERT_EQ(B.SideExits.size(), 1u);
+  EXPECT_EQ(B.List.Uops[B.SideExits[0].UopIdx].Op, Op::BEQ);
+  EXPECT_EQ(B.SideExits[0].ExitVAddr, 0x1014u); // branch target
+}
+
+TEST(Lowering, FinalBackwardBranchNotReversed) {
+  AlphaInst Bne;
+  Bne.Op = Op::BNE;
+  Bne.Ra = 17;
+  Bne.Disp = -2;
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1004, operatei(Op::SUBQ, 17, 1, 17)));
+  Sb.Insts.push_back(src(0x1008, Bne, /*Taken=*/true, 0x1004));
+  Sb.End = SbEndReason::BackwardTaken;
+  Sb.FinalNextVAddr = 0x1004;
+  LoweredBlock B = lower(Sb, modifiedConfig());
+  ASSERT_EQ(B.SideExits.size(), 1u);
+  EXPECT_EQ(B.List.Uops[B.SideExits[0].UopIdx].Op, Op::BNE);
+  EXPECT_EQ(B.SideExits[0].ExitVAddr, 0x1004u); // the taken (hot) target
+}
+
+TEST(Lowering, JsrEmitsSaveRetPushRasAndEndJump) {
+  AlphaInst Jsr;
+  Jsr.Op = Op::JSR;
+  Jsr.Ra = 26;
+  Jsr.Rb = 27;
+  Superblock Sb;
+  Sb.EntryVAddr = 0x1000;
+  Sb.Insts.push_back(src(0x1000, Jsr, true, 0x4000));
+  Sb.End = SbEndReason::IndirectJump;
+  Sb.FinalNextVAddr = 0x4000;
+
+  DbtConfig C = modifiedConfig();
+  C.Chaining = ChainPolicy::SwPredRas;
+  LoweredBlock B = lower(Sb, C);
+  ASSERT_EQ(B.List.Uops.size(), 3u);
+  EXPECT_EQ(B.List.Uops[0].Kind, UopKind::SaveRet);
+  EXPECT_EQ(B.List.Uops[0].Out, ValueId(26));
+  EXPECT_EQ(B.List.Uops[0].EmbAddr, 0x1004u);
+  EXPECT_EQ(B.List.Uops[1].Kind, UopKind::PushRas);
+  EXPECT_EQ(B.List.Uops[2].Kind, UopKind::EndJump);
+  EXPECT_EQ(B.List.Uops[2].In1.Id, ValueId(27));
+
+  // Without the RAS policy there is no push.
+  C.Chaining = ChainPolicy::SwPredNoRas;
+  LoweredBlock B2 = lower(Sb, C);
+  ASSERT_EQ(B2.List.Uops.size(), 2u);
+  EXPECT_EQ(B2.List.Uops[1].Kind, UopKind::EndJump);
+}
+
+TEST(Lowering, ReverseCondBranchTable) {
+  EXPECT_EQ(reverseCondBranch(Op::BEQ), Op::BNE);
+  EXPECT_EQ(reverseCondBranch(Op::BNE), Op::BEQ);
+  EXPECT_EQ(reverseCondBranch(Op::BLT), Op::BGE);
+  EXPECT_EQ(reverseCondBranch(Op::BGE), Op::BLT);
+  EXPECT_EQ(reverseCondBranch(Op::BLE), Op::BGT);
+  EXPECT_EQ(reverseCondBranch(Op::BGT), Op::BLE);
+  EXPECT_EQ(reverseCondBranch(Op::BLBC), Op::BLBS);
+  EXPECT_EQ(reverseCondBranch(Op::BLBS), Op::BLBC);
+}

@@ -1,0 +1,191 @@
+//===- tests/core/StrandAllocTest.cpp -------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "DbtTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using namespace ildp::dbt;
+using namespace ildp::dbttest;
+using iisa::UsageClass;
+using Op = Opcode;
+
+namespace {
+
+struct BlockBuilder {
+  Superblock Sb;
+  uint64_t Pc = 0x1000;
+
+  BlockBuilder() {
+    Sb.EntryVAddr = Pc;
+    Sb.End = SbEndReason::MaxSize;
+  }
+
+  void op(Op O, uint8_t Ra, uint8_t Rb, uint8_t Rc) {
+    AlphaInst I;
+    I.Op = O;
+    I.Ra = Ra;
+    I.Rb = Rb;
+    I.Rc = Rc;
+    SourceInst S;
+    S.VAddr = Pc;
+    S.Inst = I;
+    S.NextVAddr = Pc + 4;
+    Sb.Insts.push_back(S);
+    Pc += 4;
+    Sb.FinalNextVAddr = Pc;
+  }
+
+  void opi(Op O, uint8_t Ra, uint8_t Lit, uint8_t Rc) {
+    AlphaInst I;
+    I.Op = O;
+    I.Ra = Ra;
+    I.HasLit = true;
+    I.Lit = Lit;
+    I.Rc = Rc;
+    SourceInst S;
+    S.VAddr = Pc;
+    S.Inst = I;
+    S.NextVAddr = Pc + 4;
+    Sb.Insts.push_back(S);
+    Pc += 4;
+    Sb.FinalNextVAddr = Pc;
+  }
+};
+
+DbtConfig config(unsigned Accs = 4) {
+  DbtConfig C;
+  C.Variant = iisa::IsaVariant::Modified;
+  C.NumAccumulators = Accs;
+  return C;
+}
+
+} // namespace
+
+TEST(StrandAlloc, ChainsShareOneStrand) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2); // start strand
+  B.opi(Op::ADDQ, 2, 2, 3); // continue (local input)
+  B.opi(Op::ADDQ, 3, 3, 4); // continue
+  B.opi(Op::ADDQ, 1, 9, 2); // redefs keep r2/r3 local-class
+  B.opi(Op::ADDQ, 1, 9, 3);
+  StrandAllocResult Alloc;
+  LoweredBlock Block = analyze(B.Sb, config(), &Alloc);
+  const auto &U = Block.List.Uops;
+  EXPECT_EQ(U[0].Strand, U[1].Strand);
+  EXPECT_EQ(U[1].Strand, U[2].Strand);
+  EXPECT_EQ(U[0].Acc, U[2].Acc);
+  EXPECT_EQ(Alloc.NumStrands, 3u); // the chain plus the two redef strands
+}
+
+TEST(StrandAlloc, IndependentChainsGetDistinctAccs) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2);
+  B.opi(Op::ADDQ, 5, 1, 6);
+  B.opi(Op::ADDQ, 2, 2, 2); // continue chain 1 (r2 local)
+  B.opi(Op::ADDQ, 6, 2, 6); // continue chain 2
+  StrandAllocResult Alloc;
+  LoweredBlock Block = analyze(B.Sb, config(), &Alloc);
+  const auto &U = Block.List.Uops;
+  EXPECT_EQ(Alloc.NumStrands, 2u);
+  EXPECT_NE(U[0].Acc, U[1].Acc);
+  EXPECT_EQ(U[0].Strand, U[2].Strand);
+  EXPECT_EQ(U[1].Strand, U[3].Strand);
+}
+
+TEST(StrandAlloc, TwoGlobalInputsGetPreCopy) {
+  BlockBuilder B;
+  B.op(Op::ADDQ, 1, 2, 3); // both inputs live-in globals
+  StrandAllocResult Alloc;
+  LoweredBlock Block = analyze(B.Sb, config(), &Alloc);
+  EXPECT_EQ(Block.List.Uops[0].PreCopySlot, 1);
+  EXPECT_EQ(Alloc.PreCopies, 1u);
+}
+
+TEST(StrandAlloc, OneGlobalOneImmNoPreCopy) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 7, 3);
+  StrandAllocResult Alloc;
+  LoweredBlock Block = analyze(B.Sb, config(), &Alloc);
+  EXPECT_EQ(Block.List.Uops[0].PreCopySlot, 0);
+  EXPECT_EQ(Alloc.PreCopies, 0u);
+}
+
+TEST(StrandAlloc, TwoLocalInputsSpillOne) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2); // strand A: r2 local
+  B.opi(Op::ADDQ, 5, 2, 6); // strand B: r6 local
+  B.op(Op::ADDQ, 2, 6, 7);  // two local inputs
+  B.opi(Op::ADDQ, 1, 0, 2); // redefine r2 and r6 so they stay local-class
+  B.opi(Op::ADDQ, 1, 0, 6);
+  B.opi(Op::ADDQ, 7, 0, 7);
+  StrandAllocResult Alloc;
+  LoweredBlock Block = analyze(B.Sb, config(), &Alloc);
+  const auto &U = Block.List.Uops;
+  // One of the two producers is demoted to a spill global.
+  bool Spilled0 = U[0].OutUsage == UsageClass::SpillGlobal;
+  bool Spilled1 = U[1].OutUsage == UsageClass::SpillGlobal;
+  EXPECT_NE(Spilled0, Spilled1);
+  // The consumer joins the surviving producer's strand.
+  int Winner = Spilled0 ? U[1].Strand : U[0].Strand;
+  EXPECT_EQ(U[2].Strand, Winner);
+}
+
+TEST(StrandAlloc, LongerStrandWinsTwoLocalHeuristic) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2); // strand A, length 1
+  B.opi(Op::ADDQ, 2, 2, 2); // strand A, length 2
+  B.opi(Op::ADDQ, 2, 3, 2); // strand A, length 3 (r2 local chain)
+  B.opi(Op::ADDQ, 5, 1, 6); // strand B, length 1: r6
+  B.op(Op::ADDQ, 2, 6, 7);  // r2 (strand A) vs r6 (strand B)
+  B.opi(Op::ADDQ, 1, 0, 2); // redefs keep classes local
+  B.opi(Op::ADDQ, 1, 0, 6);
+  B.opi(Op::ADDQ, 7, 0, 7);
+  StrandAllocResult Alloc;
+  LoweredBlock Block = analyze(B.Sb, config(), &Alloc);
+  const auto &U = Block.List.Uops;
+  EXPECT_EQ(U[4].Strand, U[2].Strand); // joined the longer strand
+  EXPECT_EQ(U[3].OutUsage, UsageClass::SpillGlobal);
+}
+
+TEST(StrandAlloc, ExhaustionTerminatesAndResumes) {
+  // Two accumulators, three overlapping strands: the allocator must
+  // terminate one (copy-to-GPR) and resume it later (copy-from-GPR).
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2);  // strand 1
+  B.opi(Op::ADDQ, 1, 2, 3);  // strand 2
+  B.opi(Op::ADDQ, 1, 3, 4);  // strand 3 -> exhaustion at 2 accumulators
+  B.opi(Op::ADDQ, 2, 1, 2);  // strand 1 continues
+  B.opi(Op::ADDQ, 3, 1, 3);  // strand 2 continues
+  B.opi(Op::ADDQ, 4, 1, 4);  // strand 3 continues
+  StrandAllocResult Alloc;
+  LoweredBlock Block = analyze(B.Sb, config(/*Accs=*/2), &Alloc);
+  EXPECT_GE(Alloc.SpillTerminations, 1u);
+  EXPECT_GE(Alloc.Reloads.size(), 1u);
+  // Every value-producing uop still has a valid accumulator.
+  for (const Uop &U : Block.List.Uops)
+    if (U.producesValue()) {
+      EXPECT_GE(U.Acc, 0);
+      EXPECT_LT(U.Acc, 2);
+    }
+}
+
+TEST(StrandAlloc, EightAccumulatorsReduceSpills) {
+  BlockBuilder B;
+  // Eight interleaved strands, each continuing later.
+  for (int I = 0; I != 8; ++I)
+    B.opi(Op::ADDQ, 1, uint8_t(I), uint8_t(2 + I));
+  for (int I = 0; I != 8; ++I)
+    B.opi(Op::ADDQ, uint8_t(2 + I), 1, uint8_t(2 + I));
+  StrandAllocResult Alloc4, Alloc8;
+  analyze(B.Sb, config(4), &Alloc4);
+  DbtConfig C8 = config(8);
+  analyze(B.Sb, C8, &Alloc8);
+  EXPECT_GT(Alloc4.SpillTerminations, 0u);
+  EXPECT_EQ(Alloc8.SpillTerminations, 0u);
+}

@@ -1,0 +1,164 @@
+//===- tests/core/SuperblockBuilderTest.cpp -------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MRET recording: fragment-ending conditions and path following, driven
+/// by a real interpreter over assembled programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/SuperblockBuilder.h"
+
+#include "alpha/Assembler.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::dbt;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+struct Recorder {
+  GuestMemory Mem;
+  std::unique_ptr<Interpreter> Interp;
+
+  explicit Recorder(Assembler &Asm) {
+    std::vector<uint32_t> Words = Asm.finalize();
+    for (size_t I = 0; I != Words.size(); ++I)
+      Mem.poke32(Asm.baseAddr() + I * 4, Words[I]);
+    Interp = std::make_unique<Interpreter>(Mem);
+    Interp->state().Pc = Asm.baseAddr();
+  }
+
+  /// Records from the current PC until the builder finishes.
+  Superblock record(unsigned MaxInsts = 200) {
+    SuperblockBuilder B(Interp->state().Pc, MaxInsts);
+    while (B.append(Interp->step()) != SuperblockBuilder::Status::Done) {
+    }
+    return B.take();
+  }
+};
+
+} // namespace
+
+TEST(SuperblockBuilder, EndsAtBackwardTakenBranch) {
+  Assembler Asm(0x1000);
+  Asm.movi(5, 1);
+  auto L = Asm.createLabel("loop");
+  Asm.bind(L);
+  Asm.operatei(Op::ADDQ, 2, 1, 2);
+  Asm.operatei(Op::SUBQ, 1, 1, 1);
+  Asm.condBr(Op::BNE, 1, L);
+  Asm.halt();
+  Recorder R(Asm);
+  // Skip the mov so recording starts at the loop head.
+  R.Interp->step();
+  Superblock Sb = R.record();
+  EXPECT_EQ(Sb.End, SbEndReason::BackwardTaken);
+  EXPECT_EQ(Sb.EntryVAddr, 0x1004u);
+  EXPECT_EQ(Sb.Insts.size(), 3u);
+  EXPECT_EQ(Sb.FinalNextVAddr, 0x1004u); // loops back
+  EXPECT_TRUE(Sb.Insts.back().Taken);
+}
+
+TEST(SuperblockBuilder, EndsAtIndirectJumpAndReturn) {
+  Assembler Asm(0x1000);
+  auto F = Asm.createLabel("f");
+  Asm.loadLabelAddr(27, F);
+  Asm.jsr(26, 27);
+  Asm.halt();
+  Asm.bind(F);
+  Asm.movi(1, 1);
+  Asm.ret(26);
+  Recorder R(Asm);
+  Superblock Sb = R.record();
+  EXPECT_EQ(Sb.End, SbEndReason::IndirectJump);
+  EXPECT_EQ(Sb.Insts.back().Inst.Op, Op::JSR);
+
+  Superblock Sb2 = R.record();
+  EXPECT_EQ(Sb2.End, SbEndReason::Return);
+  EXPECT_EQ(Sb2.Insts.back().Inst.Op, Op::RET);
+  EXPECT_EQ(Sb2.FinalNextVAddr, 0x100Cu);
+}
+
+TEST(SuperblockBuilder, FollowsDirectBranches) {
+  // Straightening: BR does not end recording; the target code is inlined.
+  Assembler Asm(0x1000);
+  auto Skip = Asm.createLabel("skip");
+  Asm.movi(1, 1);
+  Asm.br(Skip);
+  Asm.movi(99, 2); // never executed
+  Asm.bind(Skip);
+  Asm.movi(2, 3);
+  Asm.halt();
+  Recorder R(Asm);
+  Superblock Sb = R.record();
+  EXPECT_EQ(Sb.End, SbEndReason::Trap);
+  ASSERT_EQ(Sb.Insts.size(), 4u); // movi, br, movi, halt
+  EXPECT_EQ(Sb.Insts[2].VAddr, Asm.labelAddr(Skip));
+}
+
+TEST(SuperblockBuilder, EndsOnCycle) {
+  // An unconditional BR back into already-collected code: BR itself is
+  // straightened through, so the cycle condition fires.
+  Assembler Asm(0x1000);
+  auto Top = Asm.createLabel("top");
+  Asm.bind(Top);
+  Asm.operatei(Op::ADDQ, 2, 1, 2);
+  Asm.operatei(Op::ADDQ, 2, 2, 2);
+  Asm.br(Top);
+  Recorder R(Asm);
+  Superblock Sb = R.record();
+  EXPECT_EQ(Sb.End, SbEndReason::Cycle);
+  EXPECT_EQ(Sb.FinalNextVAddr, 0x1000u);
+  EXPECT_EQ(Sb.Insts.size(), 3u); // two adds + the BR
+}
+
+TEST(SuperblockBuilder, MaxSizeCap) {
+  Assembler Asm(0x1000);
+  for (int I = 0; I != 50; ++I)
+    Asm.operatei(Op::ADDQ, 1, 1, 1);
+  Asm.halt();
+  Recorder R(Asm);
+  Superblock Sb = R.record(/*MaxInsts=*/10);
+  EXPECT_EQ(Sb.End, SbEndReason::MaxSize);
+  EXPECT_EQ(Sb.Insts.size(), 10u);
+  EXPECT_EQ(Sb.FinalNextVAddr, 0x1000u + 10 * 4);
+}
+
+TEST(SuperblockBuilder, TrapAbortsCleanly) {
+  Assembler Asm(0x1000);
+  Asm.movi(1, 1);
+  Asm.loadImm(16, 0x800000);
+  Asm.ldq(2, 0, 16); // faults
+  Asm.halt();
+  Recorder R(Asm);
+  Superblock Sb = R.record();
+  EXPECT_EQ(Sb.End, SbEndReason::Aborted);
+  // The trapping load is not collected.
+  EXPECT_EQ(Sb.Insts.back().Inst.Op, Op::LDAH);
+  EXPECT_EQ(Sb.FinalNextVAddr, Sb.Insts.back().VAddr + 4);
+}
+
+TEST(SuperblockBuilder, ReversedForwardBranchRecordsTakenPath) {
+  Assembler Asm(0x1000);
+  auto T = Asm.createLabel("t");
+  Asm.movi(1, 1);
+  Asm.condBr(Op::BNE, 1, T); // taken forward
+  Asm.movi(99, 2);
+  Asm.bind(T);
+  Asm.movi(3, 3);
+  Asm.halt();
+  Recorder R(Asm);
+  Superblock Sb = R.record();
+  ASSERT_GE(Sb.Insts.size(), 3u);
+  EXPECT_TRUE(Sb.Insts[1].Taken);
+  // The recorded path continues at the taken target.
+  EXPECT_EQ(Sb.Insts[2].VAddr, Asm.labelAddr(T));
+}

@@ -1,0 +1,167 @@
+//===- tests/core/TranslationCachePropertyTest.cpp ------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property sweeps over the translation cache: I-PC assignment is
+/// monotone and non-overlapping under any install order, pending-exit
+/// patching converges to a fully-chained state regardless of the order
+/// fragments appear, and flushing restarts the world without leaving
+/// stale linkage behind.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/TranslationCache.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::dbt;
+using namespace ildp::iisa;
+
+namespace {
+
+/// Minimal two-instruction fragment (set_vpc_base + exit branch).
+Fragment makeFragment(uint64_t Entry, uint64_t Target) {
+  Fragment F;
+  F.EntryVAddr = Entry;
+  F.Variant = IsaVariant::Modified;
+  IisaInst Vpc;
+  Vpc.Kind = IKind::SetVpcBase;
+  Vpc.VTarget = Entry;
+  Vpc.SizeBytes = 6;
+  F.Body.push_back(Vpc);
+  IisaInst Br;
+  Br.Kind = IKind::Branch;
+  Br.VTarget = Target;
+  Br.ToTranslator = true;
+  Br.SizeBytes = 4;
+  F.Body.push_back(Br);
+  F.InstOffset = {0, 6};
+  F.BodyBytes = 10;
+  F.Exits.push_back({1, Target, /*Pending=*/true});
+  F.SourceVAddrs = {Entry};
+  return F;
+}
+
+} // namespace
+
+class TCacheOrderTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TCacheOrderTest, ChainRingFullyPatchedUnderAnyInstallOrder) {
+  // N fragments forming a ring (each exits to the next entry). Install
+  // them in a seeded random order: once all are present, every exit must
+  // be patched (no Pending flags, no call-translator branches left) —
+  // the same converged state for every order.
+  constexpr unsigned N = 9;
+  std::vector<unsigned> Order(N);
+  for (unsigned I = 0; I != N; ++I)
+    Order[I] = I;
+  Rng R(0xC0FFEE00ull + GetParam());
+  for (unsigned I = N; I > 1; --I)
+    std::swap(Order[I - 1], Order[R.nextBelow(I)]);
+
+  TranslationCache Cache;
+  auto EntryOf = [](unsigned I) { return 0x10000ull + I * 0x100; };
+  for (unsigned I : Order)
+    Cache.install(makeFragment(EntryOf(I), EntryOf((I + 1) % N)));
+
+  ASSERT_EQ(Cache.fragmentCount(), size_t(N));
+  // Every exit patched exactly once: N pending exits, N patches.
+  EXPECT_EQ(Cache.patchCount(), uint64_t(N));
+  for (const auto &F : Cache.fragments()) {
+    ASSERT_EQ(F->Exits.size(), 1u);
+    EXPECT_FALSE(F->Exits[0].Pending);
+    EXPECT_FALSE(F->Body[F->Exits[0].InstIndex].ToTranslator);
+    // The patched branch targets the successor fragment's entry.
+    const Fragment *Succ = Cache.lookup(F->Exits[0].VTarget);
+    ASSERT_NE(Succ, nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TCacheOrderTest, ::testing::Range(0u, 8u));
+
+TEST(TCacheProperty, IBasesAreMonotoneAndNonOverlapping) {
+  TranslationCache Cache;
+  uint64_t PrevEnd = TranslationCache::TCacheBase;
+  for (unsigned I = 0; I != 32; ++I) {
+    Fragment &F =
+        Cache.install(makeFragment(0x20000 + I * 0x40, 0x90000 + I * 0x40));
+    EXPECT_GE(F.IBase, PrevEnd)
+        << "fragment " << I << " overlaps its predecessor";
+    PrevEnd = F.IBase + F.BodyBytes;
+  }
+  EXPECT_EQ(Cache.totalBodyBytes(), 32u * 10u);
+}
+
+TEST(TCacheProperty, SelfLoopFragmentPatchesItself) {
+  // A fragment whose exit targets its own entry (a tight loop) must be
+  // chained to itself at install time.
+  TranslationCache Cache;
+  Fragment &F = Cache.install(makeFragment(0x30000, 0x30000));
+  EXPECT_FALSE(F.Exits[0].Pending);
+  EXPECT_EQ(Cache.patchCount(), 1u);
+}
+
+TEST(TCacheProperty, FlushRestartsWithoutStaleState) {
+  TranslationCache Cache;
+  for (unsigned I = 0; I != 6; ++I)
+    Cache.install(makeFragment(0x40000 + I * 0x40, 0x40000 + I * 0x40));
+  ASSERT_EQ(Cache.fragmentCount(), 6u);
+  uint64_t BytesBefore = Cache.totalBodyBytes();
+  ASSERT_GT(BytesBefore, 0u);
+
+  Cache.flush();
+  EXPECT_EQ(Cache.fragmentCount(), 0u);
+  EXPECT_EQ(Cache.totalBodyBytes(), 0u);
+  EXPECT_EQ(Cache.uniqueSourceInsts(), 0u);
+  EXPECT_EQ(Cache.flushCount(), 1u);
+  for (unsigned I = 0; I != 6; ++I)
+    EXPECT_EQ(Cache.lookup(0x40000 + I * 0x40), nullptr);
+
+  // Reinstall after the flush: I-PCs must not reuse the flushed range, so
+  // stale predictor/BTB entries can never alias new code.
+  Fragment &F = Cache.install(makeFragment(0x40000, 0x40000));
+  EXPECT_GE(F.IBase, TranslationCache::TCacheBase + BytesBefore);
+  EXPECT_EQ(Cache.fragmentCount(), 1u);
+}
+
+TEST(TCacheProperty, PendingExitsDoNotSurviveFlush) {
+  // Fragment A pends on target T. Flush, then install a fragment at T:
+  // nothing should be patched (A is gone), and patch accounting must not
+  // count phantom work.
+  TranslationCache Cache;
+  Cache.install(makeFragment(0x50000, 0x51000));
+  uint64_t PatchesBefore = Cache.patchCount();
+  Cache.flush();
+  Cache.install(makeFragment(0x51000, 0x52000));
+  EXPECT_EQ(Cache.patchCount(), PatchesBefore);
+}
+
+TEST(TCacheProperty, UniqueSourceInstsUnionAcrossFragments) {
+  TranslationCache Cache;
+  // Two fragments covering overlapping V-ISA ranges: the static-footprint
+  // denominator counts each source address once.
+  Fragment A = makeFragment(0x60000, 0x61000);
+  A.SourceVAddrs = {0x60000, 0x60004, 0x60008};
+  Fragment B = makeFragment(0x60004, 0x61000);
+  B.SourceVAddrs = {0x60004, 0x60008, 0x6000C};
+  Cache.install(std::move(A));
+  Cache.install(std::move(B));
+  EXPECT_EQ(Cache.uniqueSourceInsts(), 4u);
+}
+
+TEST(TCacheProperty, LookupIsEntryExactNotRangeBased) {
+  // Superblock entries are looked up by exact V-PC; an address in the
+  // middle of a translated region is not an entry point (the paper's
+  // fragments are single-entry).
+  TranslationCache Cache;
+  Cache.install(makeFragment(0x70000, 0x71000));
+  EXPECT_NE(Cache.lookup(0x70000), nullptr);
+  EXPECT_EQ(Cache.lookup(0x70004), nullptr);
+  EXPECT_EQ(Cache.lookup(0x6FFFC), nullptr);
+}

@@ -1,0 +1,113 @@
+//===- tests/core/TranslationCacheTest.cpp --------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TranslationCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::dbt;
+using namespace ildp::iisa;
+
+namespace {
+
+/// Minimal fragment: set_vpc_base + branch to \p Target.
+Fragment makeFragment(uint64_t Entry, uint64_t Target, bool Pending) {
+  Fragment F;
+  F.EntryVAddr = Entry;
+  F.Variant = IsaVariant::Modified;
+  IisaInst Vpc;
+  Vpc.Kind = IKind::SetVpcBase;
+  Vpc.VTarget = Entry;
+  Vpc.SizeBytes = 6;
+  F.Body.push_back(Vpc);
+  IisaInst Br;
+  Br.Kind = IKind::Branch;
+  Br.VTarget = Target;
+  Br.ToTranslator = Pending;
+  Br.SizeBytes = 4;
+  F.Body.push_back(Br);
+  F.InstOffset = {0, 6};
+  F.BodyBytes = 10;
+  F.Exits.push_back({1, Target, Pending});
+  F.SourceVAddrs = {Entry};
+  return F;
+}
+
+} // namespace
+
+TEST(TranslationCache, InstallAndLookup) {
+  TranslationCache TC;
+  TC.install(makeFragment(0x1000, 0x2000, true));
+  EXPECT_TRUE(TC.contains(0x1000));
+  EXPECT_FALSE(TC.contains(0x2000));
+  ASSERT_NE(TC.lookup(0x1000), nullptr);
+  EXPECT_EQ(TC.lookup(0x1000)->EntryVAddr, 0x1000u);
+  EXPECT_EQ(TC.fragmentCount(), 1u);
+}
+
+TEST(TranslationCache, AssignsDistinctIBases) {
+  TranslationCache TC;
+  Fragment &A = TC.install(makeFragment(0x1000, 0x2000, true));
+  Fragment &B = TC.install(makeFragment(0x3000, 0x4000, true));
+  EXPECT_GE(A.IBase, TranslationCache::TCacheBase);
+  EXPECT_GE(B.IBase, A.IBase + A.BodyBytes);
+  EXPECT_EQ(TC.totalBodyBytes(), 20u);
+}
+
+TEST(TranslationCache, PatchesPendingExitsOnInstall) {
+  TranslationCache TC;
+  Fragment &A = TC.install(makeFragment(0x1000, 0x2000, true));
+  EXPECT_TRUE(A.Exits[0].Pending);
+  EXPECT_TRUE(A.Body[1].ToTranslator);
+
+  TC.install(makeFragment(0x2000, 0x1000, true));
+  // A's exit to 0x2000 is patched into a chained branch...
+  EXPECT_FALSE(A.Exits[0].Pending);
+  EXPECT_FALSE(A.Body[1].ToTranslator);
+  // ...and the new fragment's exit to (already installed) 0x1000 was
+  // resolved at install time.
+  EXPECT_FALSE(TC.lookup(0x2000)->Exits[0].Pending);
+  EXPECT_EQ(TC.patchCount(), 2u);
+}
+
+TEST(TranslationCache, NonPendingExitsUntouched) {
+  TranslationCache TC;
+  Fragment &A = TC.install(makeFragment(0x1000, 0x1000, false));
+  TC.install(makeFragment(0x2000, 0x3000, true));
+  EXPECT_FALSE(A.Exits[0].Pending);
+  EXPECT_EQ(TC.patchCount(), 0u);
+}
+
+TEST(TranslationCache, UniqueSourceInstsDeduplicated) {
+  TranslationCache TC;
+  Fragment A = makeFragment(0x1000, 0x2000, true);
+  A.SourceVAddrs = {0x1000, 0x1004, 0x1008};
+  Fragment B = makeFragment(0x1004, 0x2000, true);
+  B.SourceVAddrs = {0x1004, 0x1008, 0x100C}; // overlaps A
+  TC.install(std::move(A));
+  TC.install(std::move(B));
+  EXPECT_EQ(TC.uniqueSourceInsts(), 4u);
+}
+
+TEST(TranslationCache, ManyPendingExitsToSameTarget) {
+  TranslationCache TC;
+  Fragment &A = TC.install(makeFragment(0x1000, 0x9000, true));
+  Fragment &B = TC.install(makeFragment(0x2000, 0x9000, true));
+  Fragment &C = TC.install(makeFragment(0x3000, 0x9000, true));
+  TC.install(makeFragment(0x9000, 0x9000, false));
+  EXPECT_FALSE(A.Exits[0].Pending);
+  EXPECT_FALSE(B.Exits[0].Pending);
+  EXPECT_FALSE(C.Exits[0].Pending);
+  EXPECT_EQ(TC.patchCount(), 3u);
+}
+
+TEST(TranslationCache, InstPcFromOffsets) {
+  TranslationCache TC;
+  Fragment &A = TC.install(makeFragment(0x1000, 0x2000, true));
+  EXPECT_EQ(A.instPc(0), A.IBase);
+  EXPECT_EQ(A.instPc(1), A.IBase + 6);
+}

@@ -1,0 +1,131 @@
+//===- tests/core/TrapSweepTest.cpp ---------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive precise-trap property: for a memory-walking program, shrink
+/// the mapped data region step by step so the fault lands at *different
+/// loop depths and PEI sites*, and require bit-exact architected-state
+/// recovery against the reference interpreter every time, for both
+/// accumulator ISAs and the straightening backend.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+/// A loop with several PEIs per iteration (two loads, one store) and live
+/// accumulator state at each of them.
+std::vector<uint32_t> buildWalker(uint64_t &Entry) {
+  Assembler Asm(0x10000);
+  Asm.loadImm(16, 0x20000);
+  Asm.loadImm(18, 0x40000);
+  Asm.loadImm(17, 3000);
+  Asm.movi(0, 9);
+  auto Loop = Asm.createLabel("loop");
+  Asm.bind(Loop);
+  Asm.operatei(Op::ADDQ, 9, 3, 2); // locals in accumulators at the PEIs
+  Asm.operatei(Op::SLL, 2, 2, 3);
+  Asm.ldq(4, 0, 16);               // PEI 1
+  Asm.operate(Op::XOR, 3, 4, 5);
+  Asm.ldq(6, 8, 16);               // PEI 2 (split address)
+  Asm.operate(Op::ADDQ, 5, 6, 5);
+  Asm.stq(5, 0, 18);               // PEI 3 (store to a separate region)
+  Asm.operate(Op::ADDQ, 9, 5, 9);
+  Asm.lda(16, 16, 16);
+  Asm.lda(18, 8, 18);
+  Asm.operatei(Op::SUBL, 17, 1, 17);
+  Asm.condBr(Op::BNE, 17, Loop);
+  Asm.halt();
+  Entry = 0x10000;
+  return Asm.finalize();
+}
+
+void loadProgram(GuestMemory &Mem, const std::vector<uint32_t> &Words,
+                 uint64_t DataBytes, uint64_t StoreBytes) {
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(0x10000 + I * 4, Words[I]);
+  Mem.mapRegion(0x20000, DataBytes); // loads walk 16B/iter (48KB total)
+  Mem.mapRegion(0x40000, StoreBytes); // stores walk 8B/iter (24KB total)
+  for (uint64_t I = 0; I * 8 < DataBytes; ++I)
+    Mem.poke64(0x20000 + I * 8, I * 0x9E3779B97F4A7C15ull + 7);
+}
+
+struct SweepCase {
+  uint64_t DataBytes;  ///< Mapped size of the load region.
+  uint64_t StoreBytes; ///< Mapped size of the store region.
+  iisa::IsaVariant Variant;
+};
+
+class TrapSweep : public ::testing::TestWithParam<SweepCase> {};
+
+} // namespace
+
+TEST_P(TrapSweep, RecoveryIsBitExact) {
+  SweepCase Case = GetParam();
+  uint64_t Entry = 0;
+  std::vector<uint32_t> Words = buildWalker(Entry);
+
+  // Reference.
+  GuestMemory RefMem;
+  loadProgram(RefMem, Words, Case.DataBytes, Case.StoreBytes);
+  Interpreter Ref(RefMem);
+  Ref.state().Pc = Entry;
+  StepInfo Last = Ref.run(10'000'000);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+
+  // VM with translated execution.
+  GuestMemory Mem;
+  loadProgram(Mem, Words, Case.DataBytes, Case.StoreBytes);
+  vm::VmConfig Config;
+  Config.Dbt.Variant = Case.Variant;
+  vm::VirtualMachine Vm(Mem, Entry, Config);
+  vm::RunResult Result = Vm.run();
+  ASSERT_EQ(Result.Reason, vm::StopReason::Trapped);
+  EXPECT_GT(Vm.stats().get("exit.trap"), 0u)
+      << "the trap should fire from translated code";
+
+  EXPECT_EQ(Result.Trap.TrapInfo.Kind, Last.TrapInfo.Kind);
+  EXPECT_EQ(Result.Trap.TrapInfo.Pc, Last.TrapInfo.Pc);
+  EXPECT_EQ(Result.Trap.TrapInfo.MemAddr, Last.TrapInfo.MemAddr);
+  EXPECT_EQ(Result.Trap.Arch.Pc, Ref.state().Pc);
+  for (unsigned Reg = 0; Reg != NumGprs; ++Reg)
+    EXPECT_EQ(Result.Trap.Arch.readGpr(Reg), Ref.state().readGpr(Reg))
+        << "r" << Reg;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSites, TrapSweep, ::testing::ValuesIn([] {
+      std::vector<SweepCase> Cases;
+      // Shrinking the load region makes PEI 1 or PEI 2 fault at varying
+      // iteration parities; shrinking the store region faults PEI 3.
+      for (auto Variant : {iisa::IsaVariant::Basic, iisa::IsaVariant::Modified,
+                           iisa::IsaVariant::Straight}) {
+        // Non-faulting sizes: loads need 48KB, stores 24KB.
+        for (uint64_t KB : {8u, 12u, 16u, 20u})
+          Cases.push_back({KB * 1024, 32 * 1024, Variant});
+        for (uint64_t KB : {4u, 8u})
+          Cases.push_back({64 * 1024, KB * 1024, Variant});
+        // Misaligned variant: map everything, but the data walk crosses
+        // into an odd stride via the 8-byte loads at +8 over 16-byte
+        // steps — covered by the unmapped cases above; keep region odd
+        // sized to land the boundary mid-iteration.
+        Cases.push_back({10 * 1024 + 8, 32 * 1024, Variant});
+      }
+      return Cases;
+    }()),
+    [](const ::testing::TestParamInfo<SweepCase> &Info) {
+      return std::string(dbt::getVariantName(Info.param.Variant)) + "_d" +
+             std::to_string(Info.param.DataBytes) + "_s" +
+             std::to_string(Info.param.StoreBytes);
+    });

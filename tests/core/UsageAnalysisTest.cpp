@@ -1,0 +1,223 @@
+//===- tests/core/UsageAnalysisTest.cpp -----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "DbtTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using namespace ildp::dbt;
+using namespace ildp::dbttest;
+using iisa::UsageClass;
+using Op = Opcode;
+
+namespace {
+
+/// Straight-line block builder for analysis tests.
+struct BlockBuilder {
+  Superblock Sb;
+  uint64_t Pc = 0x1000;
+
+  BlockBuilder() {
+    Sb.EntryVAddr = Pc;
+    Sb.End = SbEndReason::MaxSize;
+  }
+
+  void add(AlphaInst Inst, bool Taken = false, uint64_t Next = 0) {
+    SourceInst S;
+    S.VAddr = Pc;
+    S.Inst = Inst;
+    S.Taken = Taken;
+    S.NextVAddr = Next ? Next : Pc + 4;
+    Sb.Insts.push_back(S);
+    Pc += 4;
+    Sb.FinalNextVAddr = Pc;
+  }
+
+  void op(Op O, uint8_t Ra, uint8_t Rb, uint8_t Rc) {
+    AlphaInst I;
+    I.Op = O;
+    I.Ra = Ra;
+    I.Rb = Rb;
+    I.Rc = Rc;
+    add(I);
+  }
+
+  void opi(Op O, uint8_t Ra, uint8_t Lit, uint8_t Rc) {
+    AlphaInst I;
+    I.Op = O;
+    I.Ra = Ra;
+    I.HasLit = true;
+    I.Lit = Lit;
+    I.Rc = Rc;
+    add(I);
+  }
+
+  void load(uint8_t Ra, uint8_t Rb) {
+    AlphaInst I;
+    I.Op = Op::LDQ;
+    I.Ra = Ra;
+    I.Rb = Rb;
+    add(I);
+  }
+
+  void condBr(Op O, uint8_t Ra, int32_t Disp, bool Taken) {
+    AlphaInst I;
+    I.Op = O;
+    I.Ra = Ra;
+    I.Disp = Disp;
+    uint64_t Next = Taken ? Pc + 4 + uint64_t(Disp) * 4 : 0;
+    add(I, Taken, Next);
+  }
+};
+
+DbtConfig config(iisa::IsaVariant V) {
+  DbtConfig C;
+  C.Variant = V;
+  return C;
+}
+
+} // namespace
+
+TEST(UsageAnalysis, BasicClasses) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2); // r2 = r1+1     : local (used once, redefined)
+  B.opi(Op::ADDQ, 2, 2, 3); // r3 = r2+2     : comm (used twice, redefined)
+  B.op(Op::ADDQ, 3, 3, 4);  // r4 = r3+r3    : live out
+  B.opi(Op::ADDQ, 1, 3, 2); // r2 redefined  : live out
+  B.opi(Op::ADDQ, 1, 5, 3); // r3 redefined  : live out
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Modified));
+  const auto &U = Block.List.Uops;
+  EXPECT_EQ(U[0].OutUsage, UsageClass::Local);
+  EXPECT_EQ(U[1].OutUsage, UsageClass::CommGlobal);
+  EXPECT_EQ(U[2].OutUsage, UsageClass::LiveOutGlobal);
+  EXPECT_EQ(U[3].OutUsage, UsageClass::LiveOutGlobal);
+  EXPECT_EQ(U[4].OutUsage, UsageClass::LiveOutGlobal);
+}
+
+TEST(UsageAnalysis, NoUserClass) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2); // dead: overwritten without use
+  B.opi(Op::ADDQ, 1, 2, 2);
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Modified));
+  EXPECT_EQ(Block.List.Uops[0].OutUsage, UsageClass::NoUser);
+}
+
+TEST(UsageAnalysis, ReachingDefsAndLiveIns) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 7, 1, 2);
+  B.op(Op::ADDQ, 2, 7, 3); // r2 from uop 0; r7 live-in
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Modified));
+  EXPECT_EQ(Block.List.Uops[1].In1.DefIdx, 0);
+  EXPECT_EQ(Block.List.Uops[1].In2.DefIdx, -1);
+  EXPECT_EQ(Block.List.Uops[0].NumUses, 1);
+  EXPECT_EQ(Block.List.Uops[0].RedefIdx, -1);
+}
+
+TEST(UsageAnalysis, BasicExitPromotion) {
+  // A local value whose register stays current across a conditional side
+  // exit must be promoted to local->global in the basic ISA (Figure 7).
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2);            // def r2
+  B.condBr(Op::BEQ, 3, 8, false);      // side exit; r2 current here
+  B.opi(Op::ADDQ, 2, 1, 4);            // use of r2
+  B.opi(Op::ADDQ, 1, 2, 2);            // redef r2
+  B.opi(Op::ADDQ, 4, 1, 4);            // keep r4 from being the only liveout
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Basic));
+  EXPECT_EQ(Block.List.Uops[0].OutUsage, UsageClass::LocalToGlobal);
+  EXPECT_TRUE(Block.List.Uops[0].NeedsGprCopy);
+
+  // The modified ISA does not need the promotion.
+  LoweredBlock Mod = analyze(B.Sb, config(iisa::IsaVariant::Modified));
+  EXPECT_EQ(Mod.List.Uops[0].OutUsage, UsageClass::Local);
+}
+
+TEST(UsageAnalysis, NoPromotionWhenRedefinedBeforeExit) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2);       // def r2 (local)
+  B.opi(Op::ADDQ, 2, 1, 2);       // use + redef r2 before the exit
+  B.condBr(Op::BEQ, 3, 8, false); // side exit
+  B.opi(Op::ADDQ, 2, 1, 2);       // redef again
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Basic));
+  EXPECT_EQ(Block.List.Uops[0].OutUsage, UsageClass::Local);
+  EXPECT_FALSE(Block.List.Uops[0].NeedsGprCopy);
+}
+
+TEST(UsageAnalysis, TrapRulePromotion) {
+  // Section 2.2: a local whose accumulator dies before a PEI while its
+  // register is still live needs a copy (basic ISA only).
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 2);  // def r2 in a strand
+  B.opi(Op::ADDQ, 2, 2, 3);  // use r2; same strand continues -> acc dies
+  B.load(4, 5);              // PEI while r2 still architecturally live
+  B.opi(Op::ADDQ, 1, 3, 2);  // redef r2 after the PEI
+  B.opi(Op::ADDQ, 3, 1, 3);  // redef r3 too (keep it from forcing liveout)
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Basic));
+  EXPECT_EQ(Block.List.Uops[0].OutUsage, UsageClass::LocalToGlobal);
+  EXPECT_TRUE(Block.List.Uops[0].NeedsGprCopy);
+}
+
+TEST(UsageAnalysis, IndirectTargetForcedGlobal) {
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 27); // computed call target
+  AlphaInst Jmp;
+  Jmp.Op = Op::JMP;
+  Jmp.Ra = 31;
+  Jmp.Rb = 27;
+  B.add(Jmp, true, 0x5000);
+  B.Sb.End = SbEndReason::IndirectJump;
+  B.Sb.FinalNextVAddr = 0x5000;
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Basic));
+  // The target definition must be materialized for the chaining code.
+  // (Never redefined, so the conservative classifier already calls it
+  // live-out; the copy requirement is the load-bearing part.)
+  EXPECT_TRUE(Block.List.Uops[0].NeedsGprCopy);
+  EXPECT_EQ(Block.List.Uops[0].OutUsage, UsageClass::LiveOutGlobal);
+}
+
+TEST(UsageAnalysis, TempClasses) {
+  // Memory decomposition creates single-use temps.
+  BlockBuilder B;
+  AlphaInst Load;
+  Load.Op = Op::LDQ;
+  Load.Ra = 2;
+  Load.Rb = 16;
+  Load.Disp = 24;
+  B.add(Load);
+  B.opi(Op::ADDQ, 2, 1, 2);
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Modified));
+  ASSERT_EQ(Block.List.Uops.size(), 3u);
+  EXPECT_TRUE(isTempValue(Block.List.Uops[0].Out));
+  EXPECT_EQ(Block.List.Uops[0].OutUsage, UsageClass::Temp);
+}
+
+TEST(UsageAnalysis, CmovMaskTempIsCommGlobal) {
+  // Four-op decomposition (basic ISA): the mask temp is read by both AND
+  // and BIC — communication global, needing a scratch GPR home.
+  BlockBuilder B;
+  B.op(Op::CMOVEQ, 1, 2, 3);
+  B.opi(Op::ADDQ, 3, 1, 3);
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Basic));
+  EXPECT_EQ(Block.List.Uops[0].Kind, UopKind::CmovMask);
+  EXPECT_EQ(Block.List.Uops[0].OutUsage, UsageClass::CommGlobal);
+  EXPECT_TRUE(Block.List.Uops[0].NeedsGprCopy);
+}
+
+TEST(UsageAnalysis, CmovBlendImplicitOldUse) {
+  // Two-op decomposition (modified ISA): the blend's implicit old-value
+  // read forces the prior definition of the register operational.
+  BlockBuilder B;
+  B.opi(Op::ADDQ, 1, 1, 3); // old r3 def, otherwise dead before the cmov
+  B.op(Op::CMOVEQ, 1, 2, 3);
+  B.opi(Op::ADDQ, 3, 1, 3);
+  LoweredBlock Block = analyze(B.Sb, config(iisa::IsaVariant::Modified));
+  ASSERT_EQ(Block.List.Uops.size(), 4u);
+  EXPECT_EQ(Block.List.Uops[2].Kind, UopKind::CmovBlend);
+  // The old def is not "no user": the blend consumes it through the GPR.
+  EXPECT_EQ(Block.List.Uops[0].NumUses, 1);
+  EXPECT_NE(Block.List.Uops[0].OutUsage, UsageClass::NoUser);
+}

@@ -1,0 +1,210 @@
+//===- tests/iisa/EncodingPropertyTest.cpp --------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Properties of the 16/32/48-bit I-ISA encoding-size model (paper
+/// Section 3.3): fixed-size formats, the short-immediate and
+/// register-field-sharing rules that let the common accumulator forms fit
+/// 16 bits, and monotonicity under operand widening.
+///
+//===----------------------------------------------------------------------===//
+
+#include "iisa/Encoding.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::iisa;
+
+namespace {
+
+IisaInst computeAccOnly() {
+  IisaInst Inst;
+  Inst.Kind = IKind::Compute;
+  Inst.A = IOperand::acc(0);
+  Inst.DestAcc = 0;
+  return Inst;
+}
+
+} // namespace
+
+TEST(EncodingProperty, EmbeddedAddressFormatsAreAlways48Bits) {
+  for (IKind Kind : {IKind::SetVpcBase, IKind::SaveRetAddr,
+                     IKind::LoadEmbTarget, IKind::PushDualRas}) {
+    IisaInst Inst;
+    Inst.Kind = Kind;
+    Inst.VTarget = 0x10000;
+    EXPECT_EQ(encodedSize(Inst, IsaVariant::Basic), 6u);
+    EXPECT_EQ(encodedSize(Inst, IsaVariant::Modified), 6u);
+  }
+}
+
+TEST(EncodingProperty, FragmentExitsCarry32BitDisplacements) {
+  for (IKind Kind : {IKind::CondExit, IKind::Branch, IKind::JumpPredict}) {
+    IisaInst Inst;
+    Inst.Kind = Kind;
+    Inst.VTarget = 0x10000;
+    EXPECT_EQ(encodedSize(Inst, IsaVariant::Modified), 4u);
+  }
+}
+
+TEST(EncodingProperty, RegisterIndirectAndPalFormsAre16Bits) {
+  for (IKind Kind :
+       {IKind::JumpDispatch, IKind::ReturnDual, IKind::Halt, IKind::Gentrap}) {
+    IisaInst Inst;
+    Inst.Kind = Kind;
+    EXPECT_EQ(encodedSize(Inst, IsaVariant::Modified), 2u);
+  }
+}
+
+TEST(EncodingProperty, AccumulatorOnlyComputeFits16Bits) {
+  // "A0 <- A0 srl 8"-style strand-internal instructions are the 16-bit
+  // common case the ISA is designed around.
+  IisaInst Inst = computeAccOnly();
+  Inst.B = IOperand::imm(7); // Largest short immediate.
+  EXPECT_EQ(encodedSize(Inst, IsaVariant::Basic), 2u);
+}
+
+TEST(EncodingProperty, ShortImmediateBoundaryIsUnsigned3Bits) {
+  IisaInst Inst = computeAccOnly();
+  // 0..7 fit the 16-bit format's short immediate field.
+  for (int64_t Imm : {0, 1, 7}) {
+    Inst.B = IOperand::imm(Imm);
+    EXPECT_EQ(encodedSize(Inst, IsaVariant::Basic), 2u) << "imm " << Imm;
+  }
+  // 8, and any negative value, force the 32-bit format.
+  for (int64_t Imm : {int64_t(8), int64_t(255), int64_t(-1), int64_t(32767),
+                      int64_t(-32768)}) {
+    Inst.B = IOperand::imm(Imm);
+    EXPECT_EQ(encodedSize(Inst, IsaVariant::Basic), 4u) << "imm " << Imm;
+  }
+  // Beyond 16 signed bits the 48-bit format is required.
+  for (int64_t Imm : {int64_t(32768), int64_t(-32769), int64_t(1) << 30}) {
+    Inst.B = IOperand::imm(Imm);
+    EXPECT_EQ(encodedSize(Inst, IsaVariant::Basic), 6u) << "imm " << Imm;
+  }
+}
+
+TEST(EncodingProperty, MemoryDisplacementUsesTheSameImmediateRules) {
+  IisaInst Load;
+  Load.Kind = IKind::Load;
+  Load.B = IOperand::acc(1); // Address in an accumulator.
+  Load.DestAcc = 1;
+  Load.MemDisp = 0;
+  EXPECT_EQ(encodedSize(Load, IsaVariant::Basic), 2u);
+  Load.MemDisp = 4;
+  EXPECT_EQ(encodedSize(Load, IsaVariant::Basic), 2u);
+  Load.MemDisp = -8;
+  EXPECT_EQ(encodedSize(Load, IsaVariant::Basic), 4u);
+  Load.MemDisp = 100000;
+  EXPECT_EQ(encodedSize(Load, IsaVariant::Basic), 6u);
+}
+
+TEST(EncodingProperty, InPlaceGprFormSharesTheRegisterField) {
+  // Modified-ISA "R17 (A1) <- R17 - 1": source and destination GPR are the
+  // same architectural register, so one field serves both and the
+  // instruction still fits 16 bits.
+  IisaInst InPlace;
+  InPlace.Kind = IKind::Compute;
+  InPlace.A = IOperand::gpr(17);
+  InPlace.B = IOperand::imm(1);
+  InPlace.DestAcc = 1;
+  InPlace.DestGpr = 17;
+  EXPECT_EQ(encodedSize(InPlace, IsaVariant::Modified), 2u);
+
+  // A different destination GPR needs its own field: 32 bits.
+  InPlace.DestGpr = 18;
+  EXPECT_EQ(encodedSize(InPlace, IsaVariant::Modified), 4u);
+}
+
+TEST(EncodingProperty, TwoDistinctGprReadsNeed32Bits) {
+  IisaInst Inst;
+  Inst.Kind = IKind::Compute;
+  Inst.A = IOperand::gpr(1);
+  Inst.B = IOperand::gpr(2);
+  Inst.DestAcc = 0;
+  EXPECT_EQ(encodedSize(Inst, IsaVariant::Basic), 4u);
+  // Collapsing to one distinct register restores the 16-bit form.
+  Inst.B = IOperand::gpr(1);
+  EXPECT_EQ(encodedSize(Inst, IsaVariant::Basic), 2u);
+}
+
+TEST(EncodingProperty, CopiesAreCompact) {
+  IisaInst ToGpr;
+  ToGpr.Kind = IKind::CopyToGpr;
+  ToGpr.A = IOperand::acc(2);
+  ToGpr.DestGpr = 9;
+  EXPECT_EQ(encodedSize(ToGpr, IsaVariant::Basic), 2u);
+
+  IisaInst FromGpr;
+  FromGpr.Kind = IKind::CopyFromGpr;
+  FromGpr.A = IOperand::gpr(9);
+  FromGpr.DestAcc = 2;
+  EXPECT_EQ(encodedSize(FromGpr, IsaVariant::Basic), 2u);
+}
+
+TEST(EncodingProperty, AssignSizesFillsEveryInstruction) {
+  std::vector<IisaInst> Body;
+  IisaInst Vpc;
+  Vpc.Kind = IKind::SetVpcBase;
+  Body.push_back(Vpc);
+  Body.push_back(computeAccOnly());
+  IisaInst Exit;
+  Exit.Kind = IKind::Branch;
+  Body.push_back(Exit);
+  assignSizes(Body.data(), Body.data() + Body.size(), IsaVariant::Modified);
+  EXPECT_EQ(Body[0].SizeBytes, 6u);
+  EXPECT_EQ(Body[1].SizeBytes, 2u);
+  EXPECT_EQ(Body[2].SizeBytes, 4u);
+}
+
+TEST(EncodingProperty, RandomSweepSizesAreValidAndMonotone) {
+  // For any random compute instruction: the size is one of {2, 4, 6}, and
+  // widening it (adding a distinct GPR read, or growing the immediate)
+  // never shrinks the encoding.
+  Rng R(0xE11C0D1Ull);
+  for (int Case = 0; Case != 500; ++Case) {
+    IisaInst Inst;
+    Inst.Kind = IKind::Compute;
+    Inst.DestAcc = uint8_t(R.next() % 4);
+    // First input: accumulator or GPR.
+    if (R.next() % 2)
+      Inst.A = IOperand::acc(uint8_t(R.next() % 4));
+    else
+      Inst.A = IOperand::gpr(uint8_t(R.next() % 32));
+    // Second input: nothing, accumulator, GPR, or immediate.
+    switch (R.next() % 4) {
+    case 0:
+      break;
+    case 1:
+      Inst.B = IOperand::acc(uint8_t(R.next() % 4));
+      break;
+    case 2:
+      Inst.B = IOperand::gpr(uint8_t(R.next() % 32));
+      break;
+    case 3:
+      Inst.B = IOperand::imm(int64_t(R.next() % 100000) - 50000);
+      break;
+    }
+    unsigned Size = encodedSize(Inst, IsaVariant::Basic);
+    ASSERT_TRUE(Size == 2 || Size == 4 || Size == 6) << "size " << Size;
+
+    // Widen: replace a non-GPR second input with a fresh distinct GPR.
+    if (!Inst.B.isGpr() && !Inst.B.isImm()) {
+      IisaInst Wide = Inst;
+      uint8_t Fresh = Inst.A.isGpr() ? uint8_t((Inst.A.Reg + 1) % 32) : 0;
+      Wide.B = IOperand::gpr(Fresh);
+      EXPECT_GE(encodedSize(Wide, IsaVariant::Basic), Size);
+    }
+    // Widen: grow any immediate past 16 bits.
+    if (Inst.B.isImm()) {
+      IisaInst Wide = Inst;
+      Wide.B = IOperand::imm(1ll << 20);
+      EXPECT_GE(encodedSize(Wide, IsaVariant::Basic), Size);
+    }
+  }
+}

@@ -1,0 +1,108 @@
+//===- tests/iisa/EncodingTest.cpp ----------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "iisa/Encoding.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::iisa;
+using alpha::Opcode;
+
+TEST(IisaEncoding, InPlaceComputeIs16Bit) {
+  // A0 <- A0 and 0xff ... small immediates stay 16-bit only up to 3 bits.
+  IisaInst I;
+  I.Kind = IKind::Compute;
+  I.AlphaOp = Opcode::AND;
+  I.A = IOperand::acc(0);
+  I.B = IOperand::imm(7);
+  I.DestAcc = 0;
+  EXPECT_EQ(encodedSize(I, IsaVariant::Basic), 2u);
+  I.B = IOperand::imm(255);
+  EXPECT_EQ(encodedSize(I, IsaVariant::Basic), 4u);
+  I.B = IOperand::imm(100000);
+  EXPECT_EQ(encodedSize(I, IsaVariant::Basic), 6u);
+}
+
+TEST(IisaEncoding, OneGprStays16Bit) {
+  IisaInst I;
+  I.Kind = IKind::Compute;
+  I.AlphaOp = Opcode::XOR;
+  I.A = IOperand::acc(0);
+  I.B = IOperand::gpr(1);
+  I.DestAcc = 0;
+  EXPECT_EQ(encodedSize(I, IsaVariant::Basic), 2u);
+}
+
+TEST(IisaEncoding, ModifiedDestGprCosts32Bits) {
+  // The Section 2.3 tradeoff: a distinct destination-GPR specifier pushes
+  // one-GPR instructions from 16 to 32 bits...
+  IisaInst I;
+  I.Kind = IKind::Compute;
+  I.AlphaOp = Opcode::XOR;
+  I.A = IOperand::acc(0);
+  I.B = IOperand::gpr(1);
+  I.DestAcc = 0;
+  I.DestGpr = 3;
+  EXPECT_EQ(encodedSize(I, IsaVariant::Modified), 4u);
+  // ...but the in-place form ("R1 (A0) <- A0 xor R1") shares the field.
+  I.DestGpr = 1;
+  EXPECT_EQ(encodedSize(I, IsaVariant::Modified), 2u);
+}
+
+TEST(IisaEncoding, CopiesAre16Bit) {
+  IisaInst To;
+  To.Kind = IKind::CopyToGpr;
+  To.A = IOperand::acc(1);
+  To.DestGpr = 17;
+  EXPECT_EQ(encodedSize(To, IsaVariant::Basic), 2u);
+
+  IisaInst From;
+  From.Kind = IKind::CopyFromGpr;
+  From.A = IOperand::gpr(16);
+  From.DestAcc = 2;
+  EXPECT_EQ(encodedSize(From, IsaVariant::Basic), 2u);
+}
+
+TEST(IisaEncoding, EmbeddedAddressFormats48Bit) {
+  for (IKind K : {IKind::SetVpcBase, IKind::SaveRetAddr,
+                  IKind::LoadEmbTarget, IKind::PushDualRas}) {
+    IisaInst I;
+    I.Kind = K;
+    I.VTarget = 0x12345678;
+    if (K == IKind::SaveRetAddr)
+      I.DestGpr = 26;
+    if (K == IKind::LoadEmbTarget)
+      I.DestAcc = 0;
+    EXPECT_EQ(encodedSize(I, IsaVariant::Basic), 6u);
+  }
+}
+
+TEST(IisaEncoding, ControlTransfers) {
+  IisaInst Cond;
+  Cond.Kind = IKind::CondExit;
+  Cond.AlphaOp = Opcode::BNE;
+  Cond.A = IOperand::acc(1);
+  EXPECT_EQ(encodedSize(Cond, IsaVariant::Basic), 4u);
+
+  IisaInst Ret;
+  Ret.Kind = IKind::ReturnDual;
+  Ret.B = IOperand::gpr(26);
+  EXPECT_EQ(encodedSize(Ret, IsaVariant::Basic), 2u);
+
+  IisaInst Halt;
+  Halt.Kind = IKind::Halt;
+  EXPECT_EQ(encodedSize(Halt, IsaVariant::Basic), 2u);
+}
+
+TEST(IisaEncoding, AssignSizesFillsAll) {
+  IisaInst Insts[2];
+  Insts[0].Kind = IKind::SetVpcBase;
+  Insts[1].Kind = IKind::Halt;
+  assignSizes(Insts, Insts + 2, IsaVariant::Basic);
+  EXPECT_EQ(Insts[0].SizeBytes, 6u);
+  EXPECT_EQ(Insts[1].SizeBytes, 2u);
+}

@@ -1,0 +1,135 @@
+//===- tests/iisa/ValidateTest.cpp ----------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "iisa/IisaInst.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::iisa;
+using alpha::Opcode;
+
+namespace {
+
+IisaInst compute(IOperand A, IOperand B, uint8_t Acc, uint8_t Gpr = NoReg) {
+  IisaInst I;
+  I.Kind = IKind::Compute;
+  I.AlphaOp = Opcode::ADDQ;
+  I.A = A;
+  I.B = B;
+  I.DestAcc = Acc;
+  I.DestGpr = Gpr;
+  return I;
+}
+
+} // namespace
+
+TEST(IisaValidate, BasicAcceptsFig2Forms) {
+  // A0 <- mem[R16]
+  IisaInst Load;
+  Load.Kind = IKind::Load;
+  Load.AlphaOp = Opcode::LDBU;
+  Load.B = IOperand::gpr(16);
+  Load.DestAcc = 0;
+  EXPECT_EQ(validate(Load, IsaVariant::Basic), "");
+
+  // A0 <- A0 xor R1
+  EXPECT_EQ(validate(compute(IOperand::acc(0), IOperand::gpr(1), 0),
+                     IsaVariant::Basic),
+            "");
+
+  // R17 <- A1
+  IisaInst Copy;
+  Copy.Kind = IKind::CopyToGpr;
+  Copy.A = IOperand::acc(1);
+  Copy.DestGpr = 17;
+  EXPECT_EQ(validate(Copy, IsaVariant::Basic), "");
+}
+
+TEST(IisaValidate, BasicRejectsTwoGprs) {
+  EXPECT_NE(validate(compute(IOperand::gpr(1), IOperand::gpr(2), 0),
+                     IsaVariant::Basic),
+            "");
+  // One source GPR plus a destination GPR also exceeds the basic limit.
+  EXPECT_NE(validate(compute(IOperand::acc(0), IOperand::gpr(2), 0, 3),
+                     IsaVariant::Basic),
+            "");
+}
+
+TEST(IisaValidate, ModifiedAllowsDestGpr) {
+  // R3 (A0) <- A0 xor R3
+  EXPECT_EQ(validate(compute(IOperand::acc(0), IOperand::gpr(3), 0, 3),
+                     IsaVariant::Modified),
+            "");
+  // But still only one source GPR.
+  EXPECT_NE(validate(compute(IOperand::gpr(1), IOperand::gpr(2), 0, 3),
+                     IsaVariant::Modified),
+            "");
+}
+
+TEST(IisaValidate, TwoAccumulatorInputsRejected) {
+  EXPECT_NE(validate(compute(IOperand::acc(0), IOperand::acc(1), 0),
+                     IsaVariant::Basic),
+            "");
+  EXPECT_NE(validate(compute(IOperand::acc(0), IOperand::acc(1), 0, 3),
+                     IsaVariant::Modified),
+            "");
+}
+
+TEST(IisaValidate, StraightRejectsAccumulators) {
+  EXPECT_NE(validate(compute(IOperand::acc(0), IOperand::gpr(2), 0),
+                     IsaVariant::Straight),
+            "");
+  IisaInst I = compute(IOperand::gpr(1), IOperand::gpr(2), NoReg, 3);
+  EXPECT_EQ(validate(I, IsaVariant::Straight), "");
+}
+
+TEST(IisaValidate, ScratchRegistersLegal) {
+  IisaInst I = compute(IOperand::acc(0), IOperand::gpr(40), 0, 63);
+  EXPECT_EQ(validate(I, IsaVariant::Modified), "");
+  I.DestGpr = 64; // out of the 64-register file
+  EXPECT_NE(validate(I, IsaVariant::Modified), "");
+}
+
+TEST(IisaValidate, KindShapeChecks) {
+  IisaInst Store;
+  Store.Kind = IKind::Store;
+  Store.AlphaOp = Opcode::STQ;
+  Store.A = IOperand::acc(0);
+  Store.B = IOperand::gpr(16);
+  EXPECT_EQ(validate(Store, IsaVariant::Basic), "");
+  Store.DestAcc = 1;
+  EXPECT_NE(validate(Store, IsaVariant::Basic), "");
+
+  IisaInst Cond;
+  Cond.Kind = IKind::CondExit;
+  Cond.AlphaOp = Opcode::BNE;
+  Cond.A = IOperand::acc(1);
+  Cond.VTarget = 0x1000;
+  EXPECT_EQ(validate(Cond, IsaVariant::Basic), "");
+  Cond.AlphaOp = Opcode::ADDQ;
+  EXPECT_NE(validate(Cond, IsaVariant::Basic), "");
+
+  IisaInst Ret;
+  Ret.Kind = IKind::ReturnDual;
+  Ret.B = IOperand::gpr(26);
+  EXPECT_EQ(validate(Ret, IsaVariant::Basic), "");
+  Ret.B = IOperand::imm(5);
+  EXPECT_NE(validate(Ret, IsaVariant::Basic), "");
+
+  IisaInst Cmov;
+  Cmov.Kind = IKind::Compute;
+  Cmov.AlphaOp = Opcode::CMOVEQ;
+  Cmov.A = IOperand::gpr(1);
+  Cmov.B = IOperand::gpr(2);
+  Cmov.DestGpr = 3;
+  // Whole conditional moves only exist in the straightening backend.
+  EXPECT_EQ(validate(Cmov, IsaVariant::Straight), "");
+  Cmov.DestAcc = 0;
+  Cmov.B = IOperand::imm(2);
+  Cmov.A = IOperand::acc(0);
+  EXPECT_NE(validate(Cmov, IsaVariant::Modified), "");
+}

@@ -1,0 +1,200 @@
+//===- tests/interp/InterpreterTest.cpp -----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "alpha/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+/// Assembles a program into fresh guest memory and returns an interpreter
+/// positioned at its entry.
+struct TestProgram {
+  GuestMemory Mem;
+  std::unique_ptr<Interpreter> Interp;
+
+  explicit TestProgram(Assembler &Asm, uint64_t DataRegion = 0) {
+    std::vector<uint32_t> Words = Asm.finalize();
+    for (size_t I = 0; I != Words.size(); ++I)
+      Mem.poke32(Asm.baseAddr() + I * 4, Words[I]);
+    if (DataRegion)
+      Mem.mapRegion(DataRegion, 0x1000);
+    Interp = std::make_unique<Interpreter>(Mem);
+    Interp->state().Pc = Asm.baseAddr();
+  }
+};
+
+} // namespace
+
+TEST(Interpreter, StraightLineArithmetic) {
+  Assembler Asm(0x1000);
+  Asm.movi(7, 1);                     // r1 = 7
+  Asm.operatei(Op::SLL, 1, 4, 2);     // r2 = 112
+  Asm.operate(Op::ADDQ, 1, 2, 3);     // r3 = 119
+  Asm.operatei(Op::SUBQ, 3, 19, 0);   // r0 = 100
+  Asm.halt();
+  TestProgram P(Asm);
+  StepInfo Last = P.Interp->run(100);
+  EXPECT_EQ(Last.Status, StepStatus::Halted);
+  EXPECT_EQ(P.Interp->state().readGpr(0), 100u);
+  EXPECT_EQ(P.Interp->retiredCount(), 5u);
+}
+
+TEST(Interpreter, ZeroRegisterReadsZeroAndDiscardsWrites) {
+  Assembler Asm(0x1000);
+  Asm.operatei(Op::ADDQ, 31, 9, 31); // write to r31 discarded
+  Asm.operate(Op::ADDQ, 31, 31, 1);  // r1 = 0
+  Asm.halt();
+  TestProgram P(Asm);
+  P.Interp->state().writeGpr(1, 55);
+  P.Interp->run(10);
+  EXPECT_EQ(P.Interp->state().readGpr(31), 0u);
+  EXPECT_EQ(P.Interp->state().readGpr(1), 0u);
+}
+
+TEST(Interpreter, LoadsAndStores) {
+  Assembler Asm(0x1000);
+  Asm.loadImm(16, 0x20000);
+  Asm.loadImm(1, 0x1122334455667788ll);
+  Asm.stq(1, 0, 16);
+  Asm.ldbu(2, 0, 16);  // 0x88
+  Asm.ldwu(3, 2, 16);  // 0x5566
+  Asm.ldl(4, 4, 16);   // sext(0x11223344)
+  Asm.ldq(5, 0, 16);
+  Asm.stb(2, 8, 16);
+  Asm.stw(3, 10, 16);
+  Asm.stl(4, 12, 16);
+  Asm.halt();
+  TestProgram P(Asm, 0x20000);
+  EXPECT_EQ(P.Interp->run(100).Status, StepStatus::Halted);
+  const ArchState &S = P.Interp->state();
+  EXPECT_EQ(S.readGpr(2), 0x88u);
+  EXPECT_EQ(S.readGpr(3), 0x5566u);
+  EXPECT_EQ(S.readGpr(4), 0x11223344u);
+  EXPECT_EQ(S.readGpr(5), 0x1122334455667788ull);
+  EXPECT_EQ(P.Mem.load(0x20008, 1).Value, 0x88u);
+  EXPECT_EQ(P.Mem.load(0x2000A, 2).Value, 0x5566u);
+  EXPECT_EQ(P.Mem.load(0x2000C, 4).Value, 0x11223344u);
+}
+
+TEST(Interpreter, CountedLoop) {
+  Assembler Asm(0x1000);
+  Asm.movi(10, 1); // counter
+  Asm.movi(0, 2);  // sum
+  auto L = Asm.createLabel("loop");
+  Asm.bind(L);
+  Asm.operate(Op::ADDQ, 2, 1, 2);
+  Asm.operatei(Op::SUBQ, 1, 1, 1);
+  Asm.condBr(Op::BNE, 1, L);
+  Asm.halt();
+  TestProgram P(Asm);
+  EXPECT_EQ(P.Interp->run(1000).Status, StepStatus::Halted);
+  EXPECT_EQ(P.Interp->state().readGpr(2), 55u); // 10+9+...+1
+}
+
+TEST(Interpreter, ConditionalMove) {
+  Assembler Asm(0x1000);
+  Asm.movi(0, 1);                      // r1 = 0 (condition)
+  Asm.movi(11, 2);                     // r2 = 11
+  Asm.movi(22, 3);                     // r3 = 22
+  Asm.operate(Op::CMOVEQ, 1, 2, 3);    // r1==0 -> r3 = 11
+  Asm.movi(1, 4);
+  Asm.operate(Op::CMOVEQ, 4, 2, 5);    // r4!=0 -> r5 unchanged (0)
+  Asm.halt();
+  TestProgram P(Asm);
+  P.Interp->run(100);
+  EXPECT_EQ(P.Interp->state().readGpr(3), 11u);
+  EXPECT_EQ(P.Interp->state().readGpr(5), 0u);
+}
+
+TEST(Interpreter, CallAndReturn) {
+  Assembler Asm(0x1000);
+  auto Func = Asm.createLabel("func");
+  Asm.bsr(26, Func);
+  Asm.operatei(Op::ADDQ, 0, 1, 0); // after return: r0 = 42 + 1
+  Asm.halt();
+  Asm.bind(Func);
+  Asm.movi(42, 0);
+  Asm.ret(26);
+  TestProgram P(Asm);
+  EXPECT_EQ(P.Interp->run(100).Status, StepStatus::Halted);
+  EXPECT_EQ(P.Interp->state().readGpr(0), 43u);
+}
+
+TEST(Interpreter, IndirectJumpThroughRegister) {
+  Assembler Asm(0x1000);
+  auto Target = Asm.createLabel("target");
+  Asm.loadLabelAddr(27, Target);
+  Asm.jmp(31, 27);
+  Asm.movi(1, 0); // skipped
+  Asm.halt();
+  Asm.bind(Target);
+  Asm.movi(9, 0);
+  Asm.halt();
+  TestProgram P(Asm);
+  EXPECT_EQ(P.Interp->run(100).Status, StepStatus::Halted);
+  EXPECT_EQ(P.Interp->state().readGpr(0), 9u);
+}
+
+TEST(Interpreter, JsrRecordsReturnAddress) {
+  Assembler Asm(0x1000);
+  auto Func = Asm.createLabel("func");
+  Asm.loadLabelAddr(27, Func); // 2 insts
+  Asm.jsr(26, 27);             // at 0x1008; ra = 0x100C
+  Asm.halt();
+  Asm.bind(Func);
+  Asm.mov(26, 5);
+  Asm.halt();
+  TestProgram P(Asm);
+  P.Interp->run(100);
+  EXPECT_EQ(P.Interp->state().readGpr(5), 0x100Cu);
+}
+
+TEST(Interpreter, StepInfoControlFlags) {
+  Assembler Asm(0x1000);
+  auto L = Asm.createLabel("l");
+  Asm.movi(1, 1);
+  Asm.condBr(Op::BEQ, 1, L); // not taken
+  Asm.bind(L);
+  Asm.halt();
+  TestProgram P(Asm);
+  StepInfo I1 = P.Interp->step();
+  EXPECT_FALSE(I1.IsControl);
+  StepInfo I2 = P.Interp->step();
+  EXPECT_TRUE(I2.IsControl);
+  EXPECT_FALSE(I2.Taken);
+  EXPECT_EQ(I2.NextPc, I2.Pc + 4);
+}
+
+TEST(Interpreter, MulAndUmulh) {
+  Assembler Asm(0x1000);
+  Asm.loadImm(1, int64_t(0x100000000ll));
+  Asm.operate(Op::MULQ, 1, 1, 2);  // low 64 bits: 0
+  Asm.operate(Op::UMULH, 1, 1, 3); // high 64 bits: 1
+  Asm.halt();
+  TestProgram P(Asm);
+  P.Interp->run(100);
+  EXPECT_EQ(P.Interp->state().readGpr(2), 0u);
+  EXPECT_EQ(P.Interp->state().readGpr(3), 1u);
+}
+
+TEST(Interpreter, RunBudgetStopsCleanly) {
+  Assembler Asm(0x1000);
+  auto L = Asm.createLabel("forever");
+  Asm.bind(L);
+  Asm.operatei(Op::ADDQ, 1, 1, 1);
+  Asm.br(L);
+  TestProgram P(Asm);
+  StepInfo Last = P.Interp->run(10);
+  EXPECT_EQ(Last.Status, StepStatus::Ok);
+  EXPECT_EQ(P.Interp->retiredCount(), 10u);
+}

@@ -1,0 +1,122 @@
+//===- tests/interp/InterpreterTrapTest.cpp -------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precise trap reporting by the reference interpreter: architected state
+/// must be exactly that of the trapping instruction's boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "alpha/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+struct TestProgram {
+  GuestMemory Mem;
+  std::unique_ptr<Interpreter> Interp;
+
+  explicit TestProgram(Assembler &Asm) {
+    std::vector<uint32_t> Words = Asm.finalize();
+    for (size_t I = 0; I != Words.size(); ++I)
+      Mem.poke32(Asm.baseAddr() + I * 4, Words[I]);
+    Interp = std::make_unique<Interpreter>(Mem);
+    Interp->state().Pc = Asm.baseAddr();
+  }
+};
+
+} // namespace
+
+TEST(InterpreterTrap, UnmappedLoad) {
+  Assembler Asm(0x1000);
+  Asm.movi(1, 1);
+  Asm.loadImm(16, 0x900000); // unmapped
+  Asm.ldq(2, 8, 16);
+  Asm.movi(99, 3); // must not execute
+  Asm.halt();
+  TestProgram P(Asm);
+  StepInfo Last = P.Interp->run(100);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  EXPECT_EQ(Last.TrapInfo.Kind, TrapKind::MemUnmapped);
+  EXPECT_EQ(Last.TrapInfo.MemAddr, 0x900008u);
+  // Architected state is precise: r1 written, r3 not, PC at the load.
+  EXPECT_EQ(P.Interp->state().readGpr(1), 1u);
+  EXPECT_EQ(P.Interp->state().readGpr(3), 0u);
+  EXPECT_EQ(P.Interp->state().Pc, Last.TrapInfo.Pc);
+}
+
+TEST(InterpreterTrap, MisalignedStore) {
+  Assembler Asm(0x1000);
+  Asm.loadImm(16, 0x20000);
+  Asm.stq(1, 4, 16); // 8-byte store, 4-byte aligned
+  Asm.halt();
+  TestProgram P(Asm);
+  P.Mem.mapRegion(0x20000, 0x1000);
+  StepInfo Last = P.Interp->run(100);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  EXPECT_EQ(Last.TrapInfo.Kind, TrapKind::MemUnaligned);
+}
+
+TEST(InterpreterTrap, Gentrap) {
+  Assembler Asm(0x1000);
+  Asm.movi(5, 1);
+  Asm.gentrap();
+  Asm.halt();
+  TestProgram P(Asm);
+  StepInfo Last = P.Interp->run(100);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  EXPECT_EQ(Last.TrapInfo.Kind, TrapKind::Gentrap);
+  EXPECT_EQ(Last.TrapInfo.Pc, 0x1004u);
+  EXPECT_EQ(P.Interp->state().readGpr(1), 5u);
+}
+
+TEST(InterpreterTrap, IllegalInstruction) {
+  GuestMemory Mem;
+  Mem.poke32(0x1000, 0x3u << 26); // unallocated opcode
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x1000;
+  StepInfo Last = Interp.step();
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  EXPECT_EQ(Last.TrapInfo.Kind, TrapKind::IllegalInst);
+}
+
+TEST(InterpreterTrap, FetchFault) {
+  GuestMemory Mem;
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x5000; // nothing mapped
+  StepInfo Last = Interp.step();
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  EXPECT_EQ(Last.TrapInfo.Kind, TrapKind::FetchFault);
+}
+
+TEST(InterpreterTrap, TrappedInstructionDoesNotRetire) {
+  Assembler Asm(0x1000);
+  Asm.gentrap();
+  TestProgram P(Asm);
+  P.Interp->step();
+  EXPECT_EQ(P.Interp->retiredCount(), 0u);
+}
+
+TEST(InterpreterTrap, ResumableAfterMappingMemory) {
+  Assembler Asm(0x1000);
+  Asm.loadImm(16, 0x30000);
+  Asm.ldq(2, 0, 16);
+  Asm.halt();
+  TestProgram P(Asm);
+  StepInfo Last = P.Interp->run(100);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  // "Handle" the fault by mapping the page, then resume.
+  P.Mem.mapRegion(0x30000, 0x1000);
+  Last = P.Interp->run(100);
+  EXPECT_EQ(Last.Status, StepStatus::Halted);
+}

@@ -1,0 +1,217 @@
+//===- tests/interp/RunSemanticsTest.cpp ----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpreter run-loop semantics: the MaxSteps boundary, retired-count
+/// accounting, precise-trap state and resumability, and decode-cache
+/// behaviour. These are the contracts the VM's interpret/profile stage
+/// and the trap-recovery path rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using Op = Opcode;
+
+namespace {
+
+GuestMemory loadProgram(const Assembler &Asm, std::vector<uint32_t> Words) {
+  GuestMemory Mem;
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(Asm.baseAddr() + I * 4, Words[I]);
+  return Mem;
+}
+
+/// Counting loop: r9 += 1, N iterations, then HALT.
+Assembler makeCountLoop(unsigned Iters) {
+  Assembler Asm(0x10000);
+  Asm.loadImm(17, Iters);
+  auto L = Asm.createLabel("l");
+  Asm.bind(L);
+  Asm.operatei(Op::ADDQ, 9, 1, 9);
+  Asm.operatei(Op::SUBL, 17, 1, 17);
+  Asm.condBr(Op::BNE, 17, L);
+  Asm.halt();
+  return Asm;
+}
+
+} // namespace
+
+TEST(RunSemantics, RunStopsExactlyAtMaxSteps) {
+  Assembler Asm = makeCountLoop(100);
+  GuestMemory Mem = loadProgram(Asm, Asm.finalize());
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x10000;
+  StepInfo Last = Interp.run(7);
+  EXPECT_EQ(Last.Status, StepStatus::Ok); // Budget hit, not HALT.
+  EXPECT_EQ(Interp.retiredCount(), 7u);
+  // The next step continues from exactly where run() stopped.
+  EXPECT_EQ(Interp.state().Pc, Last.NextPc);
+}
+
+TEST(RunSemantics, RunIsResumableToCompletion) {
+  Assembler Asm = makeCountLoop(50);
+  std::vector<uint32_t> Words = Asm.finalize();
+  GuestMemory MemA = loadProgram(Asm, Words);
+  GuestMemory MemB = loadProgram(Asm, Words);
+
+  // One big run and many small runs must retire the same instruction
+  // count and produce the same architected state.
+  Interpreter Whole(MemA);
+  Whole.state().Pc = 0x10000;
+  StepInfo End = Whole.run(1'000'000);
+  ASSERT_EQ(End.Status, StepStatus::Halted);
+
+  Interpreter Chunked(MemB);
+  Chunked.state().Pc = 0x10000;
+  StepInfo Last;
+  do {
+    Last = Chunked.run(13);
+  } while (Last.Status == StepStatus::Ok);
+  ASSERT_EQ(Last.Status, StepStatus::Halted);
+
+  EXPECT_EQ(Whole.retiredCount(), Chunked.retiredCount());
+  for (unsigned Reg = 0; Reg != NumGprs; ++Reg)
+    EXPECT_EQ(Whole.state().readGpr(Reg), Chunked.state().readGpr(Reg))
+        << "r" << Reg;
+}
+
+TEST(RunSemantics, TrapLeavesStateAtFaultingInstruction) {
+  Assembler Asm(0x10000);
+  Asm.operatei(Op::ADDQ, 9, 5, 9); // Retires.
+  Asm.loadImm(16, 0x900000);       // Unmapped address.
+  Asm.ldq(3, 0, 16);               // Traps.
+  Asm.halt();
+  GuestMemory Mem = loadProgram(Asm, Asm.finalize());
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x10000;
+  StepInfo Last = Interp.run(100);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  EXPECT_EQ(Last.TrapInfo.Kind, TrapKind::MemUnmapped);
+  EXPECT_EQ(Last.TrapInfo.MemAddr, 0x900000u);
+  // Precise: PC points at the faulting load, r3 unmodified, the ADDQ's
+  // effect is visible.
+  EXPECT_EQ(Interp.state().Pc, Last.TrapInfo.Pc);
+  EXPECT_EQ(Interp.state().readGpr(3), 0u);
+  EXPECT_EQ(Interp.state().readGpr(9), 5u);
+}
+
+TEST(RunSemantics, TrapDoesNotRetireAndIsResumableAfterMapping) {
+  // The OS-style recovery pattern: map the faulting page and re-execute
+  // the same instruction.
+  Assembler Asm(0x10000);
+  Asm.loadImm(16, 0x80000);
+  Asm.ldq(3, 8, 16);
+  Asm.halt();
+  GuestMemory Mem = loadProgram(Asm, Asm.finalize());
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x10000;
+  StepInfo Last = Interp.run(100);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  uint64_t RetiredAtTrap = Interp.retiredCount();
+
+  Mem.mapRegion(0x80000, 0x1000);
+  Mem.poke64(0x80008, 0xDEADBEEFull);
+  Last = Interp.run(100);
+  ASSERT_EQ(Last.Status, StepStatus::Halted);
+  EXPECT_EQ(Interp.state().readGpr(3), 0xDEADBEEFull);
+  // The faulting attempt itself retired nothing; the re-execution did.
+  EXPECT_GT(Interp.retiredCount(), RetiredAtTrap);
+}
+
+TEST(RunSemantics, UnalignedAccessTrapsPrecisely) {
+  Assembler Asm(0x10000);
+  Asm.loadImm(16, 0x20001); // Odd address.
+  Asm.ldq(3, 0, 16);
+  Asm.halt();
+  GuestMemory Mem = loadProgram(Asm, Asm.finalize());
+  Mem.mapRegion(0x20000, 0x1000);
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x10000;
+  StepInfo Last = Interp.run(100);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  EXPECT_EQ(Last.TrapInfo.Kind, TrapKind::MemUnaligned);
+  EXPECT_EQ(Last.TrapInfo.MemAddr, 0x20001u);
+}
+
+TEST(RunSemantics, FetchFromUnmappedMemoryTraps) {
+  GuestMemory Mem;
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x500000; // Nothing mapped there.
+  StepInfo Last = Interp.step();
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  EXPECT_EQ(Last.TrapInfo.Kind, TrapKind::FetchFault);
+  EXPECT_EQ(Interp.state().Pc, 0x500000u);
+}
+
+TEST(RunSemantics, DecodeCacheReturnsConsistentInstruction) {
+  Assembler Asm = makeCountLoop(3);
+  GuestMemory Mem = loadProgram(Asm, Asm.finalize());
+  Interpreter Interp(Mem);
+  const AlphaInst *First = Interp.decodeAt(0x10000);
+  ASSERT_NE(First, nullptr);
+  Opcode Op0 = First->Op;
+  // Repeated decode of the same address yields the same decoded fields
+  // (and, with the cache, the same storage).
+  const AlphaInst *Second = Interp.decodeAt(0x10000);
+  ASSERT_NE(Second, nullptr);
+  EXPECT_EQ(Second, First);
+  EXPECT_EQ(Second->Op, Op0);
+}
+
+TEST(RunSemantics, StepInfoReportsControlFlowOutcomes) {
+  Assembler Asm = makeCountLoop(2);
+  GuestMemory Mem = loadProgram(Asm, Asm.finalize());
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x10000;
+  bool SawTaken = false;
+  bool SawNotTaken = false;
+  for (;;) {
+    StepInfo Info = Interp.step();
+    if (Info.Status != StepStatus::Ok)
+      break;
+    if (Info.IsControl && Info.Inst.Op == Op::BNE) {
+      if (Info.Taken) {
+        SawTaken = true;
+        EXPECT_NE(Info.NextPc, Info.Pc + 4);
+      } else {
+        SawNotTaken = true;
+        EXPECT_EQ(Info.NextPc, Info.Pc + 4);
+      }
+    }
+  }
+  EXPECT_TRUE(SawTaken);    // First iteration branches back.
+  EXPECT_TRUE(SawNotTaken); // Final iteration falls through.
+}
+
+TEST(RunSemantics, MemAddrReportedForLoadsAndStores) {
+  Assembler Asm(0x10000);
+  Asm.loadImm(16, 0x20010);
+  Asm.stq(9, 8, 16); // Effective address 0x20018.
+  Asm.ldq(3, 8, 16);
+  Asm.halt();
+  GuestMemory Mem = loadProgram(Asm, Asm.finalize());
+  Mem.mapRegion(0x20000, 0x1000);
+  Interpreter Interp(Mem);
+  Interp.state().Pc = 0x10000;
+  std::vector<uint64_t> Addrs;
+  for (;;) {
+    StepInfo Info = Interp.step();
+    if (Info.Status != StepStatus::Ok)
+      break;
+    if (Info.Inst.info().Kind == InstKind::Load ||
+        Info.Inst.info().Kind == InstKind::Store)
+      Addrs.push_back(Info.MemAddr);
+  }
+  ASSERT_EQ(Addrs.size(), 2u);
+  EXPECT_EQ(Addrs[0], 0x20018u);
+  EXPECT_EQ(Addrs[1], 0x20018u);
+}

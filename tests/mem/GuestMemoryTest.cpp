@@ -1,0 +1,86 @@
+//===- tests/mem/GuestMemoryTest.cpp --------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/GuestMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+
+TEST(GuestMemory, UnmappedFaults) {
+  GuestMemory Mem;
+  EXPECT_EQ(Mem.load(0x1000, 8).Fault, MemFaultKind::Unmapped);
+  EXPECT_EQ(Mem.store(0x1000, 1, 8), MemFaultKind::Unmapped);
+  EXPECT_FALSE(Mem.isMapped(0x1000));
+}
+
+TEST(GuestMemory, MapAndRoundTrip) {
+  GuestMemory Mem;
+  Mem.mapRegion(0x2000, 0x100);
+  EXPECT_TRUE(Mem.isMapped(0x2000));
+  EXPECT_EQ(Mem.store(0x2008, 0x1122334455667788ull, 8),
+            MemFaultKind::None);
+  MemAccessResult R = Mem.load(0x2008, 8);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Value, 0x1122334455667788ull);
+}
+
+TEST(GuestMemory, LittleEndianSubAccess) {
+  GuestMemory Mem;
+  Mem.mapRegion(0x3000, 64);
+  Mem.store(0x3000, 0x1122334455667788ull, 8);
+  EXPECT_EQ(Mem.load(0x3000, 1).Value, 0x88u);
+  EXPECT_EQ(Mem.load(0x3001, 1).Value, 0x77u);
+  EXPECT_EQ(Mem.load(0x3000, 2).Value, 0x7788u);
+  EXPECT_EQ(Mem.load(0x3004, 4).Value, 0x11223344u);
+}
+
+TEST(GuestMemory, MisalignedFaults) {
+  GuestMemory Mem;
+  Mem.mapRegion(0x4000, 64);
+  EXPECT_EQ(Mem.load(0x4001, 8).Fault, MemFaultKind::Unaligned);
+  EXPECT_EQ(Mem.load(0x4002, 4).Fault, MemFaultKind::Unaligned);
+  EXPECT_EQ(Mem.load(0x4001, 2).Fault, MemFaultKind::Unaligned);
+  EXPECT_EQ(Mem.store(0x4004, 0, 8), MemFaultKind::Unaligned);
+  // Byte accesses can never be misaligned.
+  EXPECT_TRUE(Mem.load(0x4001, 1).ok());
+}
+
+TEST(GuestMemory, ZeroInitialized) {
+  GuestMemory Mem;
+  Mem.mapRegion(0x5000, GuestMemory::PageSize);
+  EXPECT_EQ(Mem.load(0x5FF8, 8).Value, 0u);
+}
+
+TEST(GuestMemory, RegionSpansPages) {
+  GuestMemory Mem;
+  Mem.mapRegion(GuestMemory::PageSize - 8, 16);
+  EXPECT_TRUE(Mem.isMapped(GuestMemory::PageSize - 1));
+  EXPECT_TRUE(Mem.isMapped(GuestMemory::PageSize));
+  EXPECT_EQ(Mem.mappedPageCount(), 2u);
+}
+
+TEST(GuestMemory, WriteBlobMapsOnDemand) {
+  GuestMemory Mem;
+  const uint8_t Data[] = {1, 2, 3, 4, 5};
+  Mem.writeBlob(0x7FFE, Data, sizeof(Data)); // Crosses a page boundary.
+  EXPECT_EQ(Mem.load(0x7FFE, 1).Value, 1u);
+  EXPECT_EQ(Mem.load(0x8002, 1).Value, 5u);
+}
+
+TEST(GuestMemory, PokeHelpers) {
+  GuestMemory Mem;
+  Mem.poke32(0x9000, 0xCAFEBABE);
+  Mem.poke64(0x9008, 0x0123456789ABCDEFull);
+  EXPECT_EQ(Mem.load(0x9000, 4).Value, 0xCAFEBABEu);
+  EXPECT_EQ(Mem.load(0x9008, 8).Value, 0x0123456789ABCDEFull);
+}
+
+TEST(GuestMemory, StoreDoesNotAllocate) {
+  GuestMemory Mem;
+  EXPECT_EQ(Mem.store(0xA000, 42, 8), MemFaultKind::Unmapped);
+  EXPECT_EQ(Mem.mappedPageCount(), 0u);
+}

@@ -1,0 +1,61 @@
+//===- tests/support/RngTest.cpp ------------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I != 16; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(R.nextBelow(13), 13u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng R(0);
+  // xorshift must never get stuck at zero state.
+  EXPECT_NE(R.next(), 0u);
+  EXPECT_NE(R.next(), R.next());
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(9);
+  for (int I = 0; I != 64; ++I) {
+    EXPECT_FALSE(R.nextChance(0, 10));
+    EXPECT_TRUE(R.nextChance(10, 10));
+  }
+}
+
+TEST(Rng, RoughUniformity) {
+  Rng R(123);
+  int Buckets[4] = {0, 0, 0, 0};
+  for (int I = 0; I != 4000; ++I)
+    ++Buckets[R.nextBelow(4)];
+  for (int Count : Buckets) {
+    EXPECT_GT(Count, 800);
+    EXPECT_LT(Count, 1200);
+  }
+}

@@ -1,0 +1,46 @@
+//===- tests/support/SatCounterTest.cpp -----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SatCounter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+
+TEST(SatCounter, SaturatesHigh) {
+  SatCounter C(2, 0);
+  for (int I = 0; I != 10; ++I)
+    C.increment();
+  EXPECT_EQ(C.value(), 3u);
+  EXPECT_TRUE(C.predictTaken());
+}
+
+TEST(SatCounter, SaturatesLow) {
+  SatCounter C(2, 3);
+  for (int I = 0; I != 10; ++I)
+    C.decrement();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_FALSE(C.predictTaken());
+}
+
+TEST(SatCounter, HysteresisBehaviour) {
+  // Classic 2-bit counter: one stray not-taken from strongly-taken does
+  // not flip the prediction.
+  SatCounter C(2, 3);
+  C.update(false);
+  EXPECT_TRUE(C.predictTaken());
+  C.update(false);
+  EXPECT_FALSE(C.predictTaken());
+}
+
+TEST(SatCounter, OneBitFlipsImmediately) {
+  SatCounter C(1, 0);
+  EXPECT_FALSE(C.predictTaken());
+  C.update(true);
+  EXPECT_TRUE(C.predictTaken());
+  C.update(false);
+  EXPECT_FALSE(C.predictTaken());
+}

@@ -1,0 +1,56 @@
+//===- tests/support/StatisticsTest.cpp -----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+
+TEST(Statistics, AddAndGet) {
+  StatisticSet S;
+  EXPECT_EQ(S.get("a"), 0u);
+  EXPECT_FALSE(S.has("a"));
+  S.add("a");
+  S.add("a", 4);
+  EXPECT_EQ(S.get("a"), 5u);
+  EXPECT_TRUE(S.has("a"));
+}
+
+TEST(Statistics, SetOverwrites) {
+  StatisticSet S;
+  S.add("x", 10);
+  S.set("x", 3);
+  EXPECT_EQ(S.get("x"), 3u);
+}
+
+TEST(Statistics, PrefixQuery) {
+  StatisticSet S;
+  S.add("dbt.fragments", 2);
+  S.add("dbt.uops", 7);
+  S.add("vm.segments", 1);
+  auto Result = S.getWithPrefix("dbt.");
+  ASSERT_EQ(Result.size(), 2u);
+  EXPECT_EQ(Result[0].first, "dbt.fragments");
+  EXPECT_EQ(Result[1].first, "dbt.uops");
+}
+
+TEST(Statistics, Merge) {
+  StatisticSet A, B;
+  A.add("n", 1);
+  B.add("n", 2);
+  B.add("m", 5);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.get("n"), 3u);
+  EXPECT_EQ(A.get("m"), 5u);
+}
+
+TEST(Statistics, ToStringSorted) {
+  StatisticSet S;
+  S.add("b", 2);
+  S.add("a", 1);
+  EXPECT_EQ(S.toString(), "a = 1\nb = 2\n");
+}

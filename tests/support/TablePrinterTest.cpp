@@ -1,0 +1,47 @@
+//===- tests/support/TablePrinterTest.cpp ---------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T({"name", "value"});
+  T.beginRow();
+  T.cell("x");
+  T.cellInt(12345);
+  T.beginRow();
+  T.cell("longer");
+  T.cellInt(7);
+  std::string Out = T.toString();
+  EXPECT_NE(Out.find("name    value"), std::string::npos);
+  EXPECT_NE(Out.find("x       12345"), std::string::npos);
+  EXPECT_NE(Out.find("longer      7"), std::string::npos);
+}
+
+TEST(TablePrinter, FloatFormatting) {
+  EXPECT_EQ(formatFloat(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFloat(2.0, 3), "2.000");
+  EXPECT_EQ(formatFloat(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinter, Csv) {
+  TablePrinter T({"a", "b"});
+  T.beginRow();
+  T.cellInt(1);
+  T.cellFloat(0.5, 1);
+  EXPECT_EQ(T.toCsv(), "a,b\n1,0.5\n");
+}
+
+TEST(TablePrinter, MissingCellsRenderEmpty) {
+  TablePrinter T({"a", "b", "c"});
+  T.beginRow();
+  T.cell("only");
+  std::string Out = T.toString();
+  EXPECT_NE(Out.find("only"), std::string::npos);
+}

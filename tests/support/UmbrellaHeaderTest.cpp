@@ -1,0 +1,27 @@
+//===- tests/support/UmbrellaHeaderTest.cpp -------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The umbrella header must compile standalone and expose the whole API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "include/ildp/ildp.h"
+
+#include <gtest/gtest.h>
+
+TEST(UmbrellaHeader, ExposesTheApi) {
+  // Touch one symbol per layer to prove visibility.
+  EXPECT_EQ(ildp::alpha::getMnemonic(ildp::alpha::Opcode::ADDQ),
+            std::string("addq"));
+  EXPECT_EQ(ildp::iisa::getKindName(ildp::iisa::IKind::CondExit),
+            std::string("cond_exit"));
+  EXPECT_EQ(ildp::dbt::getChainPolicyName(ildp::dbt::ChainPolicy::SwPredRas),
+            std::string("sw_pred.ras"));
+  ildp::uarch::IldpParams Params;
+  EXPECT_EQ(Params.NumPEs, 8u);
+  EXPECT_EQ(ildp::workloads::workloadNames().size(), 12u);
+}

@@ -1,0 +1,95 @@
+//===- tests/uarch/CacheTest.cpp ------------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+namespace {
+
+CacheParams smallCache() {
+  CacheParams P;
+  P.LineBytes = 64;
+  P.Assoc = 2;
+  P.SizeBytes = 1024; // 8 sets x 2 ways.
+  P.HitLatency = 2;
+  P.RandomRepl = false;
+  return P;
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit) {
+  Cache C(smallCache());
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x103F)); // same line
+  EXPECT_FALSE(C.access(0x1040)); // next line
+  EXPECT_EQ(C.misses(), 2u);
+  EXPECT_EQ(C.hits(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache C(smallCache());
+  // Three lines mapping to the same set (stride = sets * line = 512).
+  C.access(0x0000);
+  C.access(0x0200);
+  C.access(0x0000); // refresh LRU of line 0
+  C.access(0x0400); // evicts 0x0200
+  EXPECT_TRUE(C.probe(0x0000));
+  EXPECT_FALSE(C.probe(0x0200));
+  EXPECT_TRUE(C.probe(0x0400));
+}
+
+TEST(Cache, Invalidate) {
+  Cache C(smallCache());
+  C.access(0x1000);
+  C.invalidate(0x1000);
+  EXPECT_FALSE(C.probe(0x1000));
+}
+
+TEST(Cache, DirectMappedConflicts) {
+  CacheParams P = smallCache();
+  P.Assoc = 1; // 16 sets.
+  Cache C(P);
+  C.access(0x0000);
+  C.access(0x0400); // same set (stride 1024), direct-mapped: evicts
+  EXPECT_FALSE(C.probe(0x0000));
+}
+
+TEST(Cache, CapacityWorks) {
+  Cache C(smallCache());
+  // Fill the whole 1KB cache, then re-touch: all hits.
+  for (uint64_t A = 0; A < 1024; A += 64)
+    C.access(A);
+  for (uint64_t A = 0; A < 1024; A += 64)
+    EXPECT_TRUE(C.access(A));
+}
+
+TEST(Cache, RandomReplacementStillCaches) {
+  CacheParams P = smallCache();
+  P.RandomRepl = true;
+  Cache C(P, /*Seed=*/5);
+  C.access(0x2000);
+  EXPECT_TRUE(C.access(0x2000));
+}
+
+TEST(MemorySide, LatencyComposition) {
+  MemoryParams P;
+  P.L2.SizeBytes = 4096;
+  P.L2.Assoc = 2;
+  P.L2.LineBytes = 128;
+  P.L2.HitLatency = 8;
+  P.MemLatency = 76;
+  MemorySide M(P);
+  // First touch: L2 miss -> 8 + 76.
+  EXPECT_EQ(M.missLatency(0x8000), 84u);
+  // Second touch of the same line: L2 hit -> 8.
+  EXPECT_EQ(M.missLatency(0x8000), 8u);
+}

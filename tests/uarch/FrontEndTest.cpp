@@ -1,0 +1,165 @@
+//===- tests/uarch/FrontEndTest.cpp ---------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/FrontEnd.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+namespace {
+
+TraceOp alu(uint64_t Pc) {
+  TraceOp Op;
+  Op.Class = OpClass::IntAlu;
+  Op.Pc = Pc;
+  Op.NextPc = Pc + 4;
+  return Op;
+}
+
+TraceOp condBr(uint64_t Pc, bool Taken, uint64_t Target) {
+  TraceOp Op;
+  Op.Class = OpClass::CondBr;
+  Op.Pc = Pc;
+  Op.Taken = Taken;
+  Op.NextPc = Taken ? Target : Pc + 4;
+  return Op;
+}
+
+struct FrontEndFixture {
+  MemoryParams MemParams;
+  MemorySide Mem{MemParams};
+  FrontEndParams Params;
+  FrontEnd FE;
+
+  explicit FrontEndFixture(bool Ras = false) : FE(Params, Mem, Ras) {
+    FE.startSegment(0);
+  }
+};
+
+} // namespace
+
+TEST(FrontEnd, FetchBandwidthFourPerCycle) {
+  FrontEndFixture F;
+  // Warm the I-cache line first.
+  (void)F.FE.next(alu(0x1000));
+  uint64_t Base = F.FE.fetchCycle();
+  uint64_t Cycles[8];
+  for (int I = 0; I != 8; ++I) {
+    F.FE.next(alu(0x1004 + I * 4));
+    Cycles[I] = F.FE.fetchCycle();
+  }
+  // Eight sequential ALU ops need at least two more cycles at width 4.
+  EXPECT_GE(Cycles[7], Base + 2);
+}
+
+TEST(FrontEnd, TakenBranchBreaksFetch) {
+  FrontEndFixture F;
+  // Train the predictor and BTB first (gshare history must settle).
+  TraceOp B = condBr(0x1004, true, 0x1000);
+  for (int I = 0; I != 20; ++I) {
+    FrontEnd::Fetched R = F.FE.next(B);
+    if (R.NeedResolveRedirect)
+      F.FE.redirect(F.FE.fetchCycle());
+    (void)F.FE.next(alu(0x1000));
+  }
+  FrontEnd::Fetched R = F.FE.next(B);
+  ASSERT_FALSE(R.NeedResolveRedirect); // fully predicted now
+  uint64_t After = F.FE.fetchCycle();
+  (void)F.FE.next(alu(0x1000));
+  // The correctly predicted taken branch still ends the fetch cycle.
+  EXPECT_GT(F.FE.fetchCycle(), After);
+}
+
+TEST(FrontEnd, CondMispredictNeedsRedirect) {
+  FrontEndFixture F;
+  // Counters initialize weakly-not-taken: a taken branch mispredicts.
+  FrontEnd::Fetched R = F.FE.next(condBr(0x2000, true, 0x3000));
+  EXPECT_TRUE(R.NeedResolveRedirect);
+  uint64_t Before = F.FE.fetchCycle();
+  F.FE.redirect(Before + 50);
+  EXPECT_EQ(F.FE.fetchCycle(), Before + 50 + F.Params.RedirectLatency);
+  EXPECT_EQ(F.FE.stats().CondMispredicts, 1u);
+}
+
+TEST(FrontEnd, PredictedBranchNoRedirect) {
+  FrontEndFixture F;
+  // Train taken until the 12-bit global history saturates with this
+  // branch's outcomes (each new history indexes a fresh counter).
+  for (int I = 0; I != 20; ++I) {
+    FrontEnd::Fetched R = F.FE.next(condBr(0x2000, true, 0x3000));
+    if (R.NeedResolveRedirect)
+      F.FE.redirect(F.FE.fetchCycle());
+  }
+  FrontEnd::Fetched R = F.FE.next(condBr(0x2000, true, 0x3000));
+  EXPECT_FALSE(R.NeedResolveRedirect);
+}
+
+TEST(FrontEnd, IndirectTargetMispredict) {
+  FrontEndFixture F;
+  TraceOp J;
+  J.Class = OpClass::Indirect;
+  J.Pc = 0x4000;
+  J.Taken = true;
+  J.NextPc = 0x5000;
+  FrontEnd::Fetched R1 = F.FE.next(J);
+  EXPECT_TRUE(R1.NeedResolveRedirect); // BTB cold
+  F.FE.redirect(F.FE.fetchCycle() + 1);
+  FrontEnd::Fetched R2 = F.FE.next(J);
+  EXPECT_FALSE(R2.NeedResolveRedirect); // BTB learned
+  EXPECT_EQ(F.FE.stats().TargetMispredicts, 1u);
+}
+
+TEST(FrontEnd, ConventionalRasPredictsReturns) {
+  FrontEndFixture F(/*Ras=*/true);
+  TraceOp Call;
+  Call.Class = OpClass::DirectBr;
+  Call.Pc = 0x1000;
+  Call.Taken = true;
+  Call.NextPc = 0x8000;
+  Call.RasPush = true;
+  (void)F.FE.next(Call);
+
+  TraceOp Ret;
+  Ret.Class = OpClass::Return;
+  Ret.Pc = 0x8010;
+  Ret.Taken = true;
+  Ret.NextPc = 0x1004; // matches the pushed return address
+  FrontEnd::Fetched R = F.FE.next(Ret);
+  EXPECT_FALSE(R.NeedResolveRedirect);
+  EXPECT_EQ(F.FE.stats().RasMispredicts, 0u);
+
+  // A return to somewhere else mispredicts (stack now empty).
+  FrontEnd::Fetched R2 = F.FE.next(Ret);
+  EXPECT_TRUE(R2.NeedResolveRedirect);
+  EXPECT_EQ(F.FE.stats().RasMispredicts, 1u);
+}
+
+TEST(FrontEnd, DualRasResolvedExternally) {
+  FrontEndFixture F(/*Ras=*/false);
+  TraceOp Ret;
+  Ret.Class = OpClass::Return;
+  Ret.Pc = 0x9000;
+  Ret.Taken = true;
+  Ret.NextPc = 0x1234;
+  Ret.RasHitKnown = true;
+  Ret.RasHit = true;
+  EXPECT_FALSE(F.FE.next(Ret).NeedResolveRedirect);
+  Ret.RasHit = false;
+  EXPECT_TRUE(F.FE.next(Ret).NeedResolveRedirect);
+  EXPECT_EQ(F.FE.stats().RasMispredicts, 1u);
+}
+
+TEST(FrontEnd, ICacheMissStallsFetch) {
+  FrontEndFixture F;
+  (void)F.FE.next(alu(0x100000));
+  uint64_t C1 = F.FE.fetchCycle();
+  // Far line: compulsory I-cache miss adds L2+memory latency.
+  (void)F.FE.next(alu(0x200000));
+  EXPECT_GT(F.FE.fetchCycle(), C1 + 50);
+  EXPECT_EQ(F.FE.stats().ICacheMisses, 2u);
+}

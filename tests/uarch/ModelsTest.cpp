@@ -1,0 +1,195 @@
+//===- tests/uarch/ModelsTest.cpp -----------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behavioural sanity of both timing models on synthetic streams:
+/// dependence chains serialize, independent work parallelizes, machine
+/// parameters move IPC in the right direction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "uarch/IldpModel.h"
+#include "uarch/SuperscalarModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+namespace {
+
+/// Streams N ALU ops at sequential PCs; Serial chains them through r1,
+/// parallel ops write distinct registers with no inputs.
+template <typename Model>
+PipelineStats runAluStream(Model &M, unsigned N, bool Serial) {
+  M.beginSegment();
+  for (unsigned I = 0; I != N; ++I) {
+    TraceOp Op;
+    Op.Class = OpClass::IntAlu;
+    Op.Pc = 0x1000 + (I % 256) * 4; // Small footprint: warm-up stays minor.
+    Op.NextPc = Op.Pc + 4;
+    Op.VCredit = 1;
+    if (Serial) {
+      Op.Src1 = 1;
+      Op.Dest = 1;
+    } else {
+      Op.Dest = uint8_t(2 + (I % 8));
+    }
+    if (std::is_same_v<Model, IldpModel>) {
+      // Give every op its own strand so steering spreads them.
+      Op.StrandAcc = uint8_t(TraceAccBase + (I % 8)) - TraceAccBase;
+      Op.AccIn = Serial; // serial: stay on one strand
+      if (Serial)
+        Op.StrandAcc = 0;
+    }
+    M.consume(Op);
+  }
+  M.finish();
+  return M.stats();
+}
+
+} // namespace
+
+TEST(SuperscalarModel, SerialChainIpcNearOne) {
+  SuperscalarParams P;
+  SuperscalarModel M(P, false);
+  PipelineStats S = runAluStream(M, 20000, /*Serial=*/true);
+  EXPECT_GT(S.ipc(), 0.8);
+  EXPECT_LT(S.ipc(), 1.2);
+}
+
+TEST(SuperscalarModel, IndependentOpsReachWidth) {
+  SuperscalarParams P;
+  SuperscalarModel M(P, false);
+  PipelineStats S = runAluStream(M, 20000, /*Serial=*/false);
+  EXPECT_GT(S.ipc(), 3.4); // 4-wide machine minus compulsory-miss warm-up
+}
+
+TEST(SuperscalarModel, LoadMissesCostCycles) {
+  SuperscalarParams P;
+  auto RunLoads = [&](uint64_t Stride) {
+    SuperscalarModel M(P, false);
+    M.beginSegment();
+    for (unsigned I = 0; I != 5000; ++I) {
+      TraceOp Op;
+      Op.Class = OpClass::Load;
+      Op.Pc = 0x1000 + (I % 256) * 4;
+      Op.NextPc = Op.Pc + 4;
+      Op.MemAddr = 0x100000 + uint64_t(I) * Stride;
+      Op.Dest = 1;
+      Op.Src1 = 1; // dependent chain of loads
+      Op.VCredit = 1;
+      M.consume(Op);
+    }
+    return M.finish();
+  };
+  uint64_t HitCycles = RunLoads(0);      // same address: always hits
+  uint64_t MissCycles = RunLoads(4096);  // page stride: misses everywhere
+  EXPECT_GT(MissCycles, HitCycles * 5);
+}
+
+TEST(IldpModel, SerialStrandIpcNearOne) {
+  IldpParams P;
+  IldpModel M(P);
+  PipelineStats S = runAluStream(M, 20000, /*Serial=*/true);
+  EXPECT_GT(S.ipc(), 0.7);
+  EXPECT_LT(S.ipc(), 1.3);
+}
+
+TEST(IldpModel, ParallelStrandsScaleWithPes) {
+  auto Run = [&](unsigned Pes) {
+    IldpParams P;
+    P.NumPEs = Pes;
+    IldpModel M(P);
+    M.beginSegment();
+    // 8 independent strands, each a serial chain on its own accumulator.
+    for (unsigned I = 0; I != 24000; ++I) {
+      TraceOp Op;
+      Op.Class = OpClass::IntAlu;
+      Op.Pc = 0x1000 + (I % 256) * 4; // Small footprint: warm-up stays minor.
+      Op.NextPc = Op.Pc + 4;
+      Op.StrandAcc = uint8_t(I % 8);
+      Op.AccIn = I >= 8;
+      Op.VCredit = 1;
+      M.consume(Op);
+    }
+    M.finish();
+    return M.stats().ipc();
+  };
+  double Ipc2 = Run(2);
+  double Ipc8 = Run(8);
+  EXPECT_GT(Ipc8, Ipc2 * 1.4); // more PEs -> more strand parallelism
+}
+
+TEST(IldpModel, CommunicationLatencyHurts) {
+  auto Run = [&](unsigned CommLat) {
+    IldpParams P;
+    P.CommLatency = CommLat;
+    IldpModel M(P);
+    M.beginSegment();
+    // Ping-pong through GPRs between two strands: communication bound.
+    for (unsigned I = 0; I != 20000; ++I) {
+      TraceOp Op;
+      Op.Class = OpClass::IntAlu;
+      Op.Pc = 0x1000 + (I % 512) * 4;
+      Op.NextPc = Op.Pc + 4;
+      Op.StrandAcc = uint8_t(I % 2);
+      Op.AccIn = false;
+      Op.Src1 = uint8_t(2 + ((I + 1) % 2)); // read the other strand's GPR
+      Op.Dest = uint8_t(2 + (I % 2));
+      Op.VCredit = 1;
+      M.consume(Op);
+    }
+    M.finish();
+    return M.stats().Cycles;
+  };
+  uint64_t Cycles0 = Run(0);
+  uint64_t Cycles2 = Run(2);
+  EXPECT_GT(Cycles2, Cycles0 + Cycles0 / 10);
+}
+
+TEST(IldpModel, ArchOnlyWritesOffCriticalPath) {
+  auto Run = [&](bool ArchOnly) {
+    IldpParams P;
+    P.CommLatency = 2;
+    IldpModel M(P);
+    M.beginSegment();
+    for (unsigned I = 0; I != 20000; ++I) {
+      TraceOp Op;
+      Op.Class = OpClass::IntAlu;
+      Op.Pc = 0x1000 + (I % 512) * 4;
+      Op.NextPc = Op.Pc + 4;
+      Op.StrandAcc = uint8_t(I % 4);
+      Op.AccIn = false;
+      Op.Src1 = 5;
+      Op.Dest = 5;
+      Op.GprWriteArchOnly = ArchOnly;
+      Op.VCredit = 1;
+      M.consume(Op);
+    }
+    M.finish();
+    return M.stats().Cycles;
+  };
+  // Shadow-file-only writes break the (false) GPR dependence chain.
+  EXPECT_LT(Run(true), Run(false));
+}
+
+TEST(Models, SegmentsDrainPipeline) {
+  SuperscalarParams P;
+  SuperscalarModel M(P, false);
+  runAluStream(M, 100, false);
+  uint64_t C1 = M.stats().Cycles;
+  M.beginSegment();
+  TraceOp Op;
+  Op.Class = OpClass::IntAlu;
+  Op.Pc = 0x1000;
+  Op.NextPc = 0x1004;
+  Op.VCredit = 1;
+  M.consume(Op);
+  M.finish();
+  EXPECT_GT(M.stats().Cycles, C1); // new segment starts after the drain
+  EXPECT_EQ(M.stats().Segments, 2u);
+}

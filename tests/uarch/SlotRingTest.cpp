@@ -1,0 +1,37 @@
+//===- tests/uarch/SlotRingTest.cpp ---------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/SlotRing.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::uarch;
+
+TEST(SlotRing, BandwidthRespected) {
+  SlotRing R(2);
+  EXPECT_EQ(R.findSlot(10), 10u);
+  EXPECT_EQ(R.findSlot(10), 10u);
+  EXPECT_EQ(R.findSlot(10), 11u); // third claim spills to the next cycle
+  EXPECT_EQ(R.findSlot(10), 11u);
+  EXPECT_EQ(R.findSlot(10), 12u);
+}
+
+TEST(SlotRing, MonotonicLowerBound) {
+  SlotRing R(1);
+  EXPECT_EQ(R.findSlot(5), 5u);
+  EXPECT_EQ(R.findSlot(3), 3u); // earlier cycles still free
+  EXPECT_EQ(R.findSlot(3), 4u);
+  EXPECT_EQ(R.findSlot(3), 6u); // 5 already taken
+}
+
+TEST(SlotRing, LargeCycleValues) {
+  SlotRing R(4);
+  uint64_t C = 1'000'000'000ull;
+  for (unsigned I = 0; I != 4; ++I)
+    EXPECT_EQ(R.findSlot(C), C);
+  EXPECT_EQ(R.findSlot(C), C + 1);
+}

@@ -1,0 +1,153 @@
+//===- tests/vm/VmEquivalenceTest.cpp -------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central correctness property of the whole system: running a
+/// workload through the co-designed VM (interpret -> translate -> execute
+/// translated code with chaining, dispatch, and the dual-address RAS)
+/// produces exactly the same final architected state as the reference
+/// interpreter — for every backend, chaining policy, and accumulator
+/// budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::vm;
+
+namespace {
+
+struct EqCase {
+  const char *Workload;
+  iisa::IsaVariant Variant;
+  dbt::ChainPolicy Chaining;
+  unsigned Accs;
+};
+
+class VmEquivalence : public ::testing::TestWithParam<EqCase> {};
+
+/// Reference final state from the plain interpreter.
+ArchState referenceRun(const std::string &Name, uint64_t &Insts) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload(Name, Mem, 1);
+  Interpreter Interp(Mem);
+  Interp.state().Pc = Img.EntryPc;
+  StepInfo Last = Interp.run(2'000'000'000ull);
+  EXPECT_EQ(Last.Status, StepStatus::Halted);
+  Insts = Interp.retiredCount();
+  return Interp.state();
+}
+
+} // namespace
+
+TEST_P(VmEquivalence, FinalArchitectedStateMatches) {
+  EqCase Case = GetParam();
+  uint64_t RefInsts = 0;
+  ArchState Ref = referenceRun(Case.Workload, RefInsts);
+
+  GuestMemory Mem;
+  workloads::WorkloadImage Img =
+      workloads::buildWorkload(Case.Workload, Mem, 1);
+  VmConfig Config;
+  Config.Dbt.Variant = Case.Variant;
+  Config.Dbt.Chaining = Case.Chaining;
+  Config.Dbt.NumAccumulators = Case.Accs;
+  VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  RunResult Result = Vm.run();
+  ASSERT_EQ(Result.Reason, StopReason::Halted);
+
+  const ArchState &Got = Vm.interpreter().state();
+  for (unsigned Reg = 0; Reg != alpha::NumGprs; ++Reg)
+    EXPECT_EQ(Got.readGpr(Reg), Ref.readGpr(Reg))
+        << "register r" << Reg << " diverged";
+
+  // The VM must actually have run translated code (not just interpreted).
+  const StatisticSet &S = Vm.stats();
+  EXPECT_GT(S.get("tcache.fragments"), 0u);
+  EXPECT_GT(S.get("vm.vinsts_translated"), S.get("interp.insts"))
+      << "most execution should be translated";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsModified, VmEquivalence, ::testing::ValuesIn([] {
+      std::vector<EqCase> Cases;
+      for (const std::string &W : workloads::workloadNames())
+        Cases.push_back({W.c_str(), iisa::IsaVariant::Modified,
+                         dbt::ChainPolicy::SwPredRas, 4});
+      return Cases;
+    }()),
+    [](const ::testing::TestParamInfo<EqCase> &Info) {
+      return std::string(Info.param.Workload);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsBasic, VmEquivalence, ::testing::ValuesIn([] {
+      std::vector<EqCase> Cases;
+      for (const std::string &W : workloads::workloadNames())
+        Cases.push_back({W.c_str(), iisa::IsaVariant::Basic,
+                         dbt::ChainPolicy::SwPredRas, 4});
+      return Cases;
+    }()),
+    [](const ::testing::TestParamInfo<EqCase> &Info) {
+      return std::string(Info.param.Workload);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsStraight, VmEquivalence, ::testing::ValuesIn([] {
+      std::vector<EqCase> Cases;
+      for (const std::string &W : workloads::workloadNames())
+        Cases.push_back({W.c_str(), iisa::IsaVariant::Straight,
+                         dbt::ChainPolicy::SwPredRas, 4});
+      return Cases;
+    }()),
+    [](const ::testing::TestParamInfo<EqCase> &Info) {
+      return std::string(Info.param.Workload);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyAndAccSweep, VmEquivalence,
+    ::testing::Values(
+        EqCase{"perlbmk", iisa::IsaVariant::Modified,
+               dbt::ChainPolicy::NoPred, 4},
+        EqCase{"perlbmk", iisa::IsaVariant::Modified,
+               dbt::ChainPolicy::SwPredNoRas, 4},
+        EqCase{"gap", iisa::IsaVariant::Basic, dbt::ChainPolicy::NoPred, 4},
+        EqCase{"parser", iisa::IsaVariant::Basic,
+               dbt::ChainPolicy::SwPredNoRas, 4},
+        EqCase{"gzip", iisa::IsaVariant::Modified,
+               dbt::ChainPolicy::SwPredRas, 8},
+        EqCase{"crafty", iisa::IsaVariant::Basic,
+               dbt::ChainPolicy::SwPredRas, 8},
+        EqCase{"mcf", iisa::IsaVariant::Basic, dbt::ChainPolicy::SwPredRas,
+               2},
+        EqCase{"vortex", iisa::IsaVariant::Modified,
+               dbt::ChainPolicy::SwPredRas, 2}),
+    [](const ::testing::TestParamInfo<EqCase> &Info) {
+      std::string Name = Info.param.Workload;
+      Name += "_";
+      Name += dbt::getVariantName(Info.param.Variant);
+      for (char C : std::string(dbt::getChainPolicyName(Info.param.Chaining)))
+        Name += C == '.' ? '_' : C;
+      Name += "_a" + std::to_string(Info.param.Accs);
+      return Name;
+    });
+
+TEST(VmEquivalence, NoSplitMemoryAblationMatchesToo) {
+  uint64_t RefInsts = 0;
+  ArchState Ref = referenceRun("gzip", RefInsts);
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload("gzip", Mem, 1);
+  VmConfig Config;
+  Config.Dbt.SplitMemoryOps = false;
+  VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  ASSERT_EQ(Vm.run().Reason, StopReason::Halted);
+  EXPECT_EQ(Vm.interpreter().state().readGpr(alpha::RegV0),
+            Ref.readGpr(alpha::RegV0));
+}

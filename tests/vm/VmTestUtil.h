@@ -1,0 +1,123 @@
+//===- tests/vm/VmTestUtil.h - Shared whole-VM test helpers ---------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The random branchy-program generator shared by the whole-VM
+/// differential tests (VmBranchyProgramTest, VmConfigSweepTest): an outer
+/// hot loop of data-dependent forward branches, occasional inner counted
+/// loops, and memory traffic over a seeded data region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_TESTS_VM_VMTESTUTIL_H
+#define ILDP_TESTS_VM_VMTESTUTIL_H
+
+#include "alpha/Assembler.h"
+#include "mem/GuestMemory.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace ildp {
+namespace vmtest {
+
+constexpr uint64_t DataBase = 0x40000;
+
+/// Emits a random basic block of ALU/memory work over r1..r6.
+inline void emitWork(alpha::Assembler &Asm, Rng &Rand, unsigned Ops) {
+  using Op = alpha::Opcode;
+  static const Op Alu[] = {Op::ADDQ, Op::SUBQ, Op::XOR,   Op::AND,
+                           Op::BIS,  Op::SLL,  Op::SRL,   Op::S4ADDQ,
+                           Op::CMPEQ, Op::CMPULT, Op::ADDL, Op::MULQ};
+  auto Reg = [&] { return uint8_t(1 + Rand.nextBelow(6)); };
+  for (unsigned I = 0; I != Ops; ++I) {
+    switch (Rand.nextBelow(8)) {
+    case 0:
+      Asm.ldq(Reg(), int32_t(Rand.nextBelow(16)) * 8, 16);
+      break;
+    case 1:
+      Asm.stq(Reg(), int32_t(Rand.nextBelow(16)) * 8, 16);
+      break;
+    case 2:
+      Asm.operate(Op::CMOVLBS, Reg(), Reg(), Reg());
+      break;
+    default:
+      if (Rand.nextChance(1, 2))
+        Asm.operatei(Alu[Rand.nextBelow(std::size(Alu))], Reg(),
+                     uint8_t(Rand.nextBelow(32)), Reg());
+      else
+        Asm.operate(Alu[Rand.nextBelow(std::size(Alu))], Reg(), Reg(),
+                    Reg());
+      break;
+    }
+  }
+}
+
+/// Builds a random branchy program: an outer hot loop whose body is a
+/// chain of blocks separated by data-dependent forward branches, with an
+/// occasional inner counted loop. Entry is returned via \p Entry; the
+/// accumulated result lands in v0 before HALT.
+inline std::vector<uint32_t> buildBranchyProgram(uint64_t Seed,
+                                                 uint64_t &Entry) {
+  using Op = alpha::Opcode;
+  Rng Rand(Seed);
+  alpha::Assembler Asm(0x10000);
+  Asm.loadImm(16, int64_t(DataBase));
+  for (unsigned R = 1; R <= 6; ++R)
+    Asm.loadImm(uint8_t(R), int64_t(Rand.next() & 0xFFFF));
+  Asm.movi(0, 9);
+  Asm.loadImm(17, 400 + Rand.nextBelow(200)); // outer trip count
+
+  auto Outer = Asm.createLabel("outer");
+  Asm.bind(Outer);
+  unsigned Segments = 2 + unsigned(Rand.nextBelow(4));
+  static const Op Conds[] = {Op::BEQ, Op::BNE, Op::BLT,
+                             Op::BGE, Op::BLBC, Op::BLBS};
+  for (unsigned S = 0; S != Segments; ++S) {
+    emitWork(Asm, Rand, 2 + unsigned(Rand.nextBelow(6)));
+    // Data-dependent forward branch over an alternative block.
+    auto Skip = Asm.createLabel("skip" + std::to_string(S));
+    Asm.condBr(Conds[Rand.nextBelow(std::size(Conds))],
+               uint8_t(1 + Rand.nextBelow(6)), Skip);
+    emitWork(Asm, Rand, 1 + unsigned(Rand.nextBelow(4)));
+    Asm.bind(Skip);
+    if (Rand.nextChance(1, 3)) {
+      // Inner counted loop.
+      Asm.loadImm(7, 3 + Rand.nextBelow(6));
+      auto Inner = Asm.createLabel("inner" + std::to_string(S));
+      Asm.bind(Inner);
+      emitWork(Asm, Rand, 2);
+      Asm.operatei(Op::SUBQ, 7, 1, 7);
+      Asm.condBr(Op::BNE, 7, Inner);
+    }
+    Asm.operate(Op::ADDQ, 9, uint8_t(1 + Rand.nextBelow(6)), 9);
+  }
+  Asm.operatei(Op::SUBL, 17, 1, 17);
+  Asm.condBr(Op::BNE, 17, Outer);
+  Asm.mov(9, alpha::RegV0);
+  Asm.halt();
+  Entry = 0x10000;
+  return Asm.finalize();
+}
+
+/// Loads \p Words at the program base and seeds the data region.
+inline GuestMemory loadBranchyEnv(const std::vector<uint32_t> &Words,
+                                  uint64_t Seed) {
+  GuestMemory Mem;
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(0x10000 + I * 4, Words[I]);
+  Mem.mapRegion(DataBase, 0x1000);
+  Rng Rand(Seed * 977 + 13);
+  for (unsigned I = 0; I != 64; ++I)
+    Mem.poke64(DataBase + I * 8, Rand.next());
+  return Mem;
+}
+
+} // namespace vmtest
+} // namespace ildp
+
+#endif // ILDP_TESTS_VM_VMTESTUTIL_H

@@ -1,0 +1,208 @@
+//===- tests/vm/VmTrapRecoveryTest.cpp ------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end precise trap recovery (Section 2.2): a fault injected into
+/// hot translated code must yield exactly the architected state the
+/// reference interpreter reaches at the same trap — including values the
+/// basic ISA holds only in accumulators (recovered through the PEI table)
+/// and the V-ISA PC of the trapping instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::alpha;
+using namespace ildp::vm;
+using Op = Opcode;
+
+namespace {
+
+/// A program whose hot loop walks an array and eventually runs off the
+/// mapped region: the faulting load happens deep inside translated code,
+/// mid-fragment, with plenty of in-flight accumulator state.
+///
+/// r16 walks; r17 counts down; the loop body creates locals (r2..r5) so
+/// several architected registers live in accumulators at the PEI.
+struct FaultProgram {
+  GuestMemory Mem;
+  uint64_t Entry;
+  uint64_t LoopAddr = 0;
+
+  FaultProgram() {
+    Assembler Asm(0x10000);
+    Asm.loadImm(16, 0x20000);
+    Asm.loadImm(17, 4000); // far more iterations than mapped data
+    Asm.movi(0, 9);
+    auto Loop = Asm.createLabel("loop");
+    Asm.bind(Loop);
+    Asm.operatei(Op::ADDQ, 9, 3, 2);  // r2: local chain head
+    Asm.operatei(Op::SLL, 2, 2, 3);   // r3: local
+    Asm.ldq(4, 0, 16);                // the eventual faulter (PEI)
+    Asm.operate(Op::XOR, 3, 4, 5);    // r5
+    Asm.operate(Op::ADDQ, 9, 5, 9);   // checksum
+    Asm.lda(16, 8, 16);
+    Asm.operatei(Op::SUBL, 17, 1, 17);
+    Asm.condBr(Op::BNE, 17, Loop);
+    Asm.halt();
+    std::vector<uint32_t> Words = Asm.finalize();
+    for (size_t I = 0; I != Words.size(); ++I)
+      Mem.poke32(0x10000 + I * 4, Words[I]);
+    Entry = 0x10000;
+    LoopAddr = Asm.labelAddr(Loop);
+    // Map only 8KB: the walk faults at 0x22000 after 1024 iterations —
+    // long after the loop has become hot and translated.
+    Mem.mapRegion(0x20000, 0x2000);
+    for (unsigned I = 0; I != 1024; ++I)
+      Mem.poke64(0x20000 + I * 8, I * 0x9E3779B97F4A7C15ull);
+  }
+};
+
+/// Reference trap state from the interpreter.
+void referenceTrap(ArchState &State, Trap &TrapInfo) {
+  FaultProgram P;
+  Interpreter Interp(P.Mem);
+  Interp.state().Pc = P.Entry;
+  StepInfo Last = Interp.run(1'000'000);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  State = Interp.state();
+  TrapInfo = Last.TrapInfo;
+}
+
+class VmTrapRecovery
+    : public ::testing::TestWithParam<iisa::IsaVariant> {};
+
+} // namespace
+
+TEST_P(VmTrapRecovery, PreciseStateAtFault) {
+  ArchState Ref;
+  Trap RefTrap;
+  referenceTrap(Ref, RefTrap);
+  ASSERT_EQ(RefTrap.Kind, TrapKind::MemUnmapped);
+
+  FaultProgram P;
+  VmConfig Config;
+  Config.Dbt.Variant = GetParam();
+  VirtualMachine Vm(P.Mem, P.Entry, Config);
+  RunResult Result = Vm.run();
+  ASSERT_EQ(Result.Reason, StopReason::Trapped);
+
+  // The trap fired from translated code, not the interpreter.
+  EXPECT_GT(Vm.stats().get("exit.trap"), 0u);
+  EXPECT_GT(Vm.stats().get("tcache.fragments"), 0u);
+
+  // Identity of the trap: V-ISA PC and faulting address.
+  EXPECT_EQ(Result.Trap.TrapInfo.Kind, RefTrap.Kind);
+  EXPECT_EQ(Result.Trap.TrapInfo.Pc, RefTrap.Pc);
+  EXPECT_EQ(Result.Trap.TrapInfo.MemAddr, RefTrap.MemAddr);
+
+  // Full architected register state, bit for bit.
+  for (unsigned Reg = 0; Reg != NumGprs; ++Reg)
+    EXPECT_EQ(Result.Trap.Arch.readGpr(Reg), Ref.readGpr(Reg))
+        << "register r" << Reg << " not precisely recovered";
+  EXPECT_EQ(Result.Trap.Arch.Pc, Ref.Pc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, VmTrapRecovery,
+                         ::testing::Values(iisa::IsaVariant::Basic,
+                                           iisa::IsaVariant::Modified,
+                                           iisa::IsaVariant::Straight),
+                         [](const auto &Info) {
+                           return std::string(
+                               dbt::getVariantName(Info.param));
+                         });
+
+TEST(VmTrapRecovery, GentrapInHotCode) {
+  // A GENTRAP that only fires after the surrounding code went hot.
+  Assembler Asm(0x10000);
+  Asm.loadImm(17, 200);
+  Asm.movi(0, 9);
+  auto Loop = Asm.createLabel("loop");
+  auto Skip = Asm.createLabel("skip");
+  Asm.bind(Loop);
+  Asm.operatei(Op::ADDQ, 9, 1, 9);
+  Asm.operatei(Op::SUBL, 17, 1, 17);
+  Asm.operatei(Op::CMPEQ, 17, 3, 2);
+  Asm.condBr(Op::BEQ, 2, Skip);
+  Asm.gentrap(); // fires when r17 == 3
+  Asm.bind(Skip);
+  Asm.condBr(Op::BNE, 17, Loop);
+  Asm.halt();
+  std::vector<uint32_t> Words = Asm.finalize();
+  GuestMemory Mem;
+  for (size_t I = 0; I != Words.size(); ++I)
+    Mem.poke32(0x10000 + I * 4, Words[I]);
+
+  // Reference.
+  GuestMemory RefMem;
+  for (size_t I = 0; I != Words.size(); ++I)
+    RefMem.poke32(0x10000 + I * 4, Words[I]);
+  Interpreter Ref(RefMem);
+  Ref.state().Pc = 0x10000;
+  StepInfo Last = Ref.run(100'000);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  ASSERT_EQ(Last.TrapInfo.Kind, TrapKind::Gentrap);
+
+  VmConfig Config;
+  Config.Dbt.Variant = iisa::IsaVariant::Basic;
+  VirtualMachine Vm(Mem, 0x10000, Config);
+  RunResult Result = Vm.run();
+  ASSERT_EQ(Result.Reason, StopReason::Trapped);
+  EXPECT_EQ(Result.Trap.TrapInfo.Kind, TrapKind::Gentrap);
+  EXPECT_EQ(Result.Trap.TrapInfo.Pc, Last.TrapInfo.Pc);
+  for (unsigned Reg = 0; Reg != NumGprs; ++Reg)
+    EXPECT_EQ(Result.Trap.Arch.readGpr(Reg), Ref.state().readGpr(Reg));
+}
+
+TEST(VmTrapRecovery, MisalignedAccessRecovered) {
+  Assembler Asm(0x10000);
+  Asm.loadImm(16, 0x20000);
+  Asm.loadImm(17, 300);
+  auto Loop = Asm.createLabel("loop");
+  Asm.bind(Loop);
+  Asm.ldq(2, 0, 16);
+  Asm.operate(Op::ADDQ, 9, 2, 9);
+  Asm.lda(16, 1, 16); // +1 each time: misaligns on the second iteration
+  Asm.operatei(Op::SUBL, 17, 1, 17);
+  Asm.condBr(Op::BNE, 17, Loop);
+  Asm.halt();
+  std::vector<uint32_t> Words = Asm.finalize();
+
+  auto Load = [&](GuestMemory &M) {
+    for (size_t I = 0; I != Words.size(); ++I)
+      M.poke32(0x10000 + I * 4, Words[I]);
+    M.mapRegion(0x20000, 0x4000);
+  };
+
+  GuestMemory RefMem;
+  Load(RefMem);
+  Interpreter Ref(RefMem);
+  Ref.state().Pc = 0x10000;
+  StepInfo Last = Ref.run(100'000);
+  ASSERT_EQ(Last.Status, StepStatus::Trapped);
+  ASSERT_EQ(Last.TrapInfo.Kind, TrapKind::MemUnaligned);
+
+  GuestMemory Mem;
+  Load(Mem);
+  VmConfig Config;
+  Config.Dbt.Variant = iisa::IsaVariant::Modified;
+  // Force a tiny threshold so even this short run goes hot... the default
+  // of 50 would never trigger before the misalignment at iteration 2;
+  // instead keep the default and accept interpreter-side trapping. To
+  // exercise the translated path we lower the threshold to 1.
+  Config.Dbt.HotThreshold = 1;
+  VirtualMachine Vm(Mem, 0x10000, Config);
+  RunResult Result = Vm.run();
+  ASSERT_EQ(Result.Reason, StopReason::Trapped);
+  EXPECT_EQ(Result.Trap.TrapInfo.Kind, TrapKind::MemUnaligned);
+  EXPECT_EQ(Result.Trap.TrapInfo.Pc, Last.TrapInfo.Pc);
+  for (unsigned Reg = 0; Reg != NumGprs; ++Reg)
+    EXPECT_EQ(Result.Trap.Arch.readGpr(Reg), Ref.state().readGpr(Reg));
+}

@@ -1,0 +1,158 @@
+//===- tests/workloads/WorkloadsTest.cpp ----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic SPEC stand-ins: every workload must run to HALT under the
+/// reference interpreter, be deterministic, produce a nonzero checksum,
+/// and exhibit the control-flow profile its namesake was chosen for.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace ildp;
+using namespace ildp::workloads;
+
+namespace {
+
+struct RunProfile {
+  uint64_t Insts = 0;
+  uint64_t Checksum = 0;
+  uint64_t CondBranches = 0;
+  uint64_t IndirectJumps = 0; // JMP + JSR
+  uint64_t Returns = 0;
+  uint64_t Calls = 0; // BSR + JSR
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Muls = 0;
+  uint64_t Cmovs = 0;
+};
+
+RunProfile profileRun(const std::string &Name, unsigned Scale = 1) {
+  GuestMemory Mem;
+  WorkloadImage Img = buildWorkload(Name, Mem, Scale);
+  Interpreter Interp(Mem);
+  Interp.state().Pc = Img.EntryPc;
+  RunProfile P;
+  for (;;) {
+    StepInfo Info = Interp.step();
+    EXPECT_NE(Info.Status, StepStatus::Trapped)
+        << Name << " trapped at 0x" << std::hex << Info.Pc;
+    if (Info.Status == StepStatus::Trapped)
+      break;
+    ++P.Insts;
+    using alpha::InstKind;
+    switch (Info.Inst.info().Kind) {
+    case InstKind::CondBranch:
+      ++P.CondBranches;
+      break;
+    case InstKind::Jmp:
+      ++P.IndirectJumps;
+      break;
+    case InstKind::Jsr:
+      ++P.IndirectJumps;
+      ++P.Calls;
+      break;
+    case InstKind::Bsr:
+      ++P.Calls;
+      break;
+    case InstKind::Ret:
+      ++P.Returns;
+      break;
+    case InstKind::Load:
+      ++P.Loads;
+      break;
+    case InstKind::Store:
+      ++P.Stores;
+      break;
+    case InstKind::Mul:
+      ++P.Muls;
+      break;
+    case InstKind::CondMove:
+      ++P.Cmovs;
+      break;
+    default:
+      break;
+    }
+    if (Info.Status == StepStatus::Halted)
+      break;
+    EXPECT_LT(P.Insts, 100'000'000u) << Name << " did not halt";
+    if (P.Insts >= 100'000'000u)
+      break;
+  }
+  P.Checksum = Interp.state().readGpr(alpha::RegV0);
+  return P;
+}
+
+class WorkloadRuns : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(WorkloadRuns, HaltsDeterministicallyWithChecksum) {
+  const std::string &Name = GetParam();
+  RunProfile A = profileRun(Name);
+  EXPECT_GT(A.Insts, 50'000u) << "workload too short to exercise the DBT";
+  EXPECT_LT(A.Insts, 10'000'000u) << "workload too long for the suite";
+  EXPECT_NE(A.Checksum, 0u);
+
+  RunProfile B = profileRun(Name);
+  EXPECT_EQ(A.Insts, B.Insts);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+}
+
+TEST_P(WorkloadRuns, ScaleExtendsExecution) {
+  const std::string &Name = GetParam();
+  RunProfile S1 = profileRun(Name, 1);
+  RunProfile S2 = profileRun(Name, 2);
+  EXPECT_GT(S2.Insts, S1.Insts + S1.Insts / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadRuns,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(WorkloadProfiles, MatchTheirNamesakes) {
+  std::map<std::string, RunProfile> P;
+  for (const std::string &Name : workloadNames())
+    P[Name] = profileRun(Name);
+
+  // gap and perlbmk are indirect-dispatch interpreters.
+  EXPECT_GT(P["gap"].IndirectJumps * 20, P["gap"].Insts);
+  EXPECT_GT(P["perlbmk"].IndirectJumps * 25, P["perlbmk"].Insts);
+  // perlbmk and parser are return-heavy.
+  EXPECT_GT(P["perlbmk"].Returns * 25, P["perlbmk"].Insts);
+  EXPECT_GT(P["parser"].Returns * 25, P["parser"].Insts);
+  // vortex calls mostly through BSR (direct calls dominate indirect).
+  EXPECT_GT(P["vortex"].Calls, P["vortex"].IndirectJumps * 2);
+  // mcf is load-dominated pointer chasing (3 loads per 13-inst node visit).
+  EXPECT_GT(P["mcf"].Loads * 5, P["mcf"].Insts);
+  // bzip2 stores heavily (table shifting).
+  EXPECT_GT(P["bzip2"].Stores * 12, P["bzip2"].Insts);
+  // twolf multiplies (LCG) and swaps conditionally.
+  EXPECT_GT(P["twolf"].Muls, 0u);
+  EXPECT_GT(P["mcf"].Cmovs, 0u);
+  EXPECT_GT(P["vpr"].Cmovs, 0u);
+  // gcc is branchy.
+  EXPECT_GT(P["gcc"].CondBranches * 8, P["gcc"].Insts);
+  // Loop kernels have almost no indirect jumps.
+  EXPECT_LT(P["gzip"].IndirectJumps, 10u);
+  EXPECT_LT(P["vpr"].IndirectJumps, 10u);
+}
+
+TEST(WorkloadProfiles, DistinctChecksums) {
+  // Different workloads must not accidentally share generators/state.
+  std::map<uint64_t, std::string> Seen;
+  for (const std::string &Name : workloadNames()) {
+    RunProfile P = profileRun(Name);
+    auto [It, Inserted] = Seen.emplace(P.Checksum, Name);
+    EXPECT_TRUE(Inserted) << Name << " collides with " << It->second;
+  }
+}
