@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cmov.dir/bench_ablation_cmov.cpp.o"
+  "CMakeFiles/bench_ablation_cmov.dir/bench_ablation_cmov.cpp.o.d"
+  "bench_ablation_cmov"
+  "bench_ablation_cmov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cmov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

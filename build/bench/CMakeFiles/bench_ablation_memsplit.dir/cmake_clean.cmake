@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memsplit.dir/bench_ablation_memsplit.cpp.o"
+  "CMakeFiles/bench_ablation_memsplit.dir/bench_ablation_memsplit.cpp.o.d"
+  "bench_ablation_memsplit"
+  "bench_ablation_memsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sbsize.dir/bench_ablation_sbsize.cpp.o"
+  "CMakeFiles/bench_ablation_sbsize.dir/bench_ablation_sbsize.cpp.o.d"
+  "bench_ablation_sbsize"
+  "bench_ablation_sbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

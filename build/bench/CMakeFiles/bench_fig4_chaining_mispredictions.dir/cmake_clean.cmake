@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_chaining_mispredictions.dir/bench_fig4_chaining_mispredictions.cpp.o"
+  "CMakeFiles/bench_fig4_chaining_mispredictions.dir/bench_fig4_chaining_mispredictions.cpp.o.d"
+  "bench_fig4_chaining_mispredictions"
+  "bench_fig4_chaining_mispredictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_chaining_mispredictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

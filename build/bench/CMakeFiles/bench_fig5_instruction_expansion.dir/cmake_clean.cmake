@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_instruction_expansion.dir/bench_fig5_instruction_expansion.cpp.o"
+  "CMakeFiles/bench_fig5_instruction_expansion.dir/bench_fig5_instruction_expansion.cpp.o.d"
+  "bench_fig5_instruction_expansion"
+  "bench_fig5_instruction_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_instruction_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

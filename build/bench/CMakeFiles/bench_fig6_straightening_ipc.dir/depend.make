@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_straightening_ipc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_translation_speed.dir/bench_translation_speed.cpp.o"
+  "CMakeFiles/bench_translation_speed.dir/bench_translation_speed.cpp.o.d"
+  "bench_translation_speed"
+  "bench_translation_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translation_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/BenchUtil.cpp" "bench/CMakeFiles/ildp_bench_util.dir/BenchUtil.cpp.o" "gcc" "bench/CMakeFiles/ildp_bench_util.dir/BenchUtil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ildp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ildp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/ildp_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ildp_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/iisa/CMakeFiles/ildp_iisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ildp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/ildp_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ildp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

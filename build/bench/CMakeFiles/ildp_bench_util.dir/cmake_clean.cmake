@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libildp_bench_util.a"
+  "../lib/libildp_bench_util.pdb"
+  "CMakeFiles/ildp_bench_util.dir/BenchUtil.cpp.o"
+  "CMakeFiles/ildp_bench_util.dir/BenchUtil.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libildp_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_fragments.dir/inspect_fragments.cpp.o"
+  "CMakeFiles/inspect_fragments.dir/inspect_fragments.cpp.o.d"
+  "inspect_fragments"
+  "inspect_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

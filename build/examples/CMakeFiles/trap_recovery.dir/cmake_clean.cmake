@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_recovery.dir/trap_recovery.cpp.o"
+  "CMakeFiles/trap_recovery.dir/trap_recovery.cpp.o.d"
+  "trap_recovery"
+  "trap_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

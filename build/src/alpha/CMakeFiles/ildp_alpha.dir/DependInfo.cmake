@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alpha/AlphaInst.cpp" "src/alpha/CMakeFiles/ildp_alpha.dir/AlphaInst.cpp.o" "gcc" "src/alpha/CMakeFiles/ildp_alpha.dir/AlphaInst.cpp.o.d"
+  "/root/repo/src/alpha/AlphaIsa.cpp" "src/alpha/CMakeFiles/ildp_alpha.dir/AlphaIsa.cpp.o" "gcc" "src/alpha/CMakeFiles/ildp_alpha.dir/AlphaIsa.cpp.o.d"
+  "/root/repo/src/alpha/Assembler.cpp" "src/alpha/CMakeFiles/ildp_alpha.dir/Assembler.cpp.o" "gcc" "src/alpha/CMakeFiles/ildp_alpha.dir/Assembler.cpp.o.d"
+  "/root/repo/src/alpha/Decoder.cpp" "src/alpha/CMakeFiles/ildp_alpha.dir/Decoder.cpp.o" "gcc" "src/alpha/CMakeFiles/ildp_alpha.dir/Decoder.cpp.o.d"
+  "/root/repo/src/alpha/Disasm.cpp" "src/alpha/CMakeFiles/ildp_alpha.dir/Disasm.cpp.o" "gcc" "src/alpha/CMakeFiles/ildp_alpha.dir/Disasm.cpp.o.d"
+  "/root/repo/src/alpha/Encoder.cpp" "src/alpha/CMakeFiles/ildp_alpha.dir/Encoder.cpp.o" "gcc" "src/alpha/CMakeFiles/ildp_alpha.dir/Encoder.cpp.o.d"
+  "/root/repo/src/alpha/Semantics.cpp" "src/alpha/CMakeFiles/ildp_alpha.dir/Semantics.cpp.o" "gcc" "src/alpha/CMakeFiles/ildp_alpha.dir/Semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_alpha.dir/AlphaInst.cpp.o"
+  "CMakeFiles/ildp_alpha.dir/AlphaInst.cpp.o.d"
+  "CMakeFiles/ildp_alpha.dir/AlphaIsa.cpp.o"
+  "CMakeFiles/ildp_alpha.dir/AlphaIsa.cpp.o.d"
+  "CMakeFiles/ildp_alpha.dir/Assembler.cpp.o"
+  "CMakeFiles/ildp_alpha.dir/Assembler.cpp.o.d"
+  "CMakeFiles/ildp_alpha.dir/Decoder.cpp.o"
+  "CMakeFiles/ildp_alpha.dir/Decoder.cpp.o.d"
+  "CMakeFiles/ildp_alpha.dir/Disasm.cpp.o"
+  "CMakeFiles/ildp_alpha.dir/Disasm.cpp.o.d"
+  "CMakeFiles/ildp_alpha.dir/Encoder.cpp.o"
+  "CMakeFiles/ildp_alpha.dir/Encoder.cpp.o.d"
+  "CMakeFiles/ildp_alpha.dir/Semantics.cpp.o"
+  "CMakeFiles/ildp_alpha.dir/Semantics.cpp.o.d"
+  "libildp_alpha.a"
+  "libildp_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

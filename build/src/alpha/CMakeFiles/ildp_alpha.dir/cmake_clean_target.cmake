@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libildp_alpha.a"
+)

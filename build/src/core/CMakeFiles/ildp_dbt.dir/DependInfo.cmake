@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CodeGen.cpp" "src/core/CMakeFiles/ildp_dbt.dir/CodeGen.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/core/Config.cpp" "src/core/CMakeFiles/ildp_dbt.dir/Config.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/Config.cpp.o.d"
+  "/root/repo/src/core/Lowering.cpp" "src/core/CMakeFiles/ildp_dbt.dir/Lowering.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/Lowering.cpp.o.d"
+  "/root/repo/src/core/StrandAlloc.cpp" "src/core/CMakeFiles/ildp_dbt.dir/StrandAlloc.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/StrandAlloc.cpp.o.d"
+  "/root/repo/src/core/SuperblockBuilder.cpp" "src/core/CMakeFiles/ildp_dbt.dir/SuperblockBuilder.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/SuperblockBuilder.cpp.o.d"
+  "/root/repo/src/core/TranslationCache.cpp" "src/core/CMakeFiles/ildp_dbt.dir/TranslationCache.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/TranslationCache.cpp.o.d"
+  "/root/repo/src/core/Translator.cpp" "src/core/CMakeFiles/ildp_dbt.dir/Translator.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/Translator.cpp.o.d"
+  "/root/repo/src/core/TrapRecovery.cpp" "src/core/CMakeFiles/ildp_dbt.dir/TrapRecovery.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/TrapRecovery.cpp.o.d"
+  "/root/repo/src/core/UsageAnalysis.cpp" "src/core/CMakeFiles/ildp_dbt.dir/UsageAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/ildp_dbt.dir/UsageAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iisa/CMakeFiles/ildp_iisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ildp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/ildp_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ildp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

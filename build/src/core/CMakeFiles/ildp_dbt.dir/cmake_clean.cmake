@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_dbt.dir/CodeGen.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/ildp_dbt.dir/Config.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/Config.cpp.o.d"
+  "CMakeFiles/ildp_dbt.dir/Lowering.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/Lowering.cpp.o.d"
+  "CMakeFiles/ildp_dbt.dir/StrandAlloc.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/StrandAlloc.cpp.o.d"
+  "CMakeFiles/ildp_dbt.dir/SuperblockBuilder.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/SuperblockBuilder.cpp.o.d"
+  "CMakeFiles/ildp_dbt.dir/TranslationCache.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/TranslationCache.cpp.o.d"
+  "CMakeFiles/ildp_dbt.dir/Translator.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/Translator.cpp.o.d"
+  "CMakeFiles/ildp_dbt.dir/TrapRecovery.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/TrapRecovery.cpp.o.d"
+  "CMakeFiles/ildp_dbt.dir/UsageAnalysis.cpp.o"
+  "CMakeFiles/ildp_dbt.dir/UsageAnalysis.cpp.o.d"
+  "libildp_dbt.a"
+  "libildp_dbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

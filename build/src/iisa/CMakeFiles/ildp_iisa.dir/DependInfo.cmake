@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iisa/Disasm.cpp" "src/iisa/CMakeFiles/ildp_iisa.dir/Disasm.cpp.o" "gcc" "src/iisa/CMakeFiles/ildp_iisa.dir/Disasm.cpp.o.d"
+  "/root/repo/src/iisa/Encoding.cpp" "src/iisa/CMakeFiles/ildp_iisa.dir/Encoding.cpp.o" "gcc" "src/iisa/CMakeFiles/ildp_iisa.dir/Encoding.cpp.o.d"
+  "/root/repo/src/iisa/Executor.cpp" "src/iisa/CMakeFiles/ildp_iisa.dir/Executor.cpp.o" "gcc" "src/iisa/CMakeFiles/ildp_iisa.dir/Executor.cpp.o.d"
+  "/root/repo/src/iisa/IisaInst.cpp" "src/iisa/CMakeFiles/ildp_iisa.dir/IisaInst.cpp.o" "gcc" "src/iisa/CMakeFiles/ildp_iisa.dir/IisaInst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alpha/CMakeFiles/ildp_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ildp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ildp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_iisa.dir/Disasm.cpp.o"
+  "CMakeFiles/ildp_iisa.dir/Disasm.cpp.o.d"
+  "CMakeFiles/ildp_iisa.dir/Encoding.cpp.o"
+  "CMakeFiles/ildp_iisa.dir/Encoding.cpp.o.d"
+  "CMakeFiles/ildp_iisa.dir/Executor.cpp.o"
+  "CMakeFiles/ildp_iisa.dir/Executor.cpp.o.d"
+  "CMakeFiles/ildp_iisa.dir/IisaInst.cpp.o"
+  "CMakeFiles/ildp_iisa.dir/IisaInst.cpp.o.d"
+  "libildp_iisa.a"
+  "libildp_iisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_iisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/ildp_interp.dir/Interpreter.cpp.o.d"
+  "libildp_interp.a"
+  "libildp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libildp_interp.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_mem.dir/GuestMemory.cpp.o"
+  "CMakeFiles/ildp_mem.dir/GuestMemory.cpp.o.d"
+  "libildp_mem.a"
+  "libildp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_support.dir/Statistics.cpp.o"
+  "CMakeFiles/ildp_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/ildp_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/ildp_support.dir/TablePrinter.cpp.o.d"
+  "libildp_support.a"
+  "libildp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/Cache.cpp" "src/uarch/CMakeFiles/ildp_uarch.dir/Cache.cpp.o" "gcc" "src/uarch/CMakeFiles/ildp_uarch.dir/Cache.cpp.o.d"
+  "/root/repo/src/uarch/FrontEnd.cpp" "src/uarch/CMakeFiles/ildp_uarch.dir/FrontEnd.cpp.o" "gcc" "src/uarch/CMakeFiles/ildp_uarch.dir/FrontEnd.cpp.o.d"
+  "/root/repo/src/uarch/IldpModel.cpp" "src/uarch/CMakeFiles/ildp_uarch.dir/IldpModel.cpp.o" "gcc" "src/uarch/CMakeFiles/ildp_uarch.dir/IldpModel.cpp.o.d"
+  "/root/repo/src/uarch/Predictors.cpp" "src/uarch/CMakeFiles/ildp_uarch.dir/Predictors.cpp.o" "gcc" "src/uarch/CMakeFiles/ildp_uarch.dir/Predictors.cpp.o.d"
+  "/root/repo/src/uarch/SuperscalarModel.cpp" "src/uarch/CMakeFiles/ildp_uarch.dir/SuperscalarModel.cpp.o" "gcc" "src/uarch/CMakeFiles/ildp_uarch.dir/SuperscalarModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

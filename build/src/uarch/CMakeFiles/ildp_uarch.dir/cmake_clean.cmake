@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_uarch.dir/Cache.cpp.o"
+  "CMakeFiles/ildp_uarch.dir/Cache.cpp.o.d"
+  "CMakeFiles/ildp_uarch.dir/FrontEnd.cpp.o"
+  "CMakeFiles/ildp_uarch.dir/FrontEnd.cpp.o.d"
+  "CMakeFiles/ildp_uarch.dir/IldpModel.cpp.o"
+  "CMakeFiles/ildp_uarch.dir/IldpModel.cpp.o.d"
+  "CMakeFiles/ildp_uarch.dir/Predictors.cpp.o"
+  "CMakeFiles/ildp_uarch.dir/Predictors.cpp.o.d"
+  "CMakeFiles/ildp_uarch.dir/SuperscalarModel.cpp.o"
+  "CMakeFiles/ildp_uarch.dir/SuperscalarModel.cpp.o.d"
+  "libildp_uarch.a"
+  "libildp_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

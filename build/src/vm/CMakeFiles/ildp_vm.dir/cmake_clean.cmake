@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_vm.dir/VirtualMachine.cpp.o"
+  "CMakeFiles/ildp_vm.dir/VirtualMachine.cpp.o.d"
+  "libildp_vm.a"
+  "libildp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

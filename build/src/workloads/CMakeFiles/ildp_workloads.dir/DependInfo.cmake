@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/CallKernels.cpp" "src/workloads/CMakeFiles/ildp_workloads.dir/CallKernels.cpp.o" "gcc" "src/workloads/CMakeFiles/ildp_workloads.dir/CallKernels.cpp.o.d"
+  "/root/repo/src/workloads/Common.cpp" "src/workloads/CMakeFiles/ildp_workloads.dir/Common.cpp.o" "gcc" "src/workloads/CMakeFiles/ildp_workloads.dir/Common.cpp.o.d"
+  "/root/repo/src/workloads/DispatchKernels.cpp" "src/workloads/CMakeFiles/ildp_workloads.dir/DispatchKernels.cpp.o" "gcc" "src/workloads/CMakeFiles/ildp_workloads.dir/DispatchKernels.cpp.o.d"
+  "/root/repo/src/workloads/LoopKernels.cpp" "src/workloads/CMakeFiles/ildp_workloads.dir/LoopKernels.cpp.o" "gcc" "src/workloads/CMakeFiles/ildp_workloads.dir/LoopKernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alpha/CMakeFiles/ildp_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ildp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_workloads.dir/CallKernels.cpp.o"
+  "CMakeFiles/ildp_workloads.dir/CallKernels.cpp.o.d"
+  "CMakeFiles/ildp_workloads.dir/Common.cpp.o"
+  "CMakeFiles/ildp_workloads.dir/Common.cpp.o.d"
+  "CMakeFiles/ildp_workloads.dir/DispatchKernels.cpp.o"
+  "CMakeFiles/ildp_workloads.dir/DispatchKernels.cpp.o.d"
+  "CMakeFiles/ildp_workloads.dir/LoopKernels.cpp.o"
+  "CMakeFiles/ildp_workloads.dir/LoopKernels.cpp.o.d"
+  "libildp_workloads.a"
+  "libildp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/Fig2GoldenTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/Fig2GoldenTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/Fig2GoldenTest.cpp.o.d"
+  "/root/repo/tests/core/FlushTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/FlushTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/FlushTest.cpp.o.d"
+  "/root/repo/tests/core/FragmentInvariantsTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/FragmentInvariantsTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/FragmentInvariantsTest.cpp.o.d"
+  "/root/repo/tests/core/LoweringTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/LoweringTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/LoweringTest.cpp.o.d"
+  "/root/repo/tests/core/RandomProgramTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/RandomProgramTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/RandomProgramTest.cpp.o.d"
+  "/root/repo/tests/core/StrandAllocTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/StrandAllocTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/StrandAllocTest.cpp.o.d"
+  "/root/repo/tests/core/SuperblockBuilderTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/SuperblockBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/SuperblockBuilderTest.cpp.o.d"
+  "/root/repo/tests/core/TranslationCachePropertyTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/TranslationCachePropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/TranslationCachePropertyTest.cpp.o.d"
+  "/root/repo/tests/core/TranslationCacheTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/TranslationCacheTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/TranslationCacheTest.cpp.o.d"
+  "/root/repo/tests/core/UsageAnalysisTest.cpp" "tests/CMakeFiles/ildp_dbt_tests.dir/core/UsageAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_dbt_tests.dir/core/UsageAnalysisTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ildp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ildp_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/iisa/CMakeFiles/ildp_iisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ildp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/ildp_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ildp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/ildp_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

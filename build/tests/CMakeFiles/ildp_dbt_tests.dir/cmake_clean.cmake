@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_dbt_tests.dir/core/Fig2GoldenTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/Fig2GoldenTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/FlushTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/FlushTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/FragmentInvariantsTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/FragmentInvariantsTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/LoweringTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/LoweringTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/RandomProgramTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/RandomProgramTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/StrandAllocTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/StrandAllocTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/SuperblockBuilderTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/SuperblockBuilderTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/TranslationCachePropertyTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/TranslationCachePropertyTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/TranslationCacheTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/TranslationCacheTest.cpp.o.d"
+  "CMakeFiles/ildp_dbt_tests.dir/core/UsageAnalysisTest.cpp.o"
+  "CMakeFiles/ildp_dbt_tests.dir/core/UsageAnalysisTest.cpp.o.d"
+  "ildp_dbt_tests"
+  "ildp_dbt_tests.pdb"
+  "ildp_dbt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_dbt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

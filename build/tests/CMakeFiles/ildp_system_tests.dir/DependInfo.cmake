@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/TrapSweepTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/core/TrapSweepTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/core/TrapSweepTest.cpp.o.d"
+  "/root/repo/tests/vm/VmBranchyProgramTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmBranchyProgramTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmBranchyProgramTest.cpp.o.d"
+  "/root/repo/tests/vm/VmChainingTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmChainingTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmChainingTest.cpp.o.d"
+  "/root/repo/tests/vm/VmConfigSweepTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmConfigSweepTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmConfigSweepTest.cpp.o.d"
+  "/root/repo/tests/vm/VmDispatchTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmDispatchTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmDispatchTest.cpp.o.d"
+  "/root/repo/tests/vm/VmEquivalenceTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmEquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmEquivalenceTest.cpp.o.d"
+  "/root/repo/tests/vm/VmStatsConsistencyTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmStatsConsistencyTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmStatsConsistencyTest.cpp.o.d"
+  "/root/repo/tests/vm/VmTimingTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmTimingTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmTimingTest.cpp.o.d"
+  "/root/repo/tests/vm/VmTrapRecoveryTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmTrapRecoveryTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/vm/VmTrapRecoveryTest.cpp.o.d"
+  "/root/repo/tests/workloads/WorkloadsTest.cpp" "tests/CMakeFiles/ildp_system_tests.dir/workloads/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_system_tests.dir/workloads/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ildp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ildp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ildp_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/ildp_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/iisa/CMakeFiles/ildp_iisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ildp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/ildp_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ildp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

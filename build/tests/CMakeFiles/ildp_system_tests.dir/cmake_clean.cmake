@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ildp_system_tests.dir/core/TrapSweepTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/core/TrapSweepTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmBranchyProgramTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmBranchyProgramTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmChainingTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmChainingTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmConfigSweepTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmConfigSweepTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmDispatchTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmDispatchTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmEquivalenceTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmEquivalenceTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmStatsConsistencyTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmStatsConsistencyTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmTimingTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmTimingTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmTrapRecoveryTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/vm/VmTrapRecoveryTest.cpp.o.d"
+  "CMakeFiles/ildp_system_tests.dir/workloads/WorkloadsTest.cpp.o"
+  "CMakeFiles/ildp_system_tests.dir/workloads/WorkloadsTest.cpp.o.d"
+  "ildp_system_tests"
+  "ildp_system_tests.pdb"
+  "ildp_system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ildp_system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alpha/AssemblerTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/AssemblerTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/AssemblerTest.cpp.o.d"
+  "/root/repo/tests/alpha/DecoderTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/DecoderTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/DecoderTest.cpp.o.d"
+  "/root/repo/tests/alpha/DisasmTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/DisasmTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/DisasmTest.cpp.o.d"
+  "/root/repo/tests/alpha/InstQueriesTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/InstQueriesTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/InstQueriesTest.cpp.o.d"
+  "/root/repo/tests/alpha/SemanticsPropertyTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/SemanticsPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/SemanticsPropertyTest.cpp.o.d"
+  "/root/repo/tests/alpha/SemanticsTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/SemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/alpha/SemanticsTest.cpp.o.d"
+  "/root/repo/tests/iisa/DisasmTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/DisasmTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/DisasmTest.cpp.o.d"
+  "/root/repo/tests/iisa/EncodingPropertyTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/EncodingPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/EncodingPropertyTest.cpp.o.d"
+  "/root/repo/tests/iisa/EncodingTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/EncodingTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/EncodingTest.cpp.o.d"
+  "/root/repo/tests/iisa/ExecutorEventTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/ExecutorEventTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/ExecutorEventTest.cpp.o.d"
+  "/root/repo/tests/iisa/ExecutorTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/ExecutorTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/ExecutorTest.cpp.o.d"
+  "/root/repo/tests/iisa/ValidateTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/ValidateTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/iisa/ValidateTest.cpp.o.d"
+  "/root/repo/tests/interp/InterpreterTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/interp/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/interp/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/interp/InterpreterTrapTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/interp/InterpreterTrapTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/interp/InterpreterTrapTest.cpp.o.d"
+  "/root/repo/tests/interp/OpcodeExecutionTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/interp/OpcodeExecutionTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/interp/OpcodeExecutionTest.cpp.o.d"
+  "/root/repo/tests/interp/RunSemanticsTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/interp/RunSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/interp/RunSemanticsTest.cpp.o.d"
+  "/root/repo/tests/mem/GuestMemoryPropertyTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/mem/GuestMemoryPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/mem/GuestMemoryPropertyTest.cpp.o.d"
+  "/root/repo/tests/mem/GuestMemoryTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/mem/GuestMemoryTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/mem/GuestMemoryTest.cpp.o.d"
+  "/root/repo/tests/support/BitUtilTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/support/BitUtilTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/support/BitUtilTest.cpp.o.d"
+  "/root/repo/tests/support/RngTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/support/RngTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/support/RngTest.cpp.o.d"
+  "/root/repo/tests/support/SatCounterTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/support/SatCounterTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/support/SatCounterTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/support/TablePrinterTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/support/TablePrinterTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/support/TablePrinterTest.cpp.o.d"
+  "/root/repo/tests/support/UmbrellaHeaderTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/support/UmbrellaHeaderTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/support/UmbrellaHeaderTest.cpp.o.d"
+  "/root/repo/tests/uarch/CachePropertyTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/CachePropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/CachePropertyTest.cpp.o.d"
+  "/root/repo/tests/uarch/CacheTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/CacheTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/CacheTest.cpp.o.d"
+  "/root/repo/tests/uarch/FrontEndTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/FrontEndTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/FrontEndTest.cpp.o.d"
+  "/root/repo/tests/uarch/IldpModelDetailTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/IldpModelDetailTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/IldpModelDetailTest.cpp.o.d"
+  "/root/repo/tests/uarch/ModelsTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/ModelsTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/ModelsTest.cpp.o.d"
+  "/root/repo/tests/uarch/PredictorsTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/PredictorsTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/PredictorsTest.cpp.o.d"
+  "/root/repo/tests/uarch/SlotRingTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/SlotRingTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/SlotRingTest.cpp.o.d"
+  "/root/repo/tests/uarch/SuperscalarDetailTest.cpp" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/SuperscalarDetailTest.cpp.o" "gcc" "tests/CMakeFiles/ildp_unit_tests.dir/uarch/SuperscalarDetailTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ildp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ildp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ildp_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/ildp_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/iisa/CMakeFiles/ildp_iisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ildp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/ildp_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ildp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ildp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
