@@ -1,0 +1,119 @@
+//===- bench/bench_warm_start.cpp - Persistent-cache warm-start bench -----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the persistent translation cache saves. Section 4.2 puts
+/// the translation tax at ~1,125 translator instructions per translated
+/// source instruction, paid again on every process start because nothing
+/// survives exit. For every workload this bench runs the VM cold (empty
+/// cache file slot, fragments translated from scratch, cache saved on
+/// exit) and then warm (fragments imported from the file), and reports:
+///
+///   - translator work units spent (dbt.cost.total) cold vs warm — the
+///     warm column must be ~0,
+///   - instructions interpreted before reaching translated code,
+///   - functional wall-clock per run,
+///   - the fragment count, confirming the warm run re-materialized the
+///     cold run's cache.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace ildp;
+using namespace ildp::bench;
+
+namespace {
+
+struct Sample {
+  uint64_t TransUnits = 0;
+  uint64_t InterpInsts = 0;
+  uint64_t Fragments = 0;
+  uint64_t Checksum = 0;
+  double WallMs = 0;
+};
+
+Sample runOnce(const std::string &Workload, const std::string &CachePath) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Image =
+      workloads::buildWorkload(Workload, Mem, benchScale());
+  vm::VmConfig Config;
+  Config.PersistPath = CachePath;
+
+  auto Start = std::chrono::steady_clock::now();
+  vm::VirtualMachine Vm(Mem, Image.EntryPc, Config);
+  vm::RunResult Result = Vm.run();
+  auto End = std::chrono::steady_clock::now();
+  if (Result.Reason != vm::StopReason::Halted) {
+    std::fprintf(stderr, "%s: run did not halt cleanly\n", Workload.c_str());
+    std::exit(1);
+  }
+
+  Sample S;
+  const StatisticSet &Stats = Vm.stats();
+  S.TransUnits = Stats.get("dbt.cost.total");
+  S.InterpInsts = Stats.get("interp.insts");
+  S.Fragments = Stats.get("tcache.fragments");
+  S.Checksum = Vm.interpreter().state().readGpr(alpha::RegV0);
+  S.WallMs = std::chrono::duration<double, std::milli>(End - Start).count();
+  return S;
+}
+
+} // namespace
+
+int main() {
+  printBanner("Warm start: persistent translation cache",
+              "persistence extension; translation tax of Section 4.2");
+
+  TablePrinter T({"workload", "frags", "xlate cold", "xlate warm",
+                  "interp cold", "interp warm", "ms cold", "ms warm"});
+  uint64_t SumCold = 0, SumWarm = 0;
+  double SumColdMs = 0, SumWarmMs = 0;
+  bool AllConsistent = true;
+
+  for (const std::string &W : workloads::workloadNames()) {
+    std::string CachePath = "bench_warm_start." + W + ".tcache";
+    std::remove(CachePath.c_str());
+    Sample Cold = runOnce(W, CachePath);
+    Sample Warm = runOnce(W, CachePath);
+    std::remove(CachePath.c_str());
+
+    bool Consistent =
+        Warm.Checksum == Cold.Checksum && Warm.Fragments == Cold.Fragments;
+    AllConsistent &= Consistent;
+    SumCold += Cold.TransUnits;
+    SumWarm += Warm.TransUnits;
+    SumColdMs += Cold.WallMs;
+    SumWarmMs += Warm.WallMs;
+
+    T.beginRow();
+    T.cell(Consistent ? W : W + " (MISMATCH!)");
+    T.cellInt(int64_t(Cold.Fragments));
+    T.cellInt(int64_t(Cold.TransUnits));
+    T.cellInt(int64_t(Warm.TransUnits));
+    T.cellInt(int64_t(Cold.InterpInsts));
+    T.cellInt(int64_t(Warm.InterpInsts));
+    T.cellFloat(Cold.WallMs, 1);
+    T.cellFloat(Warm.WallMs, 1);
+  }
+  T.print();
+
+  std::printf("\ntranslator work units: cold %llu, warm %llu (%.2f%% of "
+              "cold)\nfunctional wall clock: cold %.1f ms, warm %.1f ms\n",
+              (unsigned long long)SumCold, (unsigned long long)SumWarm,
+              SumCold ? 100.0 * double(SumWarm) / double(SumCold) : 0.0,
+              SumColdMs, SumWarmMs);
+  if (!AllConsistent || SumWarm != 0) {
+    std::printf("WARM-START CHECK FAILED\n");
+    return 1;
+  }
+  std::printf("warm-start check OK: zero translation work on warm runs\n");
+  return 0;
+}

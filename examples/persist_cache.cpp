@@ -1,0 +1,140 @@
+//===- examples/persist_cache.cpp - Warm-start demonstration --------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the persistent translation cache: a cold run of a workload
+/// translates its hot paths and saves the translation cache to disk; a
+/// second run of the same workload imports the fragments and goes straight
+/// to chained translated execution — zero fragments translated — while
+/// producing the identical final checksum. A third run deliberately
+/// corrupts the cache file to show the graceful cold-start fallback.
+///
+/// Usage: persist_cache [workload] [scale] [cache-file]
+///   workload:   one of the twelve SPEC stand-ins (default: gzip)
+///   cache-file: default "<workload>.tcache" in the working directory
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+using namespace ildp;
+
+namespace {
+
+struct RunSummary {
+  uint64_t Checksum = 0;
+  uint64_t Fragments = 0;  ///< Fragments resident at exit.
+  uint64_t Translated = 0; ///< Fragments translated during THIS run.
+  uint64_t Imported = 0;
+  uint64_t InterpInsts = 0;
+  uint64_t TransCost = 0; ///< Translator work units spent this run.
+  bool Halted = false;
+};
+
+RunSummary runOnce(const std::string &Workload, unsigned Scale,
+                   const std::string &CachePath) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Image =
+      workloads::buildWorkload(Workload, Mem, Scale);
+  vm::VmConfig Config;
+  Config.PersistPath = CachePath;
+  vm::VirtualMachine Vm(Mem, Image.EntryPc, Config);
+  vm::RunResult Result = Vm.run();
+
+  RunSummary S;
+  S.Halted = Result.Reason == vm::StopReason::Halted;
+  S.Checksum = Vm.interpreter().state().readGpr(alpha::RegV0);
+  const StatisticSet &Stats = Vm.stats();
+  S.Fragments = Stats.get("tcache.fragments");
+  S.Translated = Stats.get("dbt.fragments");
+  S.Imported = Stats.get("persist.fragments_imported");
+  S.InterpInsts = Stats.get("interp.insts");
+  S.TransCost = Stats.get("dbt.cost.total");
+  return S;
+}
+
+void printRun(const char *Label, const RunSummary &S) {
+  std::printf("%s\n", Label);
+  std::printf("  halted cleanly      : %s\n", S.Halted ? "yes" : "NO");
+  std::printf("  checksum (v0)       : 0x%016llx\n",
+              (unsigned long long)S.Checksum);
+  std::printf("  fragments imported  : %llu\n", (unsigned long long)S.Imported);
+  std::printf("  fragments translated: %llu\n",
+              (unsigned long long)S.Translated);
+  std::printf("  fragments at exit   : %llu\n",
+              (unsigned long long)S.Fragments);
+  std::printf("  interpreted insts   : %llu\n",
+              (unsigned long long)S.InterpInsts);
+  std::printf("  translator work     : %llu units\n\n",
+              (unsigned long long)S.TransCost);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "gzip";
+  int ScaleArg = argc > 2 ? std::atoi(argv[2]) : 1;
+  unsigned Scale = ScaleArg >= 1 ? unsigned(ScaleArg) : 1;
+  std::string CachePath = argc > 3 ? argv[3] : Name + ".tcache";
+  bool Known = false;
+  for (const std::string &W : workloads::workloadNames())
+    Known |= W == Name;
+  if (!Known) {
+    std::fprintf(stderr, "unknown workload '%s'; available:", Name.c_str());
+    for (const std::string &W : workloads::workloadNames())
+      std::fprintf(stderr, " %s", W.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  std::remove(CachePath.c_str()); // Start from a guaranteed-cold state.
+  std::printf("workload: %s (scale %u), cache file: %s\n\n", Name.c_str(),
+              Scale, CachePath.c_str());
+
+  RunSummary Cold = runOnce(Name, Scale, CachePath);
+  printRun("== cold run (no cache file) ==", Cold);
+
+  RunSummary Warm = runOnce(Name, Scale, CachePath);
+  printRun("== warm run (cache imported) ==", Warm);
+
+  // Flip one byte in the middle of the file: the CRC check must reject it
+  // and the run must fall back to a full cold start, still correct.
+  {
+    std::fstream F(CachePath,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    F.seekg(0, std::ios::end);
+    long Size = long(F.tellg());
+    F.seekp(Size / 2);
+    char Byte = 0;
+    F.seekg(Size / 2);
+    F.read(&Byte, 1);
+    Byte = char(Byte ^ 0x5A);
+    F.seekp(Size / 2);
+    F.write(&Byte, 1);
+  }
+  RunSummary Corrupt = runOnce(Name, Scale, CachePath);
+  printRun("== corrupted-cache run (cold fallback) ==", Corrupt);
+
+  bool Ok = Cold.Halted && Warm.Halted && Corrupt.Halted &&
+            Warm.Checksum == Cold.Checksum &&
+            Corrupt.Checksum == Cold.Checksum && Warm.Translated == 0 &&
+            Warm.Imported == Cold.Fragments &&
+            Warm.Fragments == Cold.Fragments && Corrupt.Imported == 0 &&
+            Corrupt.Translated > 0;
+  std::printf("warm start %s: translated %llu -> %llu fragments, "
+              "translator work %llu -> %llu units\n",
+              Ok ? "OK" : "FAILED", (unsigned long long)Cold.Translated,
+              (unsigned long long)Warm.Translated,
+              (unsigned long long)Cold.TransCost,
+              (unsigned long long)Warm.TransCost);
+  return Ok ? 0 : 1;
+}

@@ -60,6 +60,32 @@ Fragment &TranslationCache::install(Fragment Frag) {
   return F;
 }
 
+std::vector<const Fragment *> TranslationCache::exportAll() const {
+  std::vector<const Fragment *> Out;
+  Out.reserve(Fragments.size());
+  for (const std::unique_ptr<Fragment> &Frag : Fragments)
+    Out.push_back(Frag.get());
+  return Out;
+}
+
+size_t TranslationCache::importAll(std::vector<Fragment> Frags) {
+  size_t Installed = 0;
+  for (Fragment &Frag : Frags) {
+    if (Index.count(Frag.EntryVAddr))
+      continue;
+    // Rewind every patchable exit to the call-translator state it had when
+    // codegen emitted it against an empty cache; install() below re-runs
+    // the authoritative patch pass against what is actually present now.
+    for (ExitRecord &Exit : Frag.Exits) {
+      Exit.Pending = true;
+      Frag.Body[Exit.InstIndex].ToTranslator = true;
+    }
+    install(std::move(Frag));
+    ++Installed;
+  }
+  return Installed;
+}
+
 void TranslationCache::flush() {
   Fragments.clear();
   Index.clear();

@@ -77,6 +77,19 @@ public:
     return Fragments;
   }
 
+  /// All fragments in install order, for serialization (the persistence
+  /// layer snapshots these into a cache file).
+  std::vector<const Fragment *> exportAll() const;
+
+  /// Installs previously exported fragments (warm start). Every exit is
+  /// first reset to its unpatched call-translator form and each fragment
+  /// then goes through install(), so I-PC assignment and exit patching
+  /// re-run from scratch and the chaining invariants hold exactly as they
+  /// would after a cold translation of the same fragments. Fragments whose
+  /// entry address is already present are skipped. Returns the number
+  /// actually installed.
+  size_t importAll(std::vector<Fragment> Frags);
+
 private:
   std::vector<std::unique_ptr<Fragment>> Fragments;
   std::unordered_map<uint64_t, Fragment *> Index;

@@ -16,6 +16,7 @@
 ///   interp   -> the reference functional interpreter
 ///   iisa     -> the accumulator I-ISA and its functional executor
 ///   core     -> the dynamic binary translator (the paper's contribution)
+///   persist  -> the persistent translation cache (warm-start files)
 ///   uarch    -> the ILDP and superscalar timing models
 ///   vm       -> the co-designed virtual machine driver
 ///   workloads-> the synthetic SPEC CPU2000 stand-ins
@@ -68,6 +69,13 @@
 #include "core/TrapRecovery.h"
 #include "core/Uop.h"
 #include "core/UsageAnalysis.h"
+
+// The persistent translation cache (warm starts).
+#include "persist/ByteStream.h"
+#include "persist/CacheFile.h"
+#include "persist/Crc32.h"
+#include "persist/Fingerprint.h"
+#include "persist/FragmentCodec.h"
 
 // Timing models.
 #include "uarch/Cache.h"

@@ -6,6 +6,7 @@
 
 #include "mem/GuestMemory.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -85,6 +86,21 @@ void GuestMemory::writeBlob(uint64_t Addr, const void *Data, uint64_t Size) {
     uint8_t *Page = pageFor(Addr + I, /*Allocate=*/true);
     Page[(Addr + I) & (PageSize - 1)] = Bytes[I];
   }
+}
+
+std::vector<uint64_t> GuestMemory::mappedPageBases() const {
+  std::vector<uint64_t> Bases;
+  Bases.reserve(Pages.size());
+  for (const auto &[Index, Page] : Pages)
+    Bases.push_back(Index << PageShift);
+  std::sort(Bases.begin(), Bases.end());
+  return Bases;
+}
+
+const uint8_t *GuestMemory::pageData(uint64_t PageBase) const {
+  if (PageBase & (PageSize - 1))
+    return nullptr;
+  return pageFor(PageBase);
 }
 
 void GuestMemory::poke8(uint64_t Addr, uint8_t Value) {

@@ -87,6 +87,15 @@ public:
   /// Number of currently mapped pages (for footprint statistics).
   size_t mappedPageCount() const { return Pages.size(); }
 
+  /// Base addresses of all mapped pages, sorted ascending. Deterministic
+  /// order makes whole-image fingerprints (persistent translation cache)
+  /// reproducible across runs.
+  std::vector<uint64_t> mappedPageBases() const;
+
+  /// Read-only bytes of the mapped page starting at \p PageBase (exactly
+  /// PageSize bytes), or nullptr when unmapped or misaligned.
+  const uint8_t *pageData(uint64_t PageBase) const;
+
 private:
   uint8_t *pageFor(uint64_t Addr, bool Allocate);
   const uint8_t *pageFor(uint64_t Addr) const;

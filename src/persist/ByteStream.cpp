@@ -1,0 +1,119 @@
+//===- persist/ByteStream.cpp - Bounded binary (de)serialization ----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/ByteStream.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace ildp;
+using namespace ildp::persist;
+
+void ByteWriter::putU16(uint16_t Value) {
+  putU8(uint8_t(Value));
+  putU8(uint8_t(Value >> 8));
+}
+
+void ByteWriter::putU32(uint32_t Value) {
+  for (int I = 0; I != 4; ++I)
+    putU8(uint8_t(Value >> (8 * I)));
+}
+
+void ByteWriter::putU64(uint64_t Value) {
+  for (int I = 0; I != 8; ++I)
+    putU8(uint8_t(Value >> (8 * I)));
+}
+
+void ByteWriter::putBytes(const void *Data, size_t Size) {
+  const auto *Bytes = static_cast<const uint8_t *>(Data);
+  Buf.insert(Buf.end(), Bytes, Bytes + Size);
+}
+
+void ByteWriter::patchU32(size_t Offset, uint32_t Value) {
+  assert(Offset + 4 <= Buf.size() && "Patch outside written range");
+  for (int I = 0; I != 4; ++I)
+    Buf[Offset + I] = uint8_t(Value >> (8 * I));
+}
+
+void ByteWriter::patchU64(size_t Offset, uint64_t Value) {
+  assert(Offset + 8 <= Buf.size() && "Patch outside written range");
+  for (int I = 0; I != 8; ++I)
+    Buf[Offset + I] = uint8_t(Value >> (8 * I));
+}
+
+uint8_t ByteReader::getU8() {
+  if (Failed || Pos + 1 > Size) {
+    Failed = true;
+    return 0;
+  }
+  return Data[Pos++];
+}
+
+uint16_t ByteReader::getU16() {
+  if (Failed || Pos + 2 > Size) {
+    Failed = true;
+    return 0;
+  }
+  uint16_t V = uint16_t(Data[Pos]) | uint16_t(Data[Pos + 1]) << 8;
+  Pos += 2;
+  return V;
+}
+
+uint32_t ByteReader::getU32() {
+  if (Failed || Pos + 4 > Size) {
+    Failed = true;
+    return 0;
+  }
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= uint32_t(Data[Pos + I]) << (8 * I);
+  Pos += 4;
+  return V;
+}
+
+uint64_t ByteReader::getU64() {
+  if (Failed || Pos + 8 > Size) {
+    Failed = true;
+    return 0;
+  }
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= uint64_t(Data[Pos + I]) << (8 * I);
+  Pos += 8;
+  return V;
+}
+
+bool ByteReader::getBytes(void *Out, size_t Count) {
+  if (Failed || Pos + Count > Size || Pos + Count < Pos) {
+    Failed = true;
+    std::memset(Out, 0, Count);
+    return false;
+  }
+  std::memcpy(Out, Data + Pos, Count);
+  Pos += Count;
+  return true;
+}
+
+uint32_t ByteReader::getCount(size_t MinElemBytes) {
+  uint32_t Count = getU32();
+  if (Failed)
+    return 0;
+  // A count claiming more elements than the remaining bytes could possibly
+  // encode is corruption; reject before any caller allocates.
+  if (MinElemBytes != 0 && uint64_t(Count) * MinElemBytes > remaining()) {
+    Failed = true;
+    return 0;
+  }
+  return Count;
+}
+
+ByteReader ByteReader::slice(size_t Offset, size_t Length) {
+  if (Failed || Offset > Size || Length > Size - Offset) {
+    Failed = true;
+    return ByteReader(nullptr, 0);
+  }
+  return ByteReader(Data + Offset, Length);
+}

@@ -1,0 +1,103 @@
+//===- persist/ByteStream.h - Bounded binary (de)serialization ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary writer/reader for the persistent translation cache.
+/// The reader is deliberately paranoid: every read is bounds-checked against
+/// the underlying buffer, length prefixes are validated before any
+/// allocation, and once a read fails the stream latches into a failed state
+/// and every subsequent read returns zeros. Cache files come from disk and
+/// may be truncated or corrupted arbitrarily; the deserializer must degrade
+/// to "reject the file", never to undefined behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_PERSIST_BYTESTREAM_H
+#define ILDP_PERSIST_BYTESTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ildp {
+namespace persist {
+
+/// Append-only little-endian byte buffer.
+class ByteWriter {
+public:
+  void putU8(uint8_t Value) { Buf.push_back(Value); }
+  void putU16(uint16_t Value);
+  void putU32(uint32_t Value);
+  void putU64(uint64_t Value);
+  void putI64(int64_t Value) { putU64(uint64_t(Value)); }
+  void putI32(int32_t Value) { putU32(uint32_t(Value)); }
+  void putI16(int16_t Value) { putU16(uint16_t(Value)); }
+  void putBytes(const void *Data, size_t Size);
+
+  /// Overwrites 4 bytes at \p Offset (for back-patching section tables).
+  void patchU32(size_t Offset, uint32_t Value);
+  /// Overwrites 8 bytes at \p Offset.
+  void patchU64(size_t Offset, uint64_t Value);
+
+  size_t size() const { return Buf.size(); }
+  const std::vector<uint8_t> &bytes() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked little-endian reader over a byte buffer it does not own.
+/// All getters return 0 once the stream has failed; callers check ok()
+/// (or failed()) after a decode pass rather than after every read.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : ByteReader(Buf.data(), Buf.size()) {}
+
+  uint8_t getU8();
+  uint16_t getU16();
+  uint32_t getU32();
+  uint64_t getU64();
+  int64_t getI64() { return int64_t(getU64()); }
+  int32_t getI32() { return int32_t(getU32()); }
+  int16_t getI16() { return int16_t(getU16()); }
+  /// Copies \p Count bytes out; zero-fills and fails on overrun.
+  bool getBytes(void *Out, size_t Count);
+
+  /// Reads a u32 element count and validates it against the bytes actually
+  /// remaining (each element occupying at least \p MinElemBytes), so a
+  /// corrupted length prefix can never drive a huge allocation. Returns 0
+  /// and fails the stream when the count is implausible.
+  uint32_t getCount(size_t MinElemBytes);
+
+  /// Marks the stream failed (decoders call this on semantic violations,
+  /// e.g. an out-of-range enum value).
+  void fail() { Failed = true; }
+
+  bool ok() const { return !Failed; }
+  bool failed() const { return Failed; }
+  size_t pos() const { return Pos; }
+  size_t remaining() const { return Failed ? 0 : Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+  /// Returns a sub-reader over [Offset, Offset+Length) of this reader's
+  /// buffer; fails this stream and returns an empty reader on overrun.
+  ByteReader slice(size_t Offset, size_t Length);
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace persist
+} // namespace ildp
+
+#endif // ILDP_PERSIST_BYTESTREAM_H

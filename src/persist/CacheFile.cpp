@@ -1,0 +1,224 @@
+//===- persist/CacheFile.cpp - Persistent translation-cache files ---------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/CacheFile.h"
+
+#include "persist/ByteStream.h"
+#include "persist/Crc32.h"
+#include "persist/FragmentCodec.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace ildp;
+using namespace ildp::persist;
+using namespace ildp::dbt;
+
+namespace {
+
+constexpr uint32_t SectionMeta = 1;
+constexpr uint32_t SectionFragments = 2;
+constexpr size_t HeaderBytes = 8 + 4 + 4 + 8;
+constexpr size_t SectionEntryBytes = 4 + 8 + 8 + 4;
+/// Corruption guard on the section count; the format defines two sections
+/// and leaves generous room for additions.
+constexpr uint32_t MaxSections = 16;
+
+struct SectionEntry {
+  uint32_t Id = 0;
+  uint64_t Offset = 0;
+  uint64_t Size = 0;
+  uint32_t Crc = 0;
+};
+
+} // namespace
+
+const char *persist::getLoadStatusName(LoadStatus Status) {
+  switch (Status) {
+  case LoadStatus::Ok:
+    return "ok";
+  case LoadStatus::FileNotFound:
+    return "file-not-found";
+  case LoadStatus::BadMagic:
+    return "bad-magic";
+  case LoadStatus::BadVersion:
+    return "bad-version";
+  case LoadStatus::Truncated:
+    return "truncated";
+  case LoadStatus::BadChecksum:
+    return "bad-checksum";
+  case LoadStatus::FingerprintMismatch:
+    return "fingerprint-mismatch";
+  case LoadStatus::BadPayload:
+    return "bad-payload";
+  }
+  return "unknown";
+}
+
+LoadResult persist::loadCacheFile(const std::string &Path,
+                                  uint64_t ExpectedFingerprint) {
+  LoadResult Result;
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Result.Status = LoadStatus::FileNotFound;
+    return Result;
+  }
+  std::vector<uint8_t> File((std::istreambuf_iterator<char>(In)),
+                            std::istreambuf_iterator<char>());
+  In.close();
+
+  ByteReader R(File);
+  uint64_t Magic = R.getU64();
+  if (R.failed() || Magic != CacheFileMagic) {
+    Result.Status = File.size() < HeaderBytes ? LoadStatus::Truncated
+                                              : LoadStatus::BadMagic;
+    return Result;
+  }
+  uint32_t Version = R.getU32();
+  uint32_t SectionCount = R.getU32();
+  Result.FileFingerprint = R.getU64();
+  if (R.failed()) {
+    Result.Status = LoadStatus::Truncated;
+    return Result;
+  }
+  if (Version != CacheFormatVersion) {
+    Result.Status = LoadStatus::BadVersion;
+    return Result;
+  }
+  if (SectionCount == 0 || SectionCount > MaxSections) {
+    Result.Status = LoadStatus::Truncated;
+    return Result;
+  }
+
+  // Section table: validate bounds and CRC of every section before any
+  // payload decoding. The lengths come from disk — never trust them.
+  std::vector<SectionEntry> Sections(SectionCount);
+  for (SectionEntry &S : Sections) {
+    S.Id = R.getU32();
+    S.Offset = R.getU64();
+    S.Size = R.getU64();
+    S.Crc = R.getU32();
+  }
+  if (R.failed()) {
+    Result.Status = LoadStatus::Truncated;
+    return Result;
+  }
+  for (const SectionEntry &S : Sections) {
+    if (S.Offset > File.size() || S.Size > File.size() - S.Offset) {
+      Result.Status = LoadStatus::Truncated;
+      return Result;
+    }
+    if (crc32(File.data() + S.Offset, size_t(S.Size)) != S.Crc) {
+      Result.Status = LoadStatus::BadChecksum;
+      return Result;
+    }
+  }
+
+  // Structure and checksums are sound; now gate on compatibility.
+  if (Result.FileFingerprint != ExpectedFingerprint) {
+    Result.Status = LoadStatus::FingerprintMismatch;
+    return Result;
+  }
+
+  const SectionEntry *Meta = nullptr, *Frags = nullptr;
+  for (const SectionEntry &S : Sections) {
+    if (S.Id == SectionMeta)
+      Meta = &S;
+    else if (S.Id == SectionFragments)
+      Frags = &S;
+  }
+  if (!Meta || !Frags) {
+    Result.Status = LoadStatus::BadPayload;
+    return Result;
+  }
+
+  ByteReader MetaR(File.data() + Meta->Offset, size_t(Meta->Size));
+  uint32_t FragmentCount = MetaR.getU32();
+  uint64_t TotalBodyBytes = MetaR.getU64();
+  if (MetaR.failed()) {
+    Result.Status = LoadStatus::BadPayload;
+    return Result;
+  }
+
+  ByteReader FragR(File.data() + Frags->Offset, size_t(Frags->Size));
+  Result.Fragments.reserve(FragmentCount);
+  uint64_t DecodedBodyBytes = 0;
+  for (uint32_t I = 0; I != FragmentCount; ++I) {
+    Fragment Frag;
+    if (!decodeFragment(FragR, Frag)) {
+      Result.Fragments.clear();
+      Result.Status = LoadStatus::BadPayload;
+      return Result;
+    }
+    DecodedBodyBytes += Frag.BodyBytes;
+    Result.Fragments.push_back(std::move(Frag));
+  }
+  // The fragment section must be exactly consumed, and the meta cross-check
+  // must agree — leftover bytes or a count mismatch mean corruption that
+  // happened to keep the CRC intact (e.g. a truncated-then-repacked file).
+  if (!FragR.atEnd() || DecodedBodyBytes != TotalBodyBytes) {
+    Result.Fragments.clear();
+    Result.Status = LoadStatus::BadPayload;
+    return Result;
+  }
+
+  Result.Status = LoadStatus::Ok;
+  return Result;
+}
+
+bool persist::saveCacheFile(const std::string &Path, uint64_t Fingerprint,
+                            const std::vector<const Fragment *> &Fragments) {
+  ByteWriter MetaW;
+  uint64_t TotalBodyBytes = 0;
+  for (const Fragment *Frag : Fragments)
+    TotalBodyBytes += Frag->BodyBytes;
+  MetaW.putU32(uint32_t(Fragments.size()));
+  MetaW.putU64(TotalBodyBytes);
+
+  ByteWriter FragW;
+  for (const Fragment *Frag : Fragments)
+    encodeFragment(*Frag, FragW);
+
+  ByteWriter W;
+  W.putU64(CacheFileMagic);
+  W.putU32(CacheFormatVersion);
+  W.putU32(2); // section count
+  W.putU64(Fingerprint);
+  size_t TableOffset = W.size();
+  for (int I = 0; I != 2; ++I)
+    for (size_t B = 0; B != SectionEntryBytes; ++B)
+      W.putU8(0); // Placeholder; patched below once offsets are known.
+
+  auto EmitSection = [&](int Index, uint32_t Id, const ByteWriter &Body) {
+    size_t Offset = W.size();
+    W.putBytes(Body.bytes().data(), Body.size());
+    size_t Entry = TableOffset + size_t(Index) * SectionEntryBytes;
+    W.patchU32(Entry, Id);
+    W.patchU64(Entry + 4, Offset);
+    W.patchU64(Entry + 12, Body.size());
+    W.patchU32(Entry + 20, crc32(Body.bytes().data(), Body.size()));
+  };
+  EmitSection(0, SectionMeta, MetaW);
+  EmitSection(1, SectionFragments, FragW);
+
+  // Stage and rename so a crash mid-write cannot corrupt an existing file.
+  std::string TmpPath = Path + ".tmp";
+  {
+    std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(reinterpret_cast<const char *>(W.bytes().data()),
+              std::streamsize(W.size()));
+    if (!Out)
+      return false;
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  return true;
+}

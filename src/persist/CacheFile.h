@@ -1,0 +1,83 @@
+//===- persist/CacheFile.h - Persistent translation-cache files -----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk format of a persisted translation cache and its reader and
+/// writer. Layout (all integers little-endian):
+///
+///   header         magic u64, format version u32, section count u32,
+///                  fingerprint u64                          (24 bytes)
+///   section table  per section: id u32, file offset u64, byte size u64,
+///                  CRC32 u32                                (24 bytes each)
+///   sections       META      fragment count u32, total body bytes u64
+///                  FRAGMENTS FragmentCodec encodings, back to back
+///
+/// The loader is strictly fail-safe: magic/version gates first, then every
+/// section is bounds- and CRC-checked before a single fragment byte is
+/// decoded, then the fingerprint is compared, and only then is the payload
+/// deserialized (itself bounds-checked; see ByteStream/FragmentCodec). Any
+/// failure yields a distinct LoadStatus and an empty fragment list — the
+/// VM counts the reason and runs cold. A load NEVER crashes on a bad file.
+///
+/// The writer stages through "<path>.tmp" and renames into place so a
+/// crashed save cannot leave a half-written cache under the real name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_PERSIST_CACHEFILE_H
+#define ILDP_PERSIST_CACHEFILE_H
+
+#include "core/Fragment.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ildp {
+namespace persist {
+
+/// "ILDPTC1\0" as a little-endian u64.
+constexpr uint64_t CacheFileMagic = 0x0031435450444C49ull;
+/// Bumped on any incompatible change to the header, section, or fragment
+/// encoding; also folded into the fingerprint via the file header check.
+constexpr uint32_t CacheFormatVersion = 1;
+
+/// Why a cache-file load succeeded or was rejected.
+enum class LoadStatus : uint8_t {
+  Ok,
+  FileNotFound,        ///< No file at the path (first run; not an error).
+  BadMagic,            ///< Not a translation-cache file.
+  BadVersion,          ///< Produced by an incompatible format revision.
+  Truncated,           ///< Header or a section extends past end of file.
+  BadChecksum,         ///< A section's CRC32 does not match its bytes.
+  FingerprintMismatch, ///< Guest image or DbtConfig changed since the save.
+  BadPayload,          ///< CRC passed but fragment decoding failed
+                       ///< (structurally invalid records).
+};
+
+const char *getLoadStatusName(LoadStatus Status);
+
+/// Result of loadCacheFile(). Fragments is empty unless Status == Ok.
+struct LoadResult {
+  LoadStatus Status = LoadStatus::FileNotFound;
+  uint64_t FileFingerprint = 0;
+  std::vector<dbt::Fragment> Fragments;
+};
+
+/// Reads and validates the cache file at \p Path against
+/// \p ExpectedFingerprint.
+LoadResult loadCacheFile(const std::string &Path,
+                         uint64_t ExpectedFingerprint);
+
+/// Writes \p Fragments (install order) to \p Path, stamped with
+/// \p Fingerprint. Returns false on I/O failure.
+bool saveCacheFile(const std::string &Path, uint64_t Fingerprint,
+                   const std::vector<const dbt::Fragment *> &Fragments);
+
+} // namespace persist
+} // namespace ildp
+
+#endif // ILDP_PERSIST_CACHEFILE_H

@@ -1,0 +1,62 @@
+//===- persist/Crc32.cpp - CRC-32 checksums -------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Crc32.h"
+
+#include <array>
+
+using namespace ildp;
+using namespace ildp::persist;
+
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected polynomial 0xEDB88320.
+std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+const std::array<uint32_t, 256> &table() {
+  static const std::array<uint32_t, 256> Table = makeTable();
+  return Table;
+}
+
+} // namespace
+
+void Crc32::update(const void *Data, size_t Size) {
+  const auto *Bytes = static_cast<const uint8_t *>(Data);
+  const std::array<uint32_t, 256> &T = table();
+  for (size_t I = 0; I != Size; ++I)
+    State = T[(State ^ Bytes[I]) & 0xFF] ^ (State >> 8);
+}
+
+void Crc32::updateU64(uint64_t Value) {
+  uint8_t Bytes[8];
+  for (int I = 0; I != 8; ++I)
+    Bytes[I] = uint8_t(Value >> (8 * I));
+  update(Bytes, 8);
+}
+
+void Crc32::updateU32(uint32_t Value) {
+  uint8_t Bytes[4];
+  for (int I = 0; I != 4; ++I)
+    Bytes[I] = uint8_t(Value >> (8 * I));
+  update(Bytes, 4);
+}
+
+void Crc32::updateU8(uint8_t Value) { update(&Value, 1); }
+
+uint32_t persist::crc32(const void *Data, size_t Size) {
+  Crc32 C;
+  C.update(Data, Size);
+  return C.value();
+}

@@ -1,0 +1,49 @@
+//===- persist/Crc32.h - CRC-32 checksums ---------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (the IEEE 802.3 / zlib polynomial, reflected form). The persistent
+/// translation cache uses it twice: per-section integrity checks inside
+/// cache files, and the guest-code/configuration fingerprint that decides
+/// whether a cache file may be reused for a warm start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_PERSIST_CRC32_H
+#define ILDP_PERSIST_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ildp {
+namespace persist {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+public:
+  /// Folds \p Size bytes at \p Data into the running checksum.
+  void update(const void *Data, size_t Size);
+
+  /// Convenience: folds a little-endian integral value.
+  void updateU64(uint64_t Value);
+  void updateU32(uint32_t Value);
+  void updateU8(uint8_t Value);
+
+  /// The finalized checksum of everything fed so far (the accumulator
+  /// stays usable; value() may be read repeatedly).
+  uint32_t value() const { return ~State; }
+
+private:
+  uint32_t State = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte buffer.
+uint32_t crc32(const void *Data, size_t Size);
+
+} // namespace persist
+} // namespace ildp
+
+#endif // ILDP_PERSIST_CRC32_H

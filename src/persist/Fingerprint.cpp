@@ -1,0 +1,39 @@
+//===- persist/Fingerprint.cpp - Cache-file compatibility fingerprint -----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Fingerprint.h"
+
+#include "persist/Crc32.h"
+
+using namespace ildp;
+using namespace ildp::persist;
+
+uint32_t persist::configCrc(const dbt::DbtConfig &Config) {
+  Crc32 C;
+  C.updateU8(uint8_t(Config.Variant));
+  C.updateU8(uint8_t(Config.Chaining));
+  C.updateU32(Config.HotThreshold);
+  C.updateU32(Config.MaxSuperblockInsts);
+  C.updateU32(Config.NumAccumulators);
+  C.updateU8(Config.SplitMemoryOps ? 1 : 0);
+  C.updateU8(Config.CmovTwoOp ? 1 : 0);
+  return C.value();
+}
+
+uint32_t persist::guestCrc(const GuestMemory &Mem, uint64_t EntryPc) {
+  Crc32 C;
+  C.updateU64(EntryPc);
+  for (uint64_t Base : Mem.mappedPageBases()) {
+    C.updateU64(Base);
+    C.update(Mem.pageData(Base), GuestMemory::PageSize);
+  }
+  return C.value();
+}
+
+uint64_t persist::fingerprint(const GuestMemory &Mem, uint64_t EntryPc,
+                              const dbt::DbtConfig &Config) {
+  return uint64_t(configCrc(Config)) << 32 | guestCrc(Mem, EntryPc);
+}

@@ -1,0 +1,49 @@
+//===- persist/Fingerprint.h - Cache-file compatibility fingerprint -------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persisted translation cache is only reusable when the guest program
+/// and the translator configuration that produced it are both unchanged:
+/// fragments embed absolute V-ISA addresses, chaining decisions, and
+/// variant-specific code shapes. The fingerprint binds a cache file to
+/// (guest image bytes, entry PC, DbtConfig, format version); a warm start
+/// whose fingerprint differs falls back to a cold run.
+///
+/// The guest half hashes every mapped page (base address + contents) in
+/// ascending address order, so it must be computed over the *initial*
+/// image, before execution mutates data pages. The VM does this at
+/// construction time and reuses the value for the save on exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_PERSIST_FINGERPRINT_H
+#define ILDP_PERSIST_FINGERPRINT_H
+
+#include "core/Config.h"
+#include "mem/GuestMemory.h"
+
+#include <cstdint>
+
+namespace ildp {
+namespace persist {
+
+/// Fingerprint of (guest image, entry PC, translator config). The two
+/// halves are independent CRC32s — guest image in the low word, config in
+/// the high word — so a mismatch diagnostic can tell "program changed"
+/// from "configuration changed".
+uint64_t fingerprint(const GuestMemory &Mem, uint64_t EntryPc,
+                     const dbt::DbtConfig &Config);
+
+/// Config-only half (high word of fingerprint()).
+uint32_t configCrc(const dbt::DbtConfig &Config);
+
+/// Guest-image-only half (low word of fingerprint()).
+uint32_t guestCrc(const GuestMemory &Mem, uint64_t EntryPc);
+
+} // namespace persist
+} // namespace ildp
+
+#endif // ILDP_PERSIST_FINGERPRINT_H

@@ -8,6 +8,8 @@
 
 #include "core/SuperblockBuilder.h"
 #include "core/Translator.h"
+#include "persist/CacheFile.h"
+#include "persist/Fingerprint.h"
 
 #include <cassert>
 
@@ -23,6 +25,54 @@ VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
       Profile(Config.Dbt.HotThreshold) {
   Interp.state().Pc = EntryPc;
   Profile.addCandidate(EntryPc);
+  if (!Config.PersistPath.empty()) {
+    PersistFingerprint = persist::fingerprint(Mem, EntryPc, Config.Dbt);
+    if (Config.PersistLoad)
+      warmStartFromPersisted();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent translation cache (warm start / save on exit).
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::warmStartFromPersisted() {
+  persist::LoadResult Loaded =
+      persist::loadCacheFile(Config.PersistPath, PersistFingerprint);
+  switch (Loaded.Status) {
+  case persist::LoadStatus::Ok:
+    break;
+  case persist::LoadStatus::FileNotFound:
+    Stats.add("persist.load_nofile");
+    return;
+  case persist::LoadStatus::FingerprintMismatch:
+    Stats.add("persist.load_mismatch");
+    return;
+  default:
+    Stats.add("persist.load_corrupt");
+    return;
+  }
+
+  size_t Installed = TCache.importAll(std::move(Loaded.Fragments));
+  // Imported entries count as translated for the profiler, so hot-counter
+  // qualification never tries to re-translate them, and their exit targets
+  // become candidates exactly as after a cold install.
+  for (const std::unique_ptr<dbt::Fragment> &Frag : TCache.fragments()) {
+    Profile.addCandidate(Frag->EntryVAddr);
+    Profile.markTranslated(Frag->EntryVAddr);
+    for (const dbt::ExitRecord &Exit : Frag->Exits)
+      Profile.addCandidate(Exit.VTarget);
+  }
+  Stats.add("persist.load_ok");
+  Stats.set("persist.fragments_imported", Installed);
+}
+
+void VirtualMachine::savePersistedCache() {
+  bool Ok = persist::saveCacheFile(Config.PersistPath, PersistFingerprint,
+                                   TCache.exportAll());
+  Stats.add(Ok ? "persist.save_ok" : "persist.save_fail");
+  if (Ok)
+    Stats.set("persist.fragments_saved", TCache.fragmentCount());
 }
 
 void VirtualMachine::dualRasPush(uint64_t VRet) {
@@ -126,22 +176,24 @@ void VirtualMachine::recordAndTranslate(uint64_t HotPc) {
 VirtualMachine::InterpOutcome VirtualMachine::interpretUntilTranslated() {
   while (GuestInsts < Config.MaxGuestInsts) {
     uint64_t Pc = Interp.state().Pc;
-    if (TCache.contains(Pc))
-      return {StepStatus::Ok, {}};
+    // Single hash probe per dispatch: the fragment found here is handed
+    // back to the run loop and executed directly.
+    if (dbt::Fragment *Frag = TCache.lookup(Pc))
+      return {StepStatus::Ok, {}, Frag};
     if (Profile.bump(Pc)) {
       recordAndTranslate(Pc);
       continue;
     }
     StepInfo Info = Interp.step();
     if (Info.Status == StepStatus::Trapped)
-      return {StepStatus::Trapped, Info.TrapInfo};
+      return {StepStatus::Trapped, Info.TrapInfo, nullptr};
     ++GuestInsts;
     ++Hot.InterpInsts;
     if (Info.Status == StepStatus::Halted)
-      return {StepStatus::Halted, {}};
+      return {StepStatus::Halted, {}, nullptr};
     registerCandidates(Profile, Info);
   }
-  return {StepStatus::Ok, {}};
+  return {StepStatus::Ok, {}, nullptr};
 }
 
 // ---------------------------------------------------------------------------
@@ -472,28 +524,15 @@ const StatisticSet &VirtualMachine::stats() {
 // ---------------------------------------------------------------------------
 
 RunResult VirtualMachine::run() {
+  RunResult Result = runLoop();
+  if (!Config.PersistPath.empty() && Config.PersistSave)
+    savePersistedCache();
+  return Result;
+}
+
+RunResult VirtualMachine::runLoop() {
   RunResult Result;
   while (GuestInsts < Config.MaxGuestInsts) {
-    uint64_t Pc = Interp.state().Pc;
-    if (dbt::Fragment *Frag = TCache.lookup(Pc)) {
-      if (Timing)
-        Timing->beginSegment();
-      SegmentOutcome Out = executeTranslated(Frag);
-      switch (Out.K) {
-      case SegmentOutcome::Kind::ToInterpreter:
-        continue;
-      case SegmentOutcome::Kind::Halted:
-        Result.Reason = StopReason::Halted;
-        return Result;
-      case SegmentOutcome::Kind::Trapped:
-        Result.Reason = StopReason::Trapped;
-        Result.Trap = Out.Trap;
-        return Result;
-      case SegmentOutcome::Kind::Budget:
-        Result.Reason = StopReason::Budget;
-        return Result;
-      }
-    }
     InterpOutcome Out = interpretUntilTranslated();
     if (Out.Status == StepStatus::Halted) {
       Result.Reason = StopReason::Halted;
@@ -503,6 +542,25 @@ RunResult VirtualMachine::run() {
       Result.Reason = StopReason::Trapped;
       Result.Trap.Arch = Interp.state();
       Result.Trap.TrapInfo = Out.TrapInfo;
+      return Result;
+    }
+    if (!Out.Frag)
+      break; // Budget exhausted while interpreting.
+    if (Timing)
+      Timing->beginSegment();
+    SegmentOutcome Seg = executeTranslated(Out.Frag);
+    switch (Seg.K) {
+    case SegmentOutcome::Kind::ToInterpreter:
+      continue;
+    case SegmentOutcome::Kind::Halted:
+      Result.Reason = StopReason::Halted;
+      return Result;
+    case SegmentOutcome::Kind::Trapped:
+      Result.Reason = StopReason::Trapped;
+      Result.Trap = Seg.Trap;
+      return Result;
+    case SegmentOutcome::Kind::Budget:
+      Result.Reason = StopReason::Budget;
       return Result;
     }
   }

@@ -31,6 +31,7 @@
 #include "uarch/Trace.h"
 
 #include <memory>
+#include <string>
 
 namespace ildp {
 namespace vm {
@@ -51,6 +52,18 @@ struct VmConfig {
   bool FlushOnPhaseChange = false;
   uint64_t PhaseWindow = 200'000;
   unsigned PhaseFragmentThreshold = 24;
+
+  /// Persistent translation cache (warm start). When PersistPath is
+  /// non-empty, the VM fingerprints the guest image + DbtConfig at
+  /// construction, imports fragments from the file before the first
+  /// instruction executes (PersistLoad), and writes the final translation
+  /// cache back when run() returns (PersistSave). Any load problem —
+  /// missing file, truncation, corruption, fingerprint mismatch — is
+  /// counted in the statistics ("persist.*") and the run degrades to a
+  /// normal cold start.
+  std::string PersistPath;
+  bool PersistLoad = true;
+  bool PersistSave = true;
 };
 
 /// Why the VM stopped.
@@ -146,6 +159,9 @@ private:
   struct InterpOutcome {
     StepStatus Status;
     Trap TrapInfo;
+    /// Set when interpretation stopped because \c Pc reached translated
+    /// code; the caller executes it directly (no second cache probe).
+    dbt::Fragment *Frag = nullptr;
   };
   InterpOutcome interpretUntilTranslated();
   void recordAndTranslate(uint64_t HotPc);
@@ -167,6 +183,16 @@ private:
 
   void dualRasPush(uint64_t VRet);
   bool dualRasPop(uint64_t Actual);
+
+  // ---- Persistent translation cache ----
+  /// Fingerprint of (initial guest image, entry PC, DbtConfig), computed
+  /// at construction while memory still holds the pristine image; reused
+  /// for the save on exit.
+  uint64_t PersistFingerprint = 0;
+  void warmStartFromPersisted();
+  void savePersistedCache();
+
+  RunResult runLoop();
 };
 
 /// Runs \p Mem's program at \p EntryPc through the plain interpreter,

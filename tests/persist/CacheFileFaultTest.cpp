@@ -1,0 +1,215 @@
+//===- tests/persist/CacheFileFaultTest.cpp -------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault injection against the cache-file loader. Cache files come from
+/// disk and may be truncated, bit-flipped, version-skewed, or outright
+/// garbage; every such file must be rejected with a meaningful status and
+/// an empty fragment list — never accepted, never a crash. The sweeps here
+/// truncate a valid file at every prefix length and flip every byte of it
+/// one at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "persist/CacheFile.h"
+
+#include "persist/FragmentCodec.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace ildp;
+using namespace ildp::persist;
+using namespace ildp::dbt;
+using namespace ildp::iisa;
+
+namespace {
+
+constexpr uint64_t TestFingerprint = 0x1122334455667788ull;
+
+/// Small but non-trivial fragment: body with a PEI, one pending exit.
+Fragment makeFragment(uint64_t Entry, uint64_t Target) {
+  Fragment F;
+  F.EntryVAddr = Entry;
+  F.Variant = IsaVariant::Modified;
+  IisaInst Vpc;
+  Vpc.Kind = IKind::SetVpcBase;
+  Vpc.VTarget = Entry;
+  Vpc.SizeBytes = 6;
+  F.Body.push_back(Vpc);
+  IisaInst Ld;
+  Ld.Kind = IKind::Load;
+  Ld.AlphaOp = alpha::Opcode::LDQ;
+  Ld.B = IOperand::gpr(3);
+  Ld.DestAcc = 1;
+  Ld.VAddr = Entry;
+  Ld.SizeBytes = 4;
+  Ld.PeiIndex = 0;
+  F.Body.push_back(Ld);
+  F.PeiTable.push_back({1, Entry, {{uint8_t(5), uint8_t(1)}}});
+  IisaInst Br;
+  Br.Kind = IKind::Branch;
+  Br.VTarget = Target;
+  Br.ToTranslator = true;
+  Br.SizeBytes = 4;
+  F.Body.push_back(Br);
+  F.InstOffset = {0, 6, 10};
+  F.BodyBytes = 14;
+  F.Exits.push_back({2, Target, /*Pending=*/true});
+  F.SourceVAddrs = {Entry};
+  F.SourceInsts = 2;
+  return F;
+}
+
+std::string tempPath(const char *Name) {
+  return testing::TempDir() + "/" + Name;
+}
+
+std::vector<uint8_t> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(In),
+          std::istreambuf_iterator<char>()};
+}
+
+void writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            std::streamsize(Bytes.size()));
+}
+
+/// Writes a valid three-fragment cache file and returns its bytes.
+std::vector<uint8_t> makeValidFile(const std::string &Path) {
+  std::vector<const Fragment *> Frags;
+  std::vector<Fragment> Storage;
+  for (unsigned I = 0; I != 3; ++I)
+    Storage.push_back(makeFragment(0x1000 + I * 0x100, 0x5000 + I * 0x100));
+  for (const Fragment &F : Storage)
+    Frags.push_back(&F);
+  EXPECT_TRUE(saveCacheFile(Path, TestFingerprint, Frags));
+  return readFile(Path);
+}
+
+} // namespace
+
+TEST(CacheFileFault, ValidFileLoads) {
+  std::string Path = tempPath("valid.tcache");
+  std::vector<uint8_t> Bytes = makeValidFile(Path);
+  ASSERT_GT(Bytes.size(), 48u);
+
+  LoadResult Result = loadCacheFile(Path, TestFingerprint);
+  ASSERT_EQ(Result.Status, LoadStatus::Ok) << getLoadStatusName(Result.Status);
+  EXPECT_EQ(Result.FileFingerprint, TestFingerprint);
+  ASSERT_EQ(Result.Fragments.size(), 3u);
+  EXPECT_EQ(Result.Fragments[1].EntryVAddr, 0x1100u);
+  EXPECT_EQ(Result.Fragments[1].PeiTable.size(), 1u);
+}
+
+TEST(CacheFileFault, MissingFileIsNotFound) {
+  LoadResult Result =
+      loadCacheFile(tempPath("does-not-exist.tcache"), TestFingerprint);
+  EXPECT_EQ(Result.Status, LoadStatus::FileNotFound);
+  EXPECT_TRUE(Result.Fragments.empty());
+}
+
+TEST(CacheFileFault, EveryTruncationIsRejected) {
+  std::string Path = tempPath("trunc.tcache");
+  std::vector<uint8_t> Bytes = makeValidFile(Path);
+
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + long(Len));
+    writeFile(Path, Cut);
+    LoadResult Result = loadCacheFile(Path, TestFingerprint);
+    EXPECT_NE(Result.Status, LoadStatus::Ok) << "accepted prefix " << Len;
+    EXPECT_TRUE(Result.Fragments.empty()) << "fragments from prefix " << Len;
+  }
+}
+
+TEST(CacheFileFault, EveryByteFlipIsRejected) {
+  std::string Path = tempPath("flip.tcache");
+  std::vector<uint8_t> Bytes = makeValidFile(Path);
+
+  // Flipping any single bit pattern anywhere in the file must be caught:
+  // header fields by the magic/version/fingerprint gates, section table
+  // and payload by bounds checks and CRC32.
+  for (size_t Pos = 0; Pos != Bytes.size(); ++Pos) {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[Pos] ^= 0x5A;
+    writeFile(Path, Bad);
+    LoadResult Result = loadCacheFile(Path, TestFingerprint);
+    EXPECT_NE(Result.Status, LoadStatus::Ok) << "accepted flip at " << Pos;
+    EXPECT_TRUE(Result.Fragments.empty());
+  }
+}
+
+TEST(CacheFileFault, FingerprintMismatchIsDistinguished) {
+  std::string Path = tempPath("mismatch.tcache");
+  makeValidFile(Path);
+
+  LoadResult Result = loadCacheFile(Path, TestFingerprint ^ 1);
+  EXPECT_EQ(Result.Status, LoadStatus::FingerprintMismatch);
+  EXPECT_TRUE(Result.Fragments.empty());
+  // The file itself is intact: its own fingerprint is still readable.
+  EXPECT_EQ(Result.FileFingerprint, TestFingerprint);
+}
+
+TEST(CacheFileFault, ForeignMagicAndVersionAreRejected) {
+  std::string Path = tempPath("magic.tcache");
+  std::vector<uint8_t> Bytes = makeValidFile(Path);
+
+  std::vector<uint8_t> BadMagic = Bytes;
+  BadMagic[0] ^= 0xFF;
+  writeFile(Path, BadMagic);
+  EXPECT_EQ(loadCacheFile(Path, TestFingerprint).Status,
+            LoadStatus::BadMagic);
+
+  std::vector<uint8_t> BadVersion = Bytes;
+  BadVersion[8] = uint8_t(CacheFormatVersion + 1);
+  writeFile(Path, BadVersion);
+  EXPECT_EQ(loadCacheFile(Path, TestFingerprint).Status,
+            LoadStatus::BadVersion);
+
+  // Arbitrary garbage of plausible size.
+  Rng R(0xBADF00Dull);
+  std::vector<uint8_t> Garbage(Bytes.size());
+  for (uint8_t &B : Garbage)
+    B = uint8_t(R.next());
+  writeFile(Path, Garbage);
+  LoadResult Result = loadCacheFile(Path, TestFingerprint);
+  EXPECT_NE(Result.Status, LoadStatus::Ok);
+  EXPECT_TRUE(Result.Fragments.empty());
+}
+
+TEST(CacheFileFault, PayloadCrcCatchesSectionCorruption) {
+  std::string Path = tempPath("crc.tcache");
+  std::vector<uint8_t> Bytes = makeValidFile(Path);
+
+  // Flip a byte well inside the fragment payload (past header + section
+  // table): only the section CRC can catch this one.
+  std::vector<uint8_t> Bad = Bytes;
+  Bad[Bytes.size() - 8] ^= 0x01;
+  writeFile(Path, Bad);
+  EXPECT_EQ(loadCacheFile(Path, TestFingerprint).Status,
+            LoadStatus::BadChecksum);
+}
+
+TEST(CacheFileFault, SaveOverwritesAtomically) {
+  // Saving over an existing file must leave either the old or the new
+  // contents, and no stray ".tmp" on success.
+  std::string Path = tempPath("overwrite.tcache");
+  makeValidFile(Path);
+  std::vector<Fragment> Storage;
+  Storage.push_back(makeFragment(0x9000, 0x9100));
+  std::vector<const Fragment *> Frags{&Storage[0]};
+  ASSERT_TRUE(saveCacheFile(Path, TestFingerprint, Frags));
+
+  std::ifstream Tmp(Path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(Tmp.good()) << "staging file left behind";
+  LoadResult Result = loadCacheFile(Path, TestFingerprint);
+  ASSERT_EQ(Result.Status, LoadStatus::Ok);
+  EXPECT_EQ(Result.Fragments.size(), 1u);
+}

@@ -1,0 +1,212 @@
+//===- tests/persist/VmWarmStartTest.cpp ----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end warm-start behavior of the co-designed VM: a cold run saves
+/// its translation cache; a warm run of the same image imports it, executes
+/// with ZERO fragments translated, and reaches the same architected state.
+/// Every failure mode — truncated file, flipped payload byte, configuration
+/// or guest-image fingerprint mismatch — must fall back to a correct cold
+/// run, counted under the right statistic, and never crash.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace ildp;
+
+namespace {
+
+struct Outcome {
+  uint64_t Checksum = 0;
+  StatisticSet Stats;
+};
+
+Outcome runWorkload(const std::string &Name, const vm::VmConfig &Config) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Image = workloads::buildWorkload(Name, Mem, 1);
+  vm::VirtualMachine Vm(Mem, Image.EntryPc, Config);
+  vm::RunResult Result = Vm.run();
+  EXPECT_EQ(Result.Reason, vm::StopReason::Halted);
+  Outcome Out;
+  Out.Checksum = Vm.interpreter().state().readGpr(alpha::RegV0);
+  Out.Stats = Vm.stats();
+  return Out;
+}
+
+std::string tempPath(const char *Name) {
+  std::string Path = testing::TempDir() + "/" + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+void corruptByte(const std::string &Path, long FromEnd) {
+  std::fstream F(Path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(F.good());
+  F.seekg(0, std::ios::end);
+  long Size = long(F.tellg());
+  ASSERT_GT(Size, FromEnd);
+  char Byte = 0;
+  F.seekg(Size - FromEnd);
+  F.read(&Byte, 1);
+  Byte = char(Byte ^ 0x5A);
+  F.seekp(Size - FromEnd);
+  F.write(&Byte, 1);
+}
+
+void truncateFile(const std::string &Path, size_t Keep) {
+  std::ifstream In(Path, std::ios::binary);
+  std::vector<char> Bytes((std::istreambuf_iterator<char>(In)),
+                          std::istreambuf_iterator<char>());
+  In.close();
+  ASSERT_GT(Bytes.size(), Keep);
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), std::streamsize(Keep));
+}
+
+} // namespace
+
+TEST(VmWarmStart, WarmRunTranslatesNothingAndMatchesCold) {
+  std::string Path = tempPath("warm.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+
+  Outcome Cold = runWorkload("gzip", Config);
+  EXPECT_EQ(Cold.Stats.get("persist.load_nofile"), 1u);
+  EXPECT_EQ(Cold.Stats.get("persist.save_ok"), 1u);
+  ASSERT_GT(Cold.Stats.get("dbt.fragments"), 0u);
+
+  Outcome Warm = runWorkload("gzip", Config);
+  EXPECT_EQ(Warm.Stats.get("persist.load_ok"), 1u);
+  EXPECT_EQ(Warm.Stats.get("persist.fragments_imported"),
+            Cold.Stats.get("tcache.fragments"));
+  // The whole point: zero translation work on the warm path.
+  EXPECT_EQ(Warm.Stats.get("dbt.fragments"), 0u);
+  EXPECT_EQ(Warm.Stats.get("dbt.cost.total"), 0u);
+  // Same program, same answer, same resident cache.
+  EXPECT_EQ(Warm.Checksum, Cold.Checksum);
+  EXPECT_EQ(Warm.Stats.get("tcache.fragments"),
+            Cold.Stats.get("tcache.fragments"));
+  EXPECT_EQ(Warm.Stats.get("tcache.body_bytes"),
+            Cold.Stats.get("tcache.body_bytes"));
+  // Warm execution starts in translated code: the interpreter only runs
+  // where the cold run also had to fall back to it.
+  EXPECT_LE(Warm.Stats.get("interp.insts"), Cold.Stats.get("interp.insts"));
+}
+
+TEST(VmWarmStart, CorruptPayloadFallsBackToCorrectColdRun) {
+  std::string Path = tempPath("corrupt.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+
+  Outcome Cold = runWorkload("gzip", Config);
+  corruptByte(Path, 16);
+
+  Outcome Fallback = runWorkload("gzip", Config);
+  EXPECT_EQ(Fallback.Stats.get("persist.load_corrupt"), 1u);
+  EXPECT_EQ(Fallback.Stats.get("persist.load_ok"), 0u);
+  EXPECT_EQ(Fallback.Stats.get("persist.fragments_imported"), 0u);
+  // Full cold behavior, still correct.
+  EXPECT_EQ(Fallback.Stats.get("dbt.fragments"),
+            Cold.Stats.get("dbt.fragments"));
+  EXPECT_EQ(Fallback.Checksum, Cold.Checksum);
+  // The failed load did not poison the save: the rewritten file warms the
+  // next run again.
+  Outcome Healed = runWorkload("gzip", Config);
+  EXPECT_EQ(Healed.Stats.get("persist.load_ok"), 1u);
+  EXPECT_EQ(Healed.Stats.get("dbt.fragments"), 0u);
+  EXPECT_EQ(Healed.Checksum, Cold.Checksum);
+}
+
+TEST(VmWarmStart, TruncatedFileFallsBackToCorrectColdRun) {
+  std::string Path = tempPath("trunc.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+
+  Outcome Cold = runWorkload("gzip", Config);
+  truncateFile(Path, 100);
+
+  Outcome Fallback = runWorkload("gzip", Config);
+  EXPECT_EQ(Fallback.Stats.get("persist.load_corrupt"), 1u);
+  EXPECT_EQ(Fallback.Stats.get("dbt.fragments"),
+            Cold.Stats.get("dbt.fragments"));
+  EXPECT_EQ(Fallback.Checksum, Cold.Checksum);
+}
+
+TEST(VmWarmStart, ConfigChangeIsAFingerprintMismatch) {
+  std::string Path = tempPath("config.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+
+  Outcome Cold = runWorkload("gzip", Config);
+  ASSERT_EQ(Cold.Stats.get("persist.save_ok"), 1u);
+
+  // Same guest image, different translator configuration: fragments built
+  // with 4 accumulators must not be executed under an 8-accumulator
+  // config's expectations.
+  vm::VmConfig Other = Config;
+  Other.Dbt.NumAccumulators = 8;
+  Outcome Mismatch = runWorkload("gzip", Other);
+  EXPECT_EQ(Mismatch.Stats.get("persist.load_mismatch"), 1u);
+  EXPECT_EQ(Mismatch.Stats.get("persist.fragments_imported"), 0u);
+  EXPECT_GT(Mismatch.Stats.get("dbt.fragments"), 0u);
+  EXPECT_EQ(Mismatch.Checksum, Cold.Checksum);
+}
+
+TEST(VmWarmStart, DifferentGuestImageIsAFingerprintMismatch) {
+  std::string Path = tempPath("image.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+
+  runWorkload("gzip", Config);
+  // A different workload (different guest pages) against gzip's cache.
+  Outcome Other = runWorkload("bzip2", Config);
+  EXPECT_EQ(Other.Stats.get("persist.load_mismatch"), 1u);
+  EXPECT_EQ(Other.Stats.get("persist.load_ok"), 0u);
+  EXPECT_GT(Other.Stats.get("dbt.fragments"), 0u);
+}
+
+TEST(VmWarmStart, SaveAndLoadKnobsAreIndependent) {
+  std::string Path = tempPath("knobs.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+  Config.PersistSave = false;
+
+  Outcome NoSave = runWorkload("gzip", Config);
+  EXPECT_EQ(NoSave.Stats.get("persist.save_ok"), 0u);
+  EXPECT_FALSE(std::ifstream(Path).good()) << "file written despite knob";
+
+  Config.PersistSave = true;
+  runWorkload("gzip", Config);
+  Config.PersistLoad = false;
+  Outcome NoLoad = runWorkload("gzip", Config);
+  EXPECT_EQ(NoLoad.Stats.get("persist.load_ok"), 0u);
+  EXPECT_GT(NoLoad.Stats.get("dbt.fragments"), 0u);
+}
+
+TEST(VmWarmStart, WarmStartWorksWithTimingIrrelevantChainingPolicies) {
+  // Chaining policy participates in the fingerprint; each policy gets its
+  // own compatible cache and warms up correctly.
+  for (dbt::ChainPolicy Policy :
+       {dbt::ChainPolicy::NoPred, dbt::ChainPolicy::SwPredNoRas,
+        dbt::ChainPolicy::SwPredRas}) {
+    std::string Path = tempPath("policy.tcache");
+    vm::VmConfig Config;
+    Config.PersistPath = Path;
+    Config.Dbt.Chaining = Policy;
+
+    Outcome Cold = runWorkload("gzip", Config);
+    Outcome Warm = runWorkload("gzip", Config);
+    EXPECT_EQ(Warm.Stats.get("persist.load_ok"), 1u);
+    EXPECT_EQ(Warm.Stats.get("dbt.fragments"), 0u);
+    EXPECT_EQ(Warm.Checksum, Cold.Checksum);
+  }
+}
