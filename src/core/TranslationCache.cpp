@@ -34,7 +34,8 @@ Fragment &TranslationCache::install(Fragment Frag) {
     ExitRecord &Exit = F.Exits[E];
     if (!Exit.Pending)
       continue;
-    if (Index.count(Exit.VTarget)) {
+    if (Index.count(Exit.VTarget) ||
+        (ExtraChainable && ExtraChainable(Exit.VTarget))) {
       Exit.Pending = false;
       F.Body[Exit.InstIndex].ToTranslator = false;
       ++Patches;
@@ -44,20 +45,27 @@ Fragment &TranslationCache::install(Fragment Frag) {
   }
 
   // Patch other fragments' pending exits that target the new entry.
-  auto [It, End] = Pending.equal_range(F.EntryVAddr);
+  patchPendingExitsTo(F.EntryVAddr);
+
+  return F;
+}
+
+size_t TranslationCache::patchPendingExitsTo(uint64_t EntryVAddr) {
+  size_t Patched = 0;
+  auto [It, End] = Pending.equal_range(EntryVAddr);
   for (auto Cur = It; Cur != End; ++Cur) {
     auto [Owner, ExitIdx] = Cur->second;
     ExitRecord &Exit = Owner->Exits[ExitIdx];
-    assert(Exit.VTarget == F.EntryVAddr && "Pending index corrupt");
+    assert(Exit.VTarget == EntryVAddr && "Pending index corrupt");
     if (!Exit.Pending)
       continue;
     Exit.Pending = false;
     Owner->Body[Exit.InstIndex].ToTranslator = false;
     ++Patches;
+    ++Patched;
   }
-  Pending.erase(F.EntryVAddr);
-
-  return F;
+  Pending.erase(EntryVAddr);
+  return Patched;
 }
 
 std::vector<const Fragment *> TranslationCache::exportAll() const {

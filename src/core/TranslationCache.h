@@ -23,6 +23,7 @@
 #include "core/Fragment.h"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -62,6 +63,25 @@ public:
   /// Number of exit patches performed so far.
   uint64_t patchCount() const { return Patches; }
 
+  /// Patches every still-pending exit that targets \p EntryVAddr into its
+  /// chained form and returns how many were patched. install() runs this
+  /// for the new fragment's entry; the asynchronous VM also calls it at
+  /// request-submission time — the logical point a synchronous translator
+  /// would have installed — so fragments already executing observe the
+  /// exact exit-kind sequence a synchronous run produces.
+  size_t patchPendingExitsTo(uint64_t EntryVAddr);
+
+  /// Optional extra chainability query consulted by install()'s patch pass
+  /// in addition to the installed-fragment index. The asynchronous VM
+  /// points this at its pending-translation set, so a draining fragment's
+  /// exits toward not-yet-installed (but submitted) entries come out
+  /// chained exactly as a synchronous install at the same logical time
+  /// would have left them. Unset (synchronous operation), install()
+  /// behaves bit-identically to before.
+  void setExtraChainable(std::function<bool(uint64_t)> Query) {
+    ExtraChainable = std::move(Query);
+  }
+
   /// Number of flushes performed so far.
   uint64_t flushCount() const { return Flushes; }
 
@@ -96,6 +116,7 @@ private:
   /// Pending exits by target address: (fragment, exit index).
   std::unordered_multimap<uint64_t, std::pair<Fragment *, size_t>> Pending;
   std::unordered_set<uint64_t> CoveredVAddrs;
+  std::function<bool(uint64_t)> ExtraChainable;
   uint64_t NextIBase = TCacheBase;
   uint64_t TotalBytes = 0;
   uint64_t Patches = 0;

@@ -1,0 +1,99 @@
+//===- core/TranslationService.cpp - Background translation workers -------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TranslationService.h"
+
+#include <cassert>
+
+using namespace ildp;
+using namespace ildp::dbt;
+
+TranslationService::TranslationService(const DbtConfig &Config,
+                                       unsigned Workers, size_t QueueDepth)
+    : Config(Config), Requests(QueueDepth) {
+  assert(Workers > 0 && "A translation service needs at least one worker");
+  this->Workers.reserve(Workers);
+  for (unsigned I = 0; I != Workers; ++I)
+    this->Workers.emplace_back([this] { workerMain(); });
+}
+
+TranslationService::~TranslationService() { shutdown(/*FinishQueued=*/false); }
+
+void TranslationService::workerMain() {
+  while (std::optional<TranslateRequest> Req = Requests.pop()) {
+    TranslateCompletion Out;
+    Out.Seq = Req->Seq;
+    Out.Epoch = Req->Epoch;
+    Out.EntryVAddr = Req->Sb.EntryVAddr;
+
+    ChainEnv Env;
+    std::unordered_set<uint64_t> Chainable = std::move(Req->Chainable);
+    Env.IsTranslated = [&Chainable](uint64_t VAddr) {
+      return Chainable.count(VAddr) != 0;
+    };
+    Out.Result = translate(Req->Sb, Config, Env);
+
+    {
+      std::lock_guard<std::mutex> Lock(DoneMutex);
+      Done.emplace(Out.Seq, std::move(Out));
+      ReadySeq.store(Done.begin()->first, std::memory_order_release);
+    }
+    DoneCv.notify_all();
+  }
+}
+
+uint64_t TranslationService::submit(Superblock Sb,
+                                    std::unordered_set<uint64_t> Chainable,
+                                    uint64_t Epoch) {
+  assert(!ShutDown && "submit() after shutdown");
+  TranslateRequest Req;
+  Req.Seq = NextSubmitSeq;
+  Req.Epoch = Epoch;
+  Req.Sb = std::move(Sb);
+  Req.Chainable = std::move(Chainable);
+  bool Accepted = Requests.push(std::move(Req));
+  assert(Accepted && "Request queue closed while the service is live");
+  (void)Accepted;
+  return NextSubmitSeq++;
+}
+
+std::optional<TranslateCompletion> TranslationService::tryTakeNext() {
+  std::lock_guard<std::mutex> Lock(DoneMutex);
+  auto It = Done.find(NextDeliverSeq);
+  if (It == Done.end())
+    return std::nullopt;
+  TranslateCompletion C = std::move(It->second);
+  Done.erase(It);
+  ReadySeq.store(Done.empty() ? 0 : Done.begin()->first,
+                 std::memory_order_release);
+  ++NextDeliverSeq;
+  return C;
+}
+
+TranslateCompletion TranslationService::takeNext() {
+  assert(NextDeliverSeq < NextSubmitSeq && "takeNext() with nothing pending");
+  std::unique_lock<std::mutex> Lock(DoneMutex);
+  DoneCv.wait(Lock, [&] { return Done.count(NextDeliverSeq) != 0; });
+  auto It = Done.find(NextDeliverSeq);
+  TranslateCompletion C = std::move(It->second);
+  Done.erase(It);
+  ReadySeq.store(Done.empty() ? 0 : Done.begin()->first,
+                 std::memory_order_release);
+  ++NextDeliverSeq;
+  return C;
+}
+
+size_t TranslationService::shutdown(bool FinishQueued) {
+  if (ShutDown)
+    return 0;
+  ShutDown = true;
+  size_t Cancelled = FinishQueued ? (Requests.close(), size_t(0))
+                                  : Requests.closeAndClear();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+  return Cancelled;
+}

@@ -1,0 +1,138 @@
+//===- core/TranslationService.h - Background translation workers ---------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Asynchronous translation: takes the pure half of the pipeline
+/// (lowering -> usage analysis -> strand formation -> code generation) off
+/// the VM dispatch path and onto worker threads. Superblock recording stays
+/// on the VM thread (it advances guest state); everything after it is a
+/// pure function of (superblock, config, chain-environment snapshot) and
+/// runs here.
+///
+/// Protocol: the VM submits a TranslateRequest (bounded queue, submission
+/// blocks when full) and later drains TranslateCompletions *in submission
+/// order* — takeNext()/tryTakeNext() reorder out-of-order worker
+/// completions back into sequence, so fragment installation on the VM
+/// thread is serialized exactly as a synchronous translator would have
+/// installed, and all statistics stay deterministic.
+///
+/// The chain-environment snapshot (the set of V-ISA entries that are
+/// translated *or pending*) is captured by value at submission; a worker
+/// never touches VM-owned state. Epochs handle translation-cache flushes:
+/// a flush bumps the epoch, and results from older epochs are drained for
+/// their cost accounting but never installed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_CORE_TRANSLATIONSERVICE_H
+#define ILDP_CORE_TRANSLATIONSERVICE_H
+
+#include "core/Superblock.h"
+#include "core/Translator.h"
+#include "support/WorkQueue.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace ildp {
+namespace dbt {
+
+/// One unit of background translation work.
+struct TranslateRequest {
+  uint64_t Seq = 0;   ///< Submission sequence number (1-based).
+  uint64_t Epoch = 0; ///< Translation-cache flush epoch at submission.
+  Superblock Sb;
+  /// Snapshot of the entries translated or pending at submission time;
+  /// the worker's ChainEnv::IsTranslated queries this set, never the live
+  /// translation cache.
+  std::unordered_set<uint64_t> Chainable;
+};
+
+/// One finished translation, handed back to the VM thread.
+struct TranslateCompletion {
+  uint64_t Seq = 0;
+  uint64_t Epoch = 0;
+  uint64_t EntryVAddr = 0;
+  TranslationResult Result;
+};
+
+/// A pool of translation worker threads with in-order completion delivery.
+class TranslationService {
+public:
+  /// Spawns \p Workers threads translating under \p Config. \p QueueDepth
+  /// bounds the request queue (back-pressure on the VM thread).
+  TranslationService(const DbtConfig &Config, unsigned Workers,
+                     size_t QueueDepth);
+  ~TranslationService();
+
+  TranslationService(const TranslationService &) = delete;
+  TranslationService &operator=(const TranslationService &) = delete;
+
+  /// Enqueues \p Sb for translation; blocks while the request queue is
+  /// full. Returns the request's sequence number.
+  uint64_t submit(Superblock Sb, std::unordered_set<uint64_t> Chainable,
+                  uint64_t Epoch);
+
+  /// The completion with the lowest undelivered sequence number, if its
+  /// translation has finished; std::nullopt otherwise. Never blocks.
+  std::optional<TranslateCompletion> tryTakeNext();
+
+  /// Blocks until the next-in-order completion is available and returns
+  /// it. Must not be called with no request outstanding.
+  TranslateCompletion takeNext();
+
+  /// Cheap VM-thread fast path: true when tryTakeNext() would succeed.
+  bool nextReady() const {
+    return ReadySeq.load(std::memory_order_acquire) == NextDeliverSeq;
+  }
+
+  /// Requests submitted so far.
+  uint64_t submittedCount() const { return NextSubmitSeq - 1; }
+  /// Completions delivered so far.
+  uint64_t deliveredCount() const { return NextDeliverSeq - 1; }
+  /// Requests submitted but not yet delivered.
+  uint64_t outstandingCount() const { return submittedCount() - deliveredCount(); }
+
+  unsigned workerCount() const { return unsigned(Workers.size()); }
+
+  /// Stops the pool. With \p FinishQueued, workers complete every queued
+  /// request first (results stay takeable); otherwise queued requests are
+  /// cancelled and dropped. Returns the number of requests cancelled.
+  /// Idempotent; the destructor performs a cancelling shutdown.
+  size_t shutdown(bool FinishQueued);
+
+private:
+  void workerMain();
+
+  DbtConfig Config;
+  WorkQueue<TranslateRequest> Requests;
+  std::vector<std::thread> Workers;
+
+  // Completion reordering. Workers insert under the mutex; the VM thread
+  // removes in sequence order. ReadySeq caches the lowest buffered
+  // sequence number so nextReady() is one atomic load on the VM thread.
+  mutable std::mutex DoneMutex;
+  std::condition_variable DoneCv;
+  std::map<uint64_t, TranslateCompletion> Done;
+  std::atomic<uint64_t> ReadySeq{0};
+
+  // VM-thread-only counters (no locking needed).
+  uint64_t NextSubmitSeq = 1;
+  uint64_t NextDeliverSeq = 1;
+  bool ShutDown = false;
+};
+
+} // namespace dbt
+} // namespace ildp
+
+#endif // ILDP_CORE_TRANSLATIONSERVICE_H

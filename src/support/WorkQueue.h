@@ -1,0 +1,122 @@
+//===- support/WorkQueue.h - Bounded blocking work queue ------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer blocking queue, the transport
+/// between the VM thread and the background translation workers. Producers
+/// block while the queue is full (back-pressure keeps the number of
+/// outstanding translation requests bounded); consumers block while it is
+/// empty. close() wakes everyone: pop() drains the remaining items first
+/// and then reports exhaustion, so a worker can either finish queued work
+/// or the owner can discard it with closeAndClear().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SUPPORT_WORKQUEUE_H
+#define ILDP_SUPPORT_WORKQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ildp {
+
+/// Bounded blocking FIFO.
+template <typename T> class WorkQueue {
+public:
+  explicit WorkQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Enqueues \p Item, blocking while the queue is full. Returns false if
+  /// the queue was closed (the item is dropped).
+  bool push(T Item) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotFull.wait(Lock, [&] { return Items.size() < Capacity || Closed; });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking while the queue is empty. Returns
+  /// std::nullopt once the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Non-blocking pop. Returns std::nullopt when the queue is empty.
+  std::optional<T> tryPop() {
+    std::unique_lock<std::mutex> Lock(M);
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Stops accepting items. Queued items remain poppable (drain shutdown).
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  /// Stops accepting items and discards everything queued (cancel
+  /// shutdown). Returns the number of items dropped.
+  size_t closeAndClear() {
+    size_t Dropped;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Closed = true;
+      Dropped = Items.size();
+      Items.clear();
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+    return Dropped;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Closed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Items.size();
+  }
+
+  size_t capacity() const { return Capacity; }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex M;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace ildp
+
+#endif // ILDP_SUPPORT_WORKQUEUE_H

@@ -11,6 +11,7 @@
 #include "persist/CacheFile.h"
 #include "persist/Fingerprint.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ildp;
@@ -22,13 +23,26 @@ using ildp::uarch::TraceOp;
 VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
                                const VmConfig &Config)
     : Mem(Mem), Config(Config), Interp(Mem),
-      Profile(Config.Dbt.HotThreshold) {
+      Profile(Config.Dbt.HotThreshold),
+      RecentCreates(Config.PhaseFragmentThreshold + 1) {
   Interp.state().Pc = EntryPc;
   Profile.addCandidate(EntryPc);
   if (!Config.PersistPath.empty()) {
     PersistFingerprint = persist::fingerprint(Mem, EntryPc, Config.Dbt);
     if (Config.PersistLoad)
       warmStartFromPersisted();
+  }
+  LogicalFragments = TCache.fragmentCount();
+  if (Config.AsyncTranslate && Config.TranslateWorkers > 0) {
+    Service = std::make_unique<dbt::TranslationService>(
+        Config.Dbt, Config.TranslateWorkers, Config.TranslateQueueDepth);
+    // A draining fragment may chain to entries whose translation is still
+    // in flight: a synchronous install at the same logical time would
+    // already have them in the cache.
+    TCache.setExtraChainable(
+        [this](uint64_t VAddr) { return PendingSeqByEntry.count(VAddr) != 0; });
+    for (const std::unique_ptr<dbt::Fragment> &Frag : TCache.fragments())
+      ChainView.insert(Frag->EntryVAddr);
   }
 }
 
@@ -68,17 +82,27 @@ void VirtualMachine::warmStartFromPersisted() {
 }
 
 void VirtualMachine::savePersistedCache() {
+  std::vector<const dbt::Fragment *> Frags = TCache.exportAll();
+  size_t SkippedCold = 0;
+  if (Config.PersistMinExecCount > 0) {
+    auto Cold = [&](const dbt::Fragment *Frag) {
+      return Frag->ExecCount < Config.PersistMinExecCount;
+    };
+    SkippedCold = size_t(std::count_if(Frags.begin(), Frags.end(), Cold));
+    Frags.erase(std::remove_if(Frags.begin(), Frags.end(), Cold),
+                Frags.end());
+  }
   bool Ok = persist::saveCacheFile(Config.PersistPath, PersistFingerprint,
-                                   TCache.exportAll());
+                                   Frags);
   Stats.add(Ok ? "persist.save_ok" : "persist.save_fail");
-  if (Ok)
-    Stats.set("persist.fragments_saved", TCache.fragmentCount());
+  if (Ok) {
+    Stats.set("persist.fragments_saved", Frags.size());
+    Stats.set("persist.fragments_skipped_cold", SkippedCold);
+  }
 }
 
 void VirtualMachine::dualRasPush(uint64_t VRet) {
-  if (DualRas.size() >= DualRasDepth)
-    DualRas.erase(DualRas.begin());
-  DualRas.push_back(VRet);
+  DualRas.pushBackEvict(VRet); // Overflow forgets the deepest frame.
   ++Hot.RasPushes;
 }
 
@@ -86,7 +110,7 @@ bool VirtualMachine::dualRasPop(uint64_t Actual) {
   if (DualRas.empty())
     return false;
   uint64_t VRet = DualRas.back();
-  DualRas.pop_back();
+  DualRas.popBack();
   return VRet == Actual;
 }
 
@@ -108,35 +132,54 @@ static void registerCandidates(dbt::ProfileController &Profile,
     Profile.addCandidate(Info.NextPc);
 }
 
-void VirtualMachine::installFragment(dbt::Fragment Frag) {
+void VirtualMachine::maybePhaseFlush() {
   // Dynamo-style phase-change detection: an abrupt increase in fragment
   // generation rate triggers a full cache flush so the new phase's paths
-  // can form fresh fragments (Section 4.1 discussion).
-  if (Config.FlushOnPhaseChange) {
-    RecentCreates.push_back(GuestInsts);
-    while (!RecentCreates.empty() &&
-           RecentCreates.front() + Config.PhaseWindow < GuestInsts)
-      RecentCreates.erase(RecentCreates.begin());
-    if (RecentCreates.size() > Config.PhaseFragmentThreshold &&
-        TCache.fragmentCount() > Config.PhaseFragmentThreshold) {
-      TCache.flush();
-      Profile.resetAfterFlush();
-      RecentCreates.clear();
-      ++Flushes;
+  // can form fresh fragments (Section 4.1 discussion). Runs at fragment
+  // *creation* time (synchronous install, or asynchronous submission) so
+  // both modes see the same GuestInsts stamps and the same logical
+  // fragment count, and decide flushes identically.
+  if (!Config.FlushOnPhaseChange)
+    return;
+  RecentCreates.pushBackEvict(GuestInsts);
+  while (!RecentCreates.empty() &&
+         RecentCreates.front() + Config.PhaseWindow < GuestInsts)
+    RecentCreates.popFront();
+  if (RecentCreates.size() > Config.PhaseFragmentThreshold &&
+      LogicalFragments > Config.PhaseFragmentThreshold) {
+    TCache.flush();
+    Profile.resetAfterFlush();
+    RecentCreates.clear();
+    LogicalFragments = 0;
+    ++Flushes;
+    if (Service) {
+      // In-flight translations now belong to a dead generation: account
+      // them when they drain, but never install them.
+      ++Epoch;
+      PendingSeqByEntry.clear();
+      ChainView.clear();
     }
   }
+}
 
-  uint64_t Entry = Frag.EntryVAddr;
+void VirtualMachine::installPrepared(dbt::Fragment Frag) {
   dbt::Fragment &Installed = TCache.install(std::move(Frag));
-  Profile.markTranslated(Entry);
-  // Exit targets of existing fragments become trace-start candidates.
-  for (const dbt::ExitRecord &Exit : Installed.Exits)
-    Profile.addCandidate(Exit.VTarget);
   Stats.add("dbt.fragments");
   Stats.add("dbt.body_insts", Installed.Body.size());
   Stats.add("dbt.body_bytes", Installed.BodyBytes);
   Stats.add("dbt.source_insts", Installed.SourceInsts);
   Stats.add("dbt.nops_removed", Installed.NopsRemoved);
+}
+
+void VirtualMachine::installFragment(dbt::Fragment Frag) {
+  maybePhaseFlush();
+  ++LogicalFragments;
+  uint64_t Entry = Frag.EntryVAddr;
+  Profile.markTranslated(Entry);
+  // Exit targets of existing fragments become trace-start candidates.
+  for (const dbt::ExitRecord &Exit : Frag.Exits)
+    Profile.addCandidate(Exit.VTarget);
+  installPrepared(std::move(Frag));
 }
 
 void VirtualMachine::recordAndTranslate(uint64_t HotPc) {
@@ -161,6 +204,11 @@ void VirtualMachine::recordAndTranslate(uint64_t HotPc) {
     return;
   }
 
+  if (Service) {
+    submitTranslation(std::move(Sb));
+    return;
+  }
+
   dbt::ChainEnv Env;
   Env.IsTranslated = [this](uint64_t VAddr) { return TCache.contains(VAddr); };
   dbt::TranslationResult Result = translate(Sb, Config.Dbt, Env);
@@ -175,10 +223,12 @@ void VirtualMachine::recordAndTranslate(uint64_t HotPc) {
 
 VirtualMachine::InterpOutcome VirtualMachine::interpretUntilTranslated() {
   while (GuestInsts < Config.MaxGuestInsts) {
+    if (Service)
+      drainCompleted(); // Dispatch-loop safepoint.
     uint64_t Pc = Interp.state().Pc;
     // Single hash probe per dispatch: the fragment found here is handed
     // back to the run loop and executed directly.
-    if (dbt::Fragment *Frag = TCache.lookup(Pc))
+    if (dbt::Fragment *Frag = lookupSettled(Pc))
       return {StepStatus::Ok, {}, Frag};
     if (Profile.bump(Pc)) {
       recordAndTranslate(Pc);
@@ -194,6 +244,102 @@ VirtualMachine::InterpOutcome VirtualMachine::interpretUntilTranslated() {
     registerCandidates(Profile, Info);
   }
   return {StepStatus::Ok, {}, nullptr};
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous background translation.
+// ---------------------------------------------------------------------------
+
+void VirtualMachine::submitTranslation(dbt::Superblock Sb) {
+  // Everything a synchronous install exposes before the fragment's first
+  // execution happens here, at the sync install's logical point: profile
+  // marks, candidate registration, exit patching in live fragments, and
+  // the phase-flush decision. Only the fragment body arrives later.
+  maybePhaseFlush();
+  ++LogicalFragments;
+  uint64_t Entry = Sb.EntryVAddr;
+  Profile.markTranslated(Entry);
+  for (uint64_t Target : dbt::collectExitTargets(Sb))
+    Profile.addCandidate(Target);
+  TCache.patchPendingExitsTo(Entry);
+  ChainView.insert(Entry);
+  if (Service->outstandingCount() == 0)
+    Async.XlateStartInsts = GuestInsts;
+  uint64_t Seq = Service->submit(std::move(Sb), ChainView, Epoch);
+  PendingSeqByEntry[Entry] = Seq;
+  ++Async.Submitted;
+}
+
+void VirtualMachine::finishCompletion(dbt::TranslateCompletion C) {
+  dbt::TranslationResult &R = C.Result;
+  // Translation-cost accounting is identical to the synchronous path; the
+  // async split additionally attributes the decode share to the VM thread
+  // (the recorder decodes every source instruction while building the
+  // superblock there) and the rest — lowering, analysis, strands, codegen,
+  // cache copy, and chain resolution, all of which translate() performs on
+  // the worker — to the background pool. The VM thread's submission-time
+  // backpatching is a few stores and is not priced by the cost model.
+  R.Cost.addTo(Stats);
+  Stats.add("dbt.uops", R.Uops);
+  Stats.add("dbt.strands", R.Strands);
+  Stats.add("dbt.spills", R.Spills);
+  Stats.add("dbt.precopies", R.PreCopies);
+  Stats.add("dbt.trap_promotions", R.TrapPromotions);
+  Async.InlineUnits += R.Cost.Decode;
+  Async.OffloadedUnits += R.Cost.total() - R.Cost.Decode;
+
+  auto It = PendingSeqByEntry.find(C.EntryVAddr);
+  if (It != PendingSeqByEntry.end() && It->second == C.Seq)
+    PendingSeqByEntry.erase(It);
+
+  if (C.Epoch == Epoch) {
+    installPrepared(std::move(R.Frag));
+    ++Async.Installed;
+  } else {
+    // Stale generation: a synchronous run installed this fragment and then
+    // flushed it, so the dbt.* body statistics above still accrue — only
+    // the install is skipped.
+    Stats.add("dbt.fragments");
+    Stats.add("dbt.body_insts", R.Frag.Body.size());
+    Stats.add("dbt.body_bytes", R.Frag.BodyBytes);
+    Stats.add("dbt.source_insts", R.Frag.SourceInsts);
+    Stats.add("dbt.nops_removed", R.Frag.NopsRemoved);
+    ++Async.DiscardedStale;
+  }
+
+  if (Service->outstandingCount() == 0)
+    Async.InstsDuringXlate += GuestInsts - Async.XlateStartInsts;
+}
+
+void VirtualMachine::drainCompleted() {
+  while (Service->nextReady()) {
+    std::optional<dbt::TranslateCompletion> C = Service->tryTakeNext();
+    if (!C)
+      break;
+    finishCompletion(std::move(*C));
+  }
+}
+
+void VirtualMachine::waitForSeq(uint64_t Seq) {
+  ++Async.DemandWaits;
+  while (Service->deliveredCount() < Seq)
+    finishCompletion(Service->takeNext());
+}
+
+void VirtualMachine::drainAllOutstanding() {
+  if (!Service)
+    return;
+  while (Service->outstandingCount() != 0)
+    finishCompletion(Service->takeNext());
+}
+
+dbt::Fragment *VirtualMachine::lookupSettled(uint64_t VAddr) {
+  if (Service) {
+    auto It = PendingSeqByEntry.find(VAddr);
+    if (It != PendingSeqByEntry.end())
+      waitForSeq(It->second);
+  }
+  return TCache.lookup(VAddr);
 }
 
 // ---------------------------------------------------------------------------
@@ -394,29 +540,29 @@ VirtualMachine::executeTranslated(dbt::Fragment *Frag) {
     bool RasMiss = false;
     switch (Exit.K) {
     case iisa::IExit::Kind::Chained:
-      Next = TCache.lookup(Exit.VTarget);
+      Next = lookupSettled(Exit.VTarget);
       ++(Next ? Hot.ExitChained : Hot.ExitChainedMissing);
       break;
     case iisa::IExit::Kind::ToTranslator:
       ++Hot.ExitTranslator;
       break;
     case iisa::IExit::Kind::PredictHit:
-      Next = TCache.lookup(Exit.VTarget);
+      Next = lookupSettled(Exit.VTarget);
       ++(Next ? Hot.PredictHit : Hot.PredictHitUntranslated);
       break;
     case iisa::IExit::Kind::PredictMiss:
-      Next = TCache.lookup(Exit.VTarget);
+      Next = lookupSettled(Exit.VTarget);
       NeedStubDispatch = true;
       ++Hot.PredictMiss;
       break;
     case iisa::IExit::Kind::Dispatch:
-      Next = TCache.lookup(Exit.VTarget);
+      Next = lookupSettled(Exit.VTarget);
       NeedStubDispatch = true;
       ++Hot.ExitDispatch;
       break;
     case iisa::IExit::Kind::Return: {
       bool VMatch = dualRasPop(Exit.VTarget);
-      Next = VMatch ? TCache.lookup(Exit.VTarget) : nullptr;
+      Next = VMatch ? lookupSettled(Exit.VTarget) : nullptr;
       if (Next) {
         ++Hot.ReturnHit;
       } else {
@@ -424,7 +570,7 @@ VirtualMachine::executeTranslated(dbt::Fragment *Frag) {
         // redirects to dispatch (Section 3.2).
         RasMiss = true;
         NeedStubDispatch = true;
-        Next = TCache.lookup(Exit.VTarget);
+        Next = lookupSettled(Exit.VTarget);
         ++Hot.ReturnMiss;
       }
       break;
@@ -516,6 +662,16 @@ const StatisticSet &VirtualMachine::stats() {
   Stats.set("tcache.unique_source_insts", TCache.uniqueSourceInsts());
   Stats.set("tcache.patches", TCache.patchCount());
   Stats.set("tcache.flushes", TCache.flushCount());
+  if (Service) {
+    Stats.set("async.workers", Service->workerCount());
+    Stats.set("async.submitted", Async.Submitted);
+    Stats.set("async.installed", Async.Installed);
+    Stats.set("async.discarded_stale", Async.DiscardedStale);
+    Stats.set("async.demand_waits", Async.DemandWaits);
+    Stats.set("async.inline_units", Async.InlineUnits);
+    Stats.set("async.offloaded_units", Async.OffloadedUnits);
+    Stats.set("async.insts_during_xlate", Async.InstsDuringXlate);
+  }
   return Stats;
 }
 
@@ -525,6 +681,9 @@ const StatisticSet &VirtualMachine::stats() {
 
 RunResult VirtualMachine::run() {
   RunResult Result = runLoop();
+  // Settle in-flight translations before anything inspects the cache (the
+  // persisted file and final statistics must match a synchronous run).
+  drainAllOutstanding();
   if (!Config.PersistPath.empty() && Config.PersistSave)
     savePersistedCache();
   return Result;

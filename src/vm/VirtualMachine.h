@@ -25,13 +25,16 @@
 #include "core/Config.h"
 #include "core/ProfileController.h"
 #include "core/TranslationCache.h"
+#include "core/TranslationService.h"
 #include "core/TrapRecovery.h"
 #include "interp/Interpreter.h"
+#include "support/FixedRing.h"
 #include "support/Statistics.h"
 #include "uarch/Trace.h"
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 namespace ildp {
 namespace vm {
@@ -64,6 +67,27 @@ struct VmConfig {
   std::string PersistPath;
   bool PersistLoad = true;
   bool PersistSave = true;
+  /// Persist only fragments executed at least this many times (first slice
+  /// of the translation-cache eviction roadmap item): cold fragments are
+  /// dropped from the save and counted under
+  /// "persist.fragments_skipped_cold". 0 persists everything.
+  uint64_t PersistMinExecCount = 0;
+
+  /// Asynchronous background translation. When AsyncTranslate is set and
+  /// TranslateWorkers > 0, superblock recording stays on the VM thread but
+  /// the translation pipeline (lowering -> usage -> strands -> codegen)
+  /// runs on a pool of worker threads; the interpreter keeps executing
+  /// past a hot PC and completed fragments are drained — in submission
+  /// order — at dispatch-loop safepoints. Execution, statistics (all but
+  /// the "async.*" group), chaining, and the persisted cache are
+  /// deterministic and identical to a synchronous run; only wall-clock
+  /// dispatch-path stalls change. TranslateWorkers = 0 is the synchronous
+  /// fallback, bit-identical to a VM without this feature.
+  bool AsyncTranslate = false;
+  unsigned TranslateWorkers = 0;
+  /// Bound of the translation request queue (back-pressure: submission
+  /// blocks the VM thread when this many requests are in flight).
+  size_t TranslateQueueDepth = 64;
 };
 
 /// Why the VM stopped.
@@ -118,15 +142,24 @@ private:
 
   /// Dual-address RAS (architectural model; Section 3.2). Entries hold the
   /// V-ISA return address; the paired I-ISA address is resolved against
-  /// the translation cache at pop time.
-  std::vector<uint64_t> DualRas;
+  /// the translation cache at pop time. A fixed ring: pushes beyond the
+  /// depth forget the deepest frame in O(1).
   static constexpr size_t DualRasDepth = 8;
+  FixedRing<uint64_t> DualRas{DualRasDepth};
 
   uint64_t GuestInsts = 0; ///< V-ISA instructions executed (both modes).
   iisa::IExecState ExecState;
-  /// GuestInsts stamps of recent fragment creations (flush heuristic).
-  std::vector<uint64_t> RecentCreates;
+  /// GuestInsts stamps of recent fragment creations (flush heuristic). A
+  /// fixed ring of the newest PhaseFragmentThreshold + 1 stamps — the
+  /// flush decision only asks whether more than the threshold fall inside
+  /// the window, so older stamps are dead weight.
+  FixedRing<uint64_t> RecentCreates;
   uint64_t Flushes = 0;
+  /// Fragments logically created since the last flush: installed ones
+  /// plus, under async translation, those still pending. Equals
+  /// TCache.fragmentCount() in synchronous operation; the phase-change
+  /// heuristic uses it so both modes decide flushes identically.
+  uint64_t LogicalFragments = 0;
 
   /// Hot-path counters (kept out of the string-keyed StatisticSet).
   struct HotCounters {
@@ -166,6 +199,47 @@ private:
   InterpOutcome interpretUntilTranslated();
   void recordAndTranslate(uint64_t HotPc);
   void installFragment(dbt::Fragment Frag);
+  void maybePhaseFlush();
+  void installPrepared(dbt::Fragment Frag);
+
+  // ---- Asynchronous background translation ----
+  //
+  // The invariant that makes an async run statistic-for-statistic equal to
+  // a synchronous one: every effect of a synchronous install that other
+  // code can observe *before the fragment itself executes* (profile marks,
+  // exit-target candidates, exit patching in live fragments, the phase
+  // flush decision) happens at submission time — exactly the logical point
+  // the synchronous translator installs — while the fragment body arrives
+  // later and is installed, in submission order, before anything looks it
+  // up (lookupSettled blocks on a pending entry).
+  std::unique_ptr<dbt::TranslationService> Service;
+  /// Entries submitted but not yet drained, by request sequence number.
+  std::unordered_map<uint64_t, uint64_t> PendingSeqByEntry;
+  /// Entries a new translation may chain to: installed plus pending.
+  /// Snapshot-copied into each request (the worker must not see entries
+  /// submitted after it).
+  std::unordered_set<uint64_t> ChainView;
+  /// Flush epoch; results from earlier epochs are accounted, not installed.
+  uint64_t Epoch = 0;
+  struct AsyncCounters {
+    uint64_t Submitted = 0;
+    uint64_t Installed = 0;
+    uint64_t DiscardedStale = 0;
+    uint64_t DemandWaits = 0;
+    uint64_t InlineUnits = 0;    ///< Translator work paid on the VM thread.
+    uint64_t OffloadedUnits = 0; ///< Translator work moved to the workers.
+    uint64_t InstsDuringXlate = 0; ///< Guest insts retired while >=1 pending.
+    uint64_t XlateStartInsts = 0;
+  };
+  AsyncCounters Async;
+  void submitTranslation(dbt::Superblock Sb);
+  void drainCompleted();
+  void finishCompletion(dbt::TranslateCompletion C);
+  void waitForSeq(uint64_t Seq);
+  void drainAllOutstanding();
+  /// TCache.lookup that first waits out a pending background translation
+  /// of \p VAddr (a synchronous run would already have installed it).
+  dbt::Fragment *lookupSettled(uint64_t VAddr);
 
   // ---- Translated execution ----
   struct SegmentOutcome {

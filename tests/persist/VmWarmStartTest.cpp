@@ -192,6 +192,48 @@ TEST(VmWarmStart, SaveAndLoadKnobsAreIndependent) {
   EXPECT_GT(NoLoad.Stats.get("dbt.fragments"), 0u);
 }
 
+TEST(VmWarmStart, ExecCountFloorSkipsColdFragments) {
+  std::string Path = tempPath("floor.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+
+  Outcome Cold = runWorkload("gzip", Config);
+  uint64_t AllFrags = Cold.Stats.get("persist.fragments_saved");
+  ASSERT_GT(AllFrags, 0u);
+  EXPECT_EQ(Cold.Stats.get("persist.fragments_skipped_cold"), 0u);
+
+  // An absurdly high floor drops everything; saved + skipped must account
+  // for every fragment.
+  std::remove(Path.c_str());
+  vm::VmConfig Floored = Config;
+  Floored.PersistMinExecCount = 1'000'000'000;
+  Outcome AllCold = runWorkload("gzip", Floored);
+  EXPECT_EQ(AllCold.Stats.get("persist.save_ok"), 1u);
+  EXPECT_EQ(AllCold.Stats.get("persist.fragments_saved"), 0u);
+  EXPECT_EQ(AllCold.Stats.get("persist.fragments_skipped_cold"), AllFrags);
+
+  // The filtered file is a valid (empty) cache: the next run degrades to a
+  // cold start with the right answer, not a load failure.
+  Outcome Reload = runWorkload("gzip", Floored);
+  EXPECT_EQ(Reload.Stats.get("persist.load_ok"), 1u);
+  EXPECT_EQ(Reload.Stats.get("persist.fragments_imported"), 0u);
+  EXPECT_EQ(Reload.Checksum, Cold.Checksum);
+
+  // A floor of 1 keeps every executed fragment (every installed fragment
+  // of this run executes at least once) — identical to no floor here, but
+  // through the filtering path.
+  std::remove(Path.c_str());
+  vm::VmConfig Floor1 = Config;
+  Floor1.PersistMinExecCount = 1;
+  Outcome Kept = runWorkload("gzip", Floor1);
+  EXPECT_EQ(Kept.Stats.get("persist.fragments_saved") +
+                Kept.Stats.get("persist.fragments_skipped_cold"),
+            AllFrags);
+  Outcome Warm = runWorkload("gzip", Floor1);
+  EXPECT_EQ(Warm.Stats.get("persist.load_ok"), 1u);
+  EXPECT_EQ(Warm.Checksum, Cold.Checksum);
+}
+
 TEST(VmWarmStart, WarmStartWorksWithTimingIrrelevantChainingPolicies) {
   // Chaining policy participates in the fingerprint; each policy gets its
   // own compatible cache and warms up correctly.

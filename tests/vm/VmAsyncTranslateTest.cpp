@@ -1,0 +1,197 @@
+//===- tests/vm/VmAsyncTranslateTest.cpp ----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determinism of asynchronous background translation: for every workload,
+/// a run with translation on worker threads must produce exactly the same
+/// final architected state and exactly the same statistics (all but the
+/// "async.*" group) as the synchronous run — regardless of worker count.
+/// Also covers the synchronous fallback (TranslateWorkers = 0), clean
+/// shutdown with translations still outstanding, and the interaction with
+/// phase-change cache flushing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace ildp;
+using namespace ildp::vm;
+
+namespace {
+
+struct RunOutcome {
+  StopReason Reason;
+  ArchState Arch;
+  std::vector<std::pair<std::string, uint64_t>> Stats;
+  uint64_t AsyncSubmitted = 0;
+  uint64_t AsyncInstalled = 0;
+  uint64_t AsyncDiscarded = 0;
+};
+
+RunOutcome runWorkload(const std::string &Name, unsigned Workers,
+                       bool FlushOnPhaseChange = false) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload(Name, Mem, 1);
+  VmConfig Config;
+  Config.AsyncTranslate = Workers > 0;
+  Config.TranslateWorkers = Workers;
+  Config.FlushOnPhaseChange = FlushOnPhaseChange;
+  VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  RunOutcome Out;
+  Out.Reason = Vm.run().Reason;
+  Out.Arch = Vm.interpreter().state();
+  const StatisticSet &S = Vm.stats();
+  Out.Stats = S.getWithPrefix("");
+  Out.AsyncSubmitted = S.get("async.submitted");
+  Out.AsyncInstalled = S.get("async.installed");
+  Out.AsyncDiscarded = S.get("async.discarded_stale");
+  return Out;
+}
+
+bool asyncOnly(const std::string &Name) {
+  return Name.rfind("async.", 0) == 0;
+}
+
+/// Compares two stat dumps, ignoring the async.* group and any counters
+/// named in \p AlsoIgnore.
+void expectSameStats(const RunOutcome &Sync, const RunOutcome &Async,
+                     const std::vector<std::string> &AlsoIgnore = {}) {
+  auto Ignored = [&](const std::string &Name) {
+    if (asyncOnly(Name))
+      return true;
+    for (const std::string &Skip : AlsoIgnore)
+      if (Name == Skip)
+        return true;
+    return false;
+  };
+  std::map<std::string, uint64_t> A, B;
+  for (const auto &[Name, Value] : Sync.Stats)
+    if (!Ignored(Name))
+      A[Name] = Value;
+  for (const auto &[Name, Value] : Async.Stats)
+    if (!Ignored(Name))
+      B[Name] = Value;
+  EXPECT_EQ(A, B);
+}
+
+void expectSameArchState(const RunOutcome &Sync, const RunOutcome &Async) {
+  for (unsigned Reg = 0; Reg != alpha::NumGprs; ++Reg)
+    EXPECT_EQ(Async.Arch.readGpr(Reg), Sync.Arch.readGpr(Reg))
+        << "register r" << Reg << " diverged";
+  EXPECT_EQ(Async.Arch.Pc, Sync.Arch.Pc);
+}
+
+class VmAsyncDeterminism : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(VmAsyncDeterminism, MatchesSynchronousRunExactly) {
+  const std::string Workload = GetParam();
+  RunOutcome Sync = runWorkload(Workload, 0);
+  ASSERT_EQ(Sync.Reason, StopReason::Halted);
+
+  for (unsigned Workers : {1u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(Workers));
+    RunOutcome Async = runWorkload(Workload, Workers);
+    ASSERT_EQ(Async.Reason, StopReason::Halted);
+    expectSameArchState(Sync, Async);
+    expectSameStats(Sync, Async);
+    // Everything submitted was settled before run() returned.
+    EXPECT_EQ(Async.AsyncSubmitted,
+              Async.AsyncInstalled + Async.AsyncDiscarded);
+    EXPECT_GT(Async.AsyncSubmitted, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, VmAsyncDeterminism,
+                         ::testing::ValuesIn(workloads::workloadNames()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });
+
+TEST(VmAsyncTranslate, SyncFallbackHasNoAsyncStats) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload("gzip", Mem, 1);
+  VmConfig Config;
+  Config.AsyncTranslate = true;
+  Config.TranslateWorkers = 0; // Explicit synchronous fallback.
+  VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  ASSERT_EQ(Vm.run().Reason, StopReason::Halted);
+  const StatisticSet &S = Vm.stats();
+  EXPECT_FALSE(S.has("async.submitted"));
+  EXPECT_FALSE(S.has("async.workers"));
+
+  // And it is bit-identical to a plain VM.
+  RunOutcome Plain = runWorkload("gzip", 0);
+  RunOutcome Fallback;
+  Fallback.Arch = Vm.interpreter().state();
+  Fallback.Stats = S.getWithPrefix("");
+  expectSameArchState(Plain, Fallback);
+  expectSameStats(Plain, Fallback);
+}
+
+TEST(VmAsyncTranslate, FlushOnPhaseChangeStaysDeterministic) {
+  // The phase-flush decision is made at submission time in async mode, so
+  // architected state and the vm.*/exit.*/interp.* statistics still match
+  // the synchronous run. tcache.patches legitimately diverges: fragments
+  // that were pending at the flush are never installed in async mode, so
+  // their install-time patch passes never run (the synchronous run
+  // installed them and then threw them away).
+  for (const std::string &Workload : {std::string("gzip"),
+                                      std::string("perlbmk")}) {
+    SCOPED_TRACE(Workload);
+    RunOutcome Sync = runWorkload(Workload, 0, /*FlushOnPhaseChange=*/true);
+    ASSERT_EQ(Sync.Reason, StopReason::Halted);
+    for (unsigned Workers : {1u, 4u}) {
+      SCOPED_TRACE("workers=" + std::to_string(Workers));
+      RunOutcome Async =
+          runWorkload(Workload, Workers, /*FlushOnPhaseChange=*/true);
+      ASSERT_EQ(Async.Reason, StopReason::Halted);
+      expectSameArchState(Sync, Async);
+      expectSameStats(Sync, Async, {"tcache.patches"});
+    }
+  }
+}
+
+TEST(VmAsyncTranslate, BudgetStopDrainsOutstandingTranslations) {
+  // Stop mid-run with translations potentially still in flight: run()
+  // must settle every submission (installed or accounted as stale) before
+  // returning, and destruction must not hang or leak.
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload("crafty", Mem, 1);
+  VmConfig Config;
+  Config.AsyncTranslate = true;
+  Config.TranslateWorkers = 4;
+  Config.MaxGuestInsts = 60'000; // Well before the workload halts.
+  VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  ASSERT_EQ(Vm.run().Reason, StopReason::Budget);
+  const StatisticSet &S = Vm.stats();
+  EXPECT_GT(S.get("async.submitted"), 0u);
+  EXPECT_EQ(S.get("async.submitted"),
+            S.get("async.installed") + S.get("async.discarded_stale"));
+}
+
+TEST(VmAsyncTranslate, OffloadedWorkDominatesInlineWork) {
+  RunOutcome Async = runWorkload("gzip", 4);
+  uint64_t Inline = 0, Offloaded = 0;
+  for (const auto &[Name, Value] : Async.Stats) {
+    if (Name == "async.inline_units")
+      Inline = Value;
+    if (Name == "async.offloaded_units")
+      Offloaded = Value;
+  }
+  ASSERT_GT(Offloaded, 0u);
+  // The headline property: at least 90% of translation work leaves the
+  // dispatch path.
+  EXPECT_GE(Offloaded * 10, (Inline + Offloaded) * 9);
+}
