@@ -67,7 +67,7 @@ void BM_TranslateBasic(benchmark::State &State) {
   Config.Variant = iisa::IsaVariant::Basic;
   for (auto _ : State) {
     dbt::TranslationResult R =
-        dbt::translate(F.Sb, Config, dbt::ChainEnv());
+        dbt::translate(F.Sb, Config, dbt::ChainEnv()).take();
     benchmark::DoNotOptimize(R.Frag.Body.data());
   }
   State.SetItemsProcessed(int64_t(State.iterations()) * F.Sb.Insts.size());
@@ -80,7 +80,7 @@ void BM_TranslateModified(benchmark::State &State) {
   Config.Variant = iisa::IsaVariant::Modified;
   for (auto _ : State) {
     dbt::TranslationResult R =
-        dbt::translate(F.Sb, Config, dbt::ChainEnv());
+        dbt::translate(F.Sb, Config, dbt::ChainEnv()).take();
     benchmark::DoNotOptimize(R.Frag.Body.data());
   }
   State.SetItemsProcessed(int64_t(State.iterations()) * F.Sb.Insts.size());
@@ -92,7 +92,7 @@ void BM_TranslateStraight(benchmark::State &State) {
   Config.Variant = iisa::IsaVariant::Straight;
   for (auto _ : State) {
     dbt::TranslationResult R =
-        dbt::translate(F.Sb, Config, dbt::ChainEnv());
+        dbt::translate(F.Sb, Config, dbt::ChainEnv()).take();
     benchmark::DoNotOptimize(R.Frag.Body.data());
   }
   State.SetItemsProcessed(int64_t(State.iterations()) * F.Sb.Insts.size());
@@ -114,7 +114,8 @@ void BM_ExecuteFragment(benchmark::State &State) {
   GzipFixture &F = gzipFixture();
   dbt::DbtConfig Config;
   Config.Variant = iisa::IsaVariant::Modified;
-  dbt::TranslationResult R = dbt::translate(F.Sb, Config, dbt::ChainEnv());
+  dbt::TranslationResult R =
+      dbt::translate(F.Sb, Config, dbt::ChainEnv()).take();
   iisa::IExecState Exec;
   // Seed plausible state: loop registers that keep the loop bounded.
   Exec.writeGpr(16, 0x20000000);

@@ -81,7 +81,8 @@ int main() {
   auto Translate = [&](iisa::IsaVariant Variant, const char *Title) {
     dbt::DbtConfig Config;
     Config.Variant = Variant;
-    dbt::TranslationResult R = dbt::translate(Sb, Config, dbt::ChainEnv());
+    dbt::TranslationResult R =
+        dbt::translate(Sb, Config, dbt::ChainEnv()).take();
     std::printf("\n== %s ==\n", Title);
     for (const iisa::IisaInst &Inst : R.Frag.Body)
       std::printf("  %s\n", iisa::disassemble(Inst).c_str());

@@ -6,10 +6,9 @@
 
 #include "core/CodeGen.h"
 
+#include "core/FaultInjector.h"
 #include "iisa/Encoding.h"
 
-#include <cassert>
-#include <cstdio>
 #include <unordered_map>
 
 using namespace ildp;
@@ -138,12 +137,13 @@ uint8_t Generator::scratchFor(int32_t DefIdx) {
       return Reg;
     }
   }
-  assert(false && "Out of scratch registers for temp spills");
-  return FirstScratch;
+  bailout(TranslateStatus::ScratchExhausted,
+          "Out of scratch registers for temp spills");
 }
 
 uint8_t Generator::gprHomeOf(const UopInput &In) {
-  assert(In.isValue() && "GPR home of a non-value input");
+  ensure(In.isValue(), TranslateStatus::InternalCodeGen,
+         "GPR home of a non-value input");
   if (In.DefIdx < 0 || isArchValue(In.Id))
     return uint8_t(In.Id);
   return scratchFor(In.DefIdx);
@@ -175,14 +175,15 @@ IOperand Generator::resolveOperand(const UopInput &In, AccUse Mode) {
   }
   if (In.DefIdx < 0) {
     // Superblock live-in: always in the architected register file.
-    assert(isArchValue(In.Id) && "Temp live-in");
+    ensure(isArchValue(In.Id), TranslateStatus::InternalCodeGen,
+           "Temp live-in");
     return IOperand::gpr(uint8_t(In.Id));
   }
   if (isStraight())
     return IOperand::gpr(uint8_t(In.Id));
 
   if (Mode == AccUse::Require) {
-    assert(accHolds(In.DefIdx) &&
+    ensure(accHolds(In.DefIdx), TranslateStatus::InternalCodeGen,
            "Local value not available in its accumulator");
     return IOperand::acc(uint8_t(Loc[In.DefIdx].Acc));
   }
@@ -190,7 +191,8 @@ IOperand Generator::resolveOperand(const UopInput &In, AccUse Mode) {
   // 2's branch on A1) — only when no other operand claims the slot.
   if (Mode == AccUse::Allow && accHolds(In.DefIdx))
     return IOperand::acc(uint8_t(Loc[In.DefIdx].Acc));
-  assert(Loc[In.DefIdx].InGpr && "Global value never materialized to GPR");
+  ensure(Loc[In.DefIdx].InGpr, TranslateStatus::InternalCodeGen,
+         "Global value never materialized to GPR");
   return IOperand::gpr(gprHomeOf(In));
 }
 
@@ -202,14 +204,15 @@ void Generator::resolvePair(const Uop &U, bool Pre1, IOperand &A,
   if (Pre1) {
     // Slot 1 was materialized by a copy-from-GPR into the uop's own
     // accumulator.
-    assert(U.Acc >= 0 && "Pre-copy without an accumulator");
+    ensure(U.Acc >= 0, TranslateStatus::InternalCodeGen,
+           "Pre-copy without an accumulator");
     A = IOperand::acc(uint8_t(U.Acc));
     B = resolveOperand(U.In2, AccUse::Forbid);
     return;
   }
   bool Must1 = inputMustUseAcc(U.In1);
   bool Must2 = inputMustUseAcc(U.In2);
-  assert(!(Must1 && Must2) &&
+  ensure(!(Must1 && Must2), TranslateStatus::InternalCodeGen,
          "Two local inputs must have been split by strand formation");
   if (Must1) {
     A = resolveOperand(U.In1, AccUse::Require);
@@ -225,7 +228,8 @@ void Generator::resolvePair(const Uop &U, bool Pre1, IOperand &A,
 
 void Generator::noteDef(int32_t UopIdx) {
   const Uop &U = Block.List.Uops[UopIdx];
-  assert(U.producesValue());
+  ensure(U.producesValue(), TranslateStatus::InternalCodeGen,
+         "noteDef of a valueless uop");
   Location &L = Loc[UopIdx];
   if (!isStraight() && U.Acc >= 0) {
     L.Acc = U.Acc;
@@ -250,16 +254,8 @@ void Generator::emitReloadsBefore(int32_t UopIdx, size_t &ReloadCursor) {
          Alloc->Reloads[ReloadCursor].BeforeUopIdx == UopIdx) {
     const StrandAllocResult::Reload &R = Alloc->Reloads[ReloadCursor++];
     const Uop &Def = Block.List.Uops[R.ValueDefIdx];
-#ifndef NDEBUG
-    if (!Loc[R.ValueDefIdx].InGpr)
-      std::fprintf(stderr,
-                   "reload hole: defUop=%d out=%d usage=%s needsCopy=%d "
-                   "kind=%d before=%d acc=%d\n",
-                   R.ValueDefIdx, int(Def.Out), getUsageName(Def.OutUsage),
-                   int(Def.NeedsGprCopy), int(Def.Kind), R.BeforeUopIdx,
-                   int(R.NewAcc));
-#endif
-    assert(Loc[R.ValueDefIdx].InGpr && "Reload of a value with no GPR home");
+    ensure(Loc[R.ValueDefIdx].InGpr, TranslateStatus::InternalCodeGen,
+           "Reload of a value with no GPR home");
     IisaInst Inst;
     Inst.Kind = IKind::CopyFromGpr;
     UopInput Src = UopInput::value(Def.Out);
@@ -275,14 +271,17 @@ void Generator::emitReloadsBefore(int32_t UopIdx, size_t &ReloadCursor) {
 
 void Generator::emitPreCopy(int32_t UopIdx) {
   const Uop &U = Block.List.Uops[UopIdx];
-  assert(U.PreCopySlot == 1 && "Pre-copies always target slot 1");
+  ensure(U.PreCopySlot == 1, TranslateStatus::InternalCodeGen,
+         "Pre-copies always target slot 1");
   const UopInput &In = U.In1;
   IisaInst Inst;
   Inst.Kind = IKind::CopyFromGpr;
   if (In.DefIdx >= 0)
-    assert(Loc[In.DefIdx].InGpr && "Pre-copy of an unmaterialized value");
+    ensure(Loc[In.DefIdx].InGpr, TranslateStatus::InternalCodeGen,
+           "Pre-copy of an unmaterialized value");
   Inst.A = IOperand::gpr(gprHomeOf(In));
-  assert(U.Acc >= 0 && "Pre-copy without an accumulator");
+  ensure(U.Acc >= 0, TranslateStatus::InternalCodeGen,
+         "Pre-copy without an accumulator");
   Inst.DestAcc = uint8_t(U.Acc);
   Inst.VAddr = U.VAddr;
   Inst.VCredit = uint8_t(PendingCredit);
@@ -297,8 +296,10 @@ void Generator::emitGprCopyAfter(int32_t UopIdx) {
   const Uop &U = Block.List.Uops[UopIdx];
   if (!U.NeedsGprCopy || Loc[UopIdx].InGpr)
     return;
-  assert(U.producesValue() && "GPR copy for a valueless uop");
-  assert(U.Acc >= 0 && "GPR copy without an accumulator");
+  ensure(U.producesValue(), TranslateStatus::InternalCodeGen,
+         "GPR copy for a valueless uop");
+  ensure(U.Acc >= 0, TranslateStatus::InternalCodeGen,
+         "GPR copy without an accumulator");
   IisaInst Inst;
   Inst.Kind = IKind::CopyToGpr;
   Inst.A = IOperand::acc(uint8_t(U.Acc));
@@ -319,20 +320,7 @@ void Generator::addPeiEntry(uint64_t VAddr) {
       int32_t Def = RegCurrentDef[Reg];
       if (Def < 0 || Loc[Def].InGpr)
         continue;
-#ifndef NDEBUG
-      if (!accHolds(Def)) {
-        const Uop &D = Block.List.Uops[Def];
-        std::fprintf(stderr,
-                     "PEI recovery hole: reg=r%u defUop=%d usage=%s "
-                     "needsCopy=%d strand=%d acc=%d accContents=%d "
-                     "redef=%d kind=%d\n",
-                     Reg, Def, getUsageName(D.OutUsage), int(D.NeedsGprCopy),
-                     D.Strand, int(Loc[Def].Acc),
-                     Loc[Def].Acc >= 0 ? AccContents[Loc[Def].Acc] : -2,
-                     D.RedefIdx, int(D.Kind));
-      }
-#endif
-      assert(accHolds(Def) &&
+      ensure(accHolds(Def), TranslateStatus::InternalCodeGen,
              "Architected value neither in GPR nor accumulator at a PEI");
       Entry.AccHeldRegs.push_back({uint8_t(Reg), uint8_t(Loc[Def].Acc)});
     }
@@ -344,11 +332,13 @@ void Generator::fillDest(IisaInst &Inst, const Uop &U) {
   if (!U.producesValue())
     return;
   if (isStraight()) {
-    assert(isArchValue(U.Out) && "Straight backend with temps");
+    ensure(isArchValue(U.Out), TranslateStatus::InternalCodeGen,
+           "Straight backend with temps");
     Inst.DestGpr = uint8_t(U.Out);
     return;
   }
-  assert(U.Acc >= 0 && "Value-producing uop without an accumulator");
+  ensure(U.Acc >= 0, TranslateStatus::InternalCodeGen,
+         "Value-producing uop without an accumulator");
   Inst.DestAcc = uint8_t(U.Acc);
   if (Config.Variant == IsaVariant::Modified) {
     if (isArchValue(U.Out)) {
@@ -391,13 +381,15 @@ void Generator::emitUop(int32_t UopIdx) {
     break;
   }
   case UopKind::CmovBlend: {
-    assert(Config.Variant == IsaVariant::Modified &&
+    ensure(Config.Variant == IsaVariant::Modified,
+           TranslateStatus::InternalCodeGen,
            "cmov_blend is a modified-ISA form");
     Inst.Kind = IKind::CmovBlend;
     Inst.AlphaOp = U.Op;
     resolvePair(U, /*Pre1=*/false, Inst.A, Inst.B);
     fillDest(Inst, U);
-    assert(Inst.DestGpr != NoReg && "cmov_blend requires the GPR field");
+    ensure(Inst.DestGpr != NoReg, TranslateStatus::InternalCodeGen,
+           "cmov_blend requires the GPR field");
     // The old value is consumed through the GPR field: never shadow-only.
     Inst.GprWriteArchOnly = false;
     emit(Inst);
@@ -431,7 +423,8 @@ void Generator::emitUop(int32_t UopIdx) {
         Target = Exit.ExitVAddr;
         break;
       }
-    assert(Target != 0 && "Side exit without a target");
+    ensure(Target != 0, TranslateStatus::InternalCodeGen,
+           "Side exit without a target");
     Inst.Kind = IKind::CondExit;
     Inst.AlphaOp = U.Op;
     Inst.A = resolveOperand(U.In1, inputMustUseAcc(U.In1) ? AccUse::Require
@@ -445,7 +438,8 @@ void Generator::emitUop(int32_t UopIdx) {
   case UopKind::SaveRet: {
     Inst.Kind = IKind::SaveRetAddr;
     Inst.VTarget = U.EmbAddr;
-    assert(isArchValue(U.Out) && "Return address into a temp");
+    ensure(isArchValue(U.Out), TranslateStatus::InternalCodeGen,
+           "Return address into a temp");
     Inst.DestGpr = uint8_t(U.Out);
     // Return addresses are read by the callee's return: operational.
     Inst.GprWriteArchOnly = false;
@@ -478,7 +472,8 @@ void Generator::emitSwPredict(const Uop &EndU) {
   // backend uses a reserved scratch register instead of an accumulator.
   uint64_t Predicted = Sb.FinalNextVAddr;
   IOperand Target = resolveOperand(EndU.In1, AccUse::Forbid);
-  assert(Target.isGpr() && "Indirect target must be in a GPR");
+  ensure(Target.isGpr(), TranslateStatus::InternalCodeGen,
+         "Indirect target must be in a GPR");
 
   IisaInst LoadEmb;
   LoadEmb.Kind = IKind::LoadEmbTarget;
@@ -561,7 +556,8 @@ void Generator::emitChainTail() {
   case SbEndReason::IndirectJump:
   case SbEndReason::Return: {
     const Uop &EndU = Block.List.Uops.back();
-    assert(EndU.Kind == UopKind::EndJump && "Missing EndJump uop");
+    ensure(EndU.Kind == UopKind::EndJump, TranslateStatus::InternalCodeGen,
+           "Missing EndJump uop");
     // EndU's V-credit was already folded into PendingCredit by emitUop.
     bool IsReturn = Sb.End == SbEndReason::Return;
     switch (Config.Chaining) {
@@ -621,19 +617,28 @@ Fragment Generator::run() {
   }
   emitChainTail();
 
-  assert(!Frag.Body.empty() && Frag.Body.back().isExit() &&
+  ensure(!Frag.Body.empty() && Frag.Body.back().isExit(),
+         TranslateStatus::InternalAssembly,
          "Fragment must end with an exit");
 
-  // Encoding sizes and I-PC offsets.
+  // Assembly: encoding sizes and I-PC offsets.
+  if (Config.Fault && Config.Fault->shouldFail(FaultSite::Assemble))
+    bailout(TranslateStatus::InjectedFault, "assemble");
   assignSizes(Frag.Body.data(), Frag.Body.data() + Frag.Body.size(),
               Config.Variant);
   Frag.InstOffset.resize(Frag.Body.size());
   uint32_t Offset = 0;
   for (size_t I = 0; I != Frag.Body.size(); ++I) {
+    ensure(Frag.Body[I].SizeBytes != 0, TranslateStatus::InternalAssembly,
+           "Unsized instruction after assignSizes");
     Frag.InstOffset[I] = Offset;
     Offset += Frag.Body[I].SizeBytes;
   }
   Frag.BodyBytes = Offset;
+  ensure(Config.MaxFragmentBytes == 0 ||
+             Frag.BodyBytes <= Config.MaxFragmentBytes,
+         TranslateStatus::FragmentTooLarge,
+         "Encoded body exceeds MaxFragmentBytes");
 
   // Distinct covered source addresses.
   Frag.SourceVAddrs.reserve(Sb.Insts.size());
@@ -647,10 +652,19 @@ Fragment Generator::run() {
   return std::move(Frag);
 }
 
-Fragment dbt::generateCode(const Superblock &Sb, const LoweredBlock &Block,
-                           const StrandAllocResult *Alloc,
-                           const DbtConfig &Config, const ChainEnv &Env) {
-  assert((Config.Variant == IsaVariant::Straight) == (Alloc == nullptr) &&
-         "Accumulator backends require allocation results");
-  return Generator(Sb, Block, Alloc, Config, Env).run();
+Expected<Fragment> dbt::generateCode(const Superblock &Sb,
+                                     const LoweredBlock &Block,
+                                     const StrandAllocResult *Alloc,
+                                     const DbtConfig &Config,
+                                     const ChainEnv &Env) {
+  if (Config.Fault && Config.Fault->shouldFail(FaultSite::CodeGen))
+    return {TranslateStatus::InjectedFault, "codegen"};
+  try {
+    ensure((Config.Variant == IsaVariant::Straight) == (Alloc == nullptr),
+           TranslateStatus::InternalCodeGen,
+           "Accumulator backends require allocation results");
+    return Generator(Sb, Block, Alloc, Config, Env).run();
+  } catch (const TranslateAbort &Abort) {
+    return Abort;
+  }
 }

@@ -29,6 +29,7 @@
 #include "core/Fragment.h"
 #include "core/Lowering.h"
 #include "core/StrandAlloc.h"
+#include "core/TranslateStatus.h"
 
 #include <functional>
 
@@ -45,10 +46,13 @@ struct ChainEnv {
 /// Generates the fragment body for \p Sb. \p Block must have been analyzed
 /// (analyzeUsage) and, for the accumulator backends, allocated
 /// (formStrandsAndAllocate); pass \p Alloc as nullptr for the straightening
-/// backend.
-Fragment generateCode(const Superblock &Sb, const LoweredBlock &Block,
-                      const StrandAllocResult *Alloc, const DbtConfig &Config,
-                      const ChainEnv &Env);
+/// backend. Fails with a typed status (scratch exhaustion, body over
+/// DbtConfig::MaxFragmentBytes, internal invariant violations) instead of
+/// asserting.
+Expected<Fragment> generateCode(const Superblock &Sb,
+                                const LoweredBlock &Block,
+                                const StrandAllocResult *Alloc,
+                                const DbtConfig &Config, const ChainEnv &Env);
 
 } // namespace dbt
 } // namespace ildp

@@ -23,6 +23,8 @@
 namespace ildp {
 namespace dbt {
 
+class FaultInjector;
+
 /// Fragment chaining policies evaluated in Section 4.3 / Figure 4.
 enum class ChainPolicy : uint8_t {
   NoPred,      ///< Indirect jumps always branch to the shared dispatch code.
@@ -51,6 +53,16 @@ struct DbtConfig {
   /// the third operand) as the paper describes, instead of the generic
   /// four-operation mask/and/bic/bis expansion the basic ISA requires.
   bool CmovTwoOp = true;
+  /// Upper bound on the encoded fragment body, in bytes; translation bails
+  /// out with TranslateStatus::FragmentTooLarge beyond it. Generous by
+  /// default (a 200-instruction superblock encodes far below this); tests
+  /// shrink it to exercise the bailout path.
+  uint32_t MaxFragmentBytes = 1u << 16;
+  /// Deterministic fault injection for tests/benches (DESIGN.md §9);
+  /// non-owning, may be null. Not part of the persisted-cache config
+  /// fingerprint: injected faults change *whether* a fragment exists, never
+  /// its contents.
+  FaultInjector *Fault = nullptr;
 };
 
 const char *getChainPolicyName(ChainPolicy Policy);

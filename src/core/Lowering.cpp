@@ -7,8 +7,7 @@
 #include "core/Lowering.h"
 
 #include "alpha/Semantics.h"
-
-#include <cassert>
+#include "core/FaultInjector.h"
 
 using namespace ildp;
 using namespace ildp::dbt;
@@ -33,8 +32,7 @@ Opcode dbt::reverseCondBranch(Opcode Op) {
   case Opcode::BLBS:
     return Opcode::BLBC;
   default:
-    assert(false && "Not a conditional branch");
-    return Op;
+    bailout(TranslateStatus::UnsupportedOpcode, "Not a conditional branch");
   }
 }
 
@@ -254,7 +252,8 @@ void LoweringContext::lowerCondBranch(const SourceInst &Src, bool IsFinal) {
     // the taken path exits (usually back to this fragment's own entry) and
     // the code generator appends the unconditional fall-through branch
     // (Figure 2's "P <- L1 if(...); P <- L2" pair).
-    assert(Src.Taken && "Final conditional branch must have been taken");
+    ensure(Src.Taken, TranslateStatus::InternalLowering,
+           "Final conditional branch must have been taken");
     U.Op = I.Op;
     ExitTo = Target;
   } else if (Src.Taken) {
@@ -294,7 +293,8 @@ void LoweringContext::lowerEnding(const SourceInst &Src) {
       Push.EmbAddr = Src.VAddr + InstBytes;
       emit(Push, Src);
     }
-    assert(I.Rb != RegZero && "Indirect jump through the zero register");
+    ensure(I.Rb != RegZero, TranslateStatus::MalformedGuestInst,
+           "Indirect jump through the zero register");
     Uop End;
     End.Kind = UopKind::EndJump;
     End.In1 = regIn(I.Rb);
@@ -382,7 +382,8 @@ LoweredBlock LoweringContext::run() {
     case InstKind::Jsr:
     case InstKind::Ret:
     case InstKind::Pal:
-      assert(IsEnder && "Indirect jumps and CALL_PAL must end the block");
+      ensure(IsEnder, TranslateStatus::MalformedGuestInst,
+             "Indirect jumps and CALL_PAL must end the block");
       lowerEnding(Src);
       break;
     }
@@ -395,6 +396,13 @@ LoweredBlock LoweringContext::run() {
   return std::move(Out);
 }
 
-LoweredBlock dbt::lower(const Superblock &Sb, const DbtConfig &Config) {
-  return LoweringContext(Sb, Config).run();
+Expected<LoweredBlock> dbt::lower(const Superblock &Sb,
+                                  const DbtConfig &Config) {
+  if (Config.Fault && Config.Fault->shouldFail(FaultSite::Lowering))
+    return {TranslateStatus::InjectedFault, "lowering"};
+  try {
+    return LoweringContext(Sb, Config).run();
+  } catch (const TranslateAbort &Abort) {
+    return Abort;
+  }
 }

@@ -21,6 +21,7 @@
 
 #include "core/Config.h"
 #include "core/Superblock.h"
+#include "core/TranslateStatus.h"
 #include "core/Uop.h"
 
 namespace ildp {
@@ -48,10 +49,12 @@ struct LoweredBlock {
 };
 
 /// Returns the conditional branch opcode with the reversed condition.
+/// Raises a TranslateAbort (UnsupportedOpcode) for non-branch opcodes.
 alpha::Opcode reverseCondBranch(alpha::Opcode Op);
 
-/// Lowers \p Sb under \p Config.
-LoweredBlock lower(const Superblock &Sb, const DbtConfig &Config);
+/// Lowers \p Sb under \p Config. Fails with a typed status instead of
+/// asserting when the superblock violates recorder invariants.
+Expected<LoweredBlock> lower(const Superblock &Sb, const DbtConfig &Config);
 
 } // namespace dbt
 } // namespace ildp

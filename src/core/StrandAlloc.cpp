@@ -6,8 +6,9 @@
 
 #include "core/StrandAlloc.h"
 
+#include "core/FaultInjector.h"
+
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <map>
 
@@ -154,7 +155,8 @@ void Allocator::formStrands() {
     case 1: {
       const UopInput &In = LocalSlots[0] == 1 ? U.In1 : U.In2;
       S = resolve(Uops[In.DefIdx].Strand);
-      assert(S >= 0 && "Local input without a strand");
+      ensure(S >= 0, TranslateStatus::InternalStrandAlloc,
+             "Local input without a strand");
       break;
     }
     case 2: {
@@ -212,12 +214,14 @@ void Allocator::spillVictim(int32_t AtIdx) {
       Victim = Acc.Strand;
     }
   }
-  assert(Victim >= 0 && "No strand to spill");
+  ensure(Victim >= 0, TranslateStatus::ScratchExhausted,
+         "No strand to spill");
   ++Result.SpillTerminations;
 
   int16_t Acc = AccOf[Victim];
   int32_t LastDef = AllocLatest[Victim];
-  assert(LastDef >= 0 && "Spilling a strand that never defined a value");
+  ensure(LastDef >= 0, TranslateStatus::InternalStrandAlloc,
+         "Spilling a strand that never defined a value");
   Uop &Def = Uops[LastDef];
   if (!Def.NeedsGprCopy) {
     // Materialize the terminated strand's value. In the modified ISA an
@@ -278,8 +282,8 @@ int16_t Allocator::acquireAcc(int32_t AtIdx, int32_t ForStrand,
     }
     spillVictim(AtIdx);
   }
-  assert(false && "acquireAcc failed after spilling");
-  return 0;
+  bailout(TranslateStatus::ScratchExhausted,
+          "acquireAcc failed after spilling");
 }
 
 void Allocator::assignAccumulators() {
@@ -347,7 +351,8 @@ void Allocator::promoteForTraps() {
       continue;
     if (U.OutUsage != UsageClass::Local && U.OutUsage != UsageClass::NoUser)
       continue;
-    assert(U.RedefIdx >= 0 && "Local/NoUser implies redefinition");
+    ensure(U.RedefIdx >= 0, TranslateStatus::InternalStrandAlloc,
+           "Local/NoUser implies redefinition");
     int32_t SafeEnd = AccEnd[Idx]; // Scaled position (see declaration).
     if (SafeEnd == Never || SafeEnd >= 2 * U.RedefIdx)
       continue; // The accumulator outlives the architected liveness.
@@ -377,12 +382,20 @@ StrandAllocResult Allocator::run() {
   return std::move(Result);
 }
 
-StrandAllocResult dbt::formStrandsAndAllocate(LoweredBlock &Block,
-                                              const DbtConfig &Config) {
-  assert(Config.NumAccumulators >= 1 &&
-         Config.NumAccumulators <= iisa::MaxAccumulators &&
-         "Accumulator count out of range");
-  assert(Config.Variant != iisa::IsaVariant::Straight &&
-         "The straightening backend has no strands");
-  return Allocator(Block, Config).run();
+Expected<StrandAllocResult>
+dbt::formStrandsAndAllocate(LoweredBlock &Block, const DbtConfig &Config) {
+  if (Config.Fault && Config.Fault->shouldFail(FaultSite::StrandAlloc))
+    return {TranslateStatus::InjectedFault, "strand_alloc"};
+  try {
+    ensure(Config.NumAccumulators >= 1 &&
+               Config.NumAccumulators <= iisa::MaxAccumulators,
+           TranslateStatus::InternalStrandAlloc,
+           "Accumulator count out of range");
+    ensure(Config.Variant != iisa::IsaVariant::Straight,
+           TranslateStatus::InternalStrandAlloc,
+           "The straightening backend has no strands");
+    return Allocator(Block, Config).run();
+  } catch (const TranslateAbort &Abort) {
+    return Abort;
+  }
 }

@@ -35,6 +35,7 @@
 
 #include "core/Config.h"
 #include "core/Lowering.h"
+#include "core/TranslateStatus.h"
 
 #include <vector>
 
@@ -60,9 +61,10 @@ struct StrandAllocResult {
 
 /// Runs strand formation, accumulator assignment, and (for the basic ISA)
 /// the precise-trap copy rule over \p Block in place. Not used by the
-/// straightening backend.
-StrandAllocResult formStrandsAndAllocate(LoweredBlock &Block,
-                                         const DbtConfig &Config);
+/// straightening backend. On failure \p Block is partially mutated and
+/// must be discarded.
+Expected<StrandAllocResult> formStrandsAndAllocate(LoweredBlock &Block,
+                                                   const DbtConfig &Config);
 
 } // namespace dbt
 } // namespace ildp

@@ -1,0 +1,38 @@
+//===- core/TranslateStatus.cpp - Typed translation-failure reporting -----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TranslateStatus.h"
+
+using namespace ildp;
+using namespace ildp::dbt;
+
+const char *dbt::getTranslateStatusName(TranslateStatus Status) {
+  switch (Status) {
+  case TranslateStatus::Ok:
+    return "ok";
+  case TranslateStatus::MalformedGuestInst:
+    return "malformed_guest_inst";
+  case TranslateStatus::UnsupportedOpcode:
+    return "unsupported_opcode";
+  case TranslateStatus::ScratchExhausted:
+    return "scratch_exhausted";
+  case TranslateStatus::FragmentTooLarge:
+    return "fragment_too_large";
+  case TranslateStatus::InternalLowering:
+    return "internal_lowering";
+  case TranslateStatus::InternalUsage:
+    return "internal_usage";
+  case TranslateStatus::InternalStrandAlloc:
+    return "internal_strand_alloc";
+  case TranslateStatus::InternalCodeGen:
+    return "internal_codegen";
+  case TranslateStatus::InternalAssembly:
+    return "internal_assembly";
+  case TranslateStatus::InjectedFault:
+    return "injected_fault";
+  }
+  return "unknown";
+}

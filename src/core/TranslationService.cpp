@@ -6,6 +6,8 @@
 
 #include "core/TranslationService.h"
 
+#include "core/FaultInjector.h"
+
 #include <cassert>
 
 using namespace ildp;
@@ -29,12 +31,23 @@ void TranslationService::workerMain() {
     Out.Epoch = Req->Epoch;
     Out.EntryVAddr = Req->Sb.EntryVAddr;
 
+    Out.SourceInsts = Req->Sb.Insts.size();
+
     ChainEnv Env;
     std::unordered_set<uint64_t> Chainable = std::move(Req->Chainable);
     Env.IsTranslated = [&Chainable](uint64_t VAddr) {
       return Chainable.count(VAddr) != 0;
     };
-    Out.Result = translate(Req->Sb, Config, Env);
+    if (Config.Fault && Config.Fault->shouldFail(FaultSite::AsyncWorker)) {
+      Out.Status = TranslateStatus::InjectedFault;
+      Out.Detail = "async_worker";
+    } else if (Expected<TranslationResult> R =
+                   translate(Req->Sb, Config, Env)) {
+      Out.Result = R.take();
+    } else {
+      Out.Status = R.status();
+      Out.Detail = R.detail();
+    }
 
     {
       std::lock_guard<std::mutex> Lock(DoneMutex);

@@ -58,12 +58,22 @@ struct TranslateRequest {
   std::unordered_set<uint64_t> Chainable;
 };
 
-/// One finished translation, handed back to the VM thread.
+/// One finished translation attempt, handed back to the VM thread. A
+/// worker that hits a pipeline bailout (or an injected fault) delivers a
+/// typed failure completion — Status != Ok, Result empty — instead of
+/// crashing the pool; the VM falls back to interpretation for the entry.
 struct TranslateCompletion {
   uint64_t Seq = 0;
   uint64_t Epoch = 0;
   uint64_t EntryVAddr = 0;
+  /// Source instructions of the recorded superblock (kept for failure
+  /// accounting: the recording was interpreted for nothing).
+  uint64_t SourceInsts = 0;
+  TranslateStatus Status = TranslateStatus::Ok;
+  const char *Detail = ""; ///< Static string; never owned.
   TranslationResult Result;
+
+  bool ok() const { return Status == TranslateStatus::Ok; }
 };
 
 /// A pool of translation worker threads with in-order completion delivery.

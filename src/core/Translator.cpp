@@ -6,11 +6,10 @@
 
 #include "core/Translator.h"
 
+#include "core/FaultInjector.h"
 #include "core/Lowering.h"
 #include "core/StrandAlloc.h"
 #include "core/UsageAnalysis.h"
-
-#include <cassert>
 
 using namespace ildp;
 using namespace ildp::dbt;
@@ -42,29 +41,61 @@ void TranslationCost::addTo(StatisticSet &Stats) const {
   Stats.add("dbt.cost.total", total());
 }
 
-TranslationResult dbt::translate(const Superblock &Sb,
-                                 const DbtConfig &Config,
-                                 const ChainEnv &Env) {
-  assert(!Sb.Insts.empty() && "Cannot translate an empty superblock");
+/// Decode-stage validation: recording normally guarantees these (the
+/// interpreter traps before appending a bad instruction), but superblocks
+/// can also arrive from tests, fuzzers, or future network/persist paths.
+static TranslateStatus validateDecoded(const Superblock &Sb,
+                                       const DbtConfig &Config) {
+  if (Config.Fault && Config.Fault->shouldFail(FaultSite::Decode))
+    return TranslateStatus::InjectedFault;
+  if (Sb.Insts.empty())
+    return TranslateStatus::MalformedGuestInst;
+  for (const SourceInst &Src : Sb.Insts) {
+    if (!Src.Inst.valid())
+      return TranslateStatus::MalformedGuestInst;
+    if (Src.VAddr & (alpha::InstBytes - 1))
+      return TranslateStatus::MalformedGuestInst;
+  }
+  return TranslateStatus::Ok;
+}
+
+Expected<TranslationResult> dbt::translate(const Superblock &Sb,
+                                           const DbtConfig &Config,
+                                           const ChainEnv &Env) {
+  if (TranslateStatus S = validateDecoded(Sb, Config);
+      S != TranslateStatus::Ok)
+    return {S, "decode"};
   TranslationResult Result;
 
-  LoweredBlock Block = lower(Sb, Config);
+  Expected<LoweredBlock> Lowered = lower(Sb, Config);
+  if (!Lowered)
+    return {Lowered.status(), Lowered.detail()};
+  LoweredBlock Block = Lowered.take();
   Result.Uops = unsigned(Block.List.Uops.size());
 
-  analyzeUsage(Block, Config);
+  if (TranslateStatus S = analyzeUsage(Block, Config);
+      S != TranslateStatus::Ok)
+    return {S, "usage"};
 
   StrandAllocResult Alloc;
   bool Accumulators = Config.Variant != iisa::IsaVariant::Straight;
   if (Accumulators) {
-    Alloc = formStrandsAndAllocate(Block, Config);
+    Expected<StrandAllocResult> Allocated =
+        formStrandsAndAllocate(Block, Config);
+    if (!Allocated)
+      return {Allocated.status(), Allocated.detail()};
+    Alloc = Allocated.take();
     Result.Strands = Alloc.NumStrands;
     Result.Spills = Alloc.SpillTerminations;
     Result.PreCopies = Alloc.PreCopies;
     Result.TrapPromotions = Alloc.TrapPromotions;
   }
 
-  Result.Frag =
+  Expected<Fragment> Generated =
       generateCode(Sb, Block, Accumulators ? &Alloc : nullptr, Config, Env);
+  if (!Generated)
+    return {Generated.status(), Generated.detail()};
+  Result.Frag = Generated.take();
 
   TranslationCost &Cost = Result.Cost;
   Cost.Decode = CostDecodePerSrc * Sb.Insts.size();

@@ -22,6 +22,7 @@
 #include "core/Config.h"
 #include "core/Fragment.h"
 #include "core/Superblock.h"
+#include "core/TranslateStatus.h"
 #include "support/Statistics.h"
 
 namespace ildp {
@@ -59,9 +60,13 @@ struct TranslationResult {
 };
 
 /// Translates \p Sb under \p Config. \p Env supplies translation-time
-/// queries (which targets already have fragments).
-TranslationResult translate(const Superblock &Sb, const DbtConfig &Config,
-                            const ChainEnv &Env);
+/// queries (which targets already have fragments). Every pipeline stage is
+/// guarded: malformed superblocks, resource exhaustion, internal invariant
+/// violations, and injected faults surface as a typed failure — the caller
+/// falls back to interpretation (DESIGN.md §9) — and never abort.
+Expected<TranslationResult> translate(const Superblock &Sb,
+                                      const DbtConfig &Config,
+                                      const ChainEnv &Env);
 
 } // namespace dbt
 } // namespace ildp

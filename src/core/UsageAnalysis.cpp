@@ -6,7 +6,8 @@
 
 #include "core/UsageAnalysis.h"
 
-#include <cassert>
+#include "core/FaultInjector.h"
+
 #include <unordered_map>
 
 using namespace ildp;
@@ -41,7 +42,8 @@ void Analyzer::resolveInput(UopInput &In, int32_t UserIdx) {
   auto It = LastDef.find(In.Id);
   In.DefIdx = It == LastDef.end() ? -1 : It->second;
   if (In.DefIdx < 0) {
-    assert(isArchValue(In.Id) && "Temp read before definition");
+    ensure(isArchValue(In.Id), TranslateStatus::InternalUsage,
+           "Temp read before definition");
     return;
   }
   Uop &Def = Uops[In.DefIdx];
@@ -172,7 +174,8 @@ void Analyzer::promoteAcrossExits() {
       continue;
     if (U.OutUsage != UsageClass::Local && U.OutUsage != UsageClass::NoUser)
       continue;
-    assert(U.RedefIdx >= 0 && "Local/NoUser implies a redefinition");
+    ensure(U.RedefIdx >= 0, TranslateStatus::InternalUsage,
+           "Local/NoUser implies a redefinition");
     if (!ExitInWindow(Idx, U.RedefIdx))
       continue;
     U.OutUsage = U.OutUsage == UsageClass::Local
@@ -182,7 +185,15 @@ void Analyzer::promoteAcrossExits() {
   }
 }
 
-void dbt::analyzeUsage(LoweredBlock &Block, const DbtConfig &Config) {
-  Analyzer A{Block.List.Uops, Block.SideExits, Config, {}, {}};
-  A.run();
+TranslateStatus dbt::analyzeUsage(LoweredBlock &Block,
+                                  const DbtConfig &Config) {
+  if (Config.Fault && Config.Fault->shouldFail(FaultSite::Usage))
+    return TranslateStatus::InjectedFault;
+  try {
+    Analyzer A{Block.List.Uops, Block.SideExits, Config, {}, {}};
+    A.run();
+    return TranslateStatus::Ok;
+  } catch (const TranslateAbort &Abort) {
+    return Abort.Status;
+  }
 }

@@ -40,8 +40,10 @@ namespace dbt {
 
 /// Runs reaching-definition resolution and usage classification over
 /// \p Block in place (fills UopInput::DefIdx, Uop::OutUsage, NumUses,
-/// RedefIdx, LastUseIdx, NeedsGprCopy).
-void analyzeUsage(LoweredBlock &Block, const DbtConfig &Config);
+/// RedefIdx, LastUseIdx, NeedsGprCopy). Returns TranslateStatus::Ok on
+/// success or a typed failure; on failure \p Block is partially annotated
+/// and must be discarded.
+TranslateStatus analyzeUsage(LoweredBlock &Block, const DbtConfig &Config);
 
 } // namespace dbt
 } // namespace ildp

@@ -88,10 +88,7 @@ IExit iisa::execute(const IisaInst *Insts, size_t Count, IExecState &State,
         IExit Exit;
         Exit.K = IExit::Kind::Trap;
         Exit.InstIndex = uint32_t(Index);
-        Exit.TrapInfo = {Access.Fault == MemFaultKind::Unmapped
-                             ? TrapKind::MemUnmapped
-                             : TrapKind::MemUnaligned,
-                         0, Addr};
+        Exit.TrapInfo = {trapKindForMemFault(Access.Fault), 0, Addr};
         return Exit;
       }
       writeResult(Inst, alpha::extendLoadedValue(Inst.AlphaOp, Access.Value),
@@ -110,10 +107,7 @@ IExit iisa::execute(const IisaInst *Insts, size_t Count, IExecState &State,
         IExit Exit;
         Exit.K = IExit::Kind::Trap;
         Exit.InstIndex = uint32_t(Index);
-        Exit.TrapInfo = {Fault == MemFaultKind::Unmapped
-                             ? TrapKind::MemUnmapped
-                             : TrapKind::MemUnaligned,
-                         0, Addr};
+        Exit.TrapInfo = {trapKindForMemFault(Fault), 0, Addr};
         return Exit;
       }
       break;

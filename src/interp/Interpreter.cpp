@@ -80,10 +80,7 @@ StepInfo Interpreter::step() {
     MemAccessResult Access = Mem.load(Addr, OpI.MemSize);
     if (!Access.ok()) {
       Info.Status = StepStatus::Trapped;
-      Info.TrapInfo = {Access.Fault == MemFaultKind::Unmapped
-                           ? TrapKind::MemUnmapped
-                           : TrapKind::MemUnaligned,
-                       State.Pc, Addr};
+      Info.TrapInfo = {trapKindForMemFault(Access.Fault), State.Pc, Addr};
       return Info;
     }
     State.writeGpr(Inst.Ra, extendLoadedValue(Inst.Op, Access.Value));
@@ -95,10 +92,7 @@ StepInfo Interpreter::step() {
     MemFaultKind Fault = Mem.store(Addr, State.readGpr(Inst.Ra), OpI.MemSize);
     if (Fault != MemFaultKind::None) {
       Info.Status = StepStatus::Trapped;
-      Info.TrapInfo = {Fault == MemFaultKind::Unmapped
-                           ? TrapKind::MemUnmapped
-                           : TrapKind::MemUnaligned,
-                       State.Pc, Addr};
+      Info.TrapInfo = {trapKindForMemFault(Fault), State.Pc, Addr};
       return Info;
     }
     break;

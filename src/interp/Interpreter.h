@@ -51,6 +51,20 @@ struct Trap {
   uint64_t MemAddr = 0; ///< Faulting address for memory traps.
 };
 
+/// Canonical trap for a failed guest memory access. BadSize means the
+/// instruction asked for an impossible access width — an illegal
+/// encoding, not a memory-management fault.
+inline TrapKind trapKindForMemFault(MemFaultKind Fault) {
+  switch (Fault) {
+  case MemFaultKind::Unmapped:
+    return TrapKind::MemUnmapped;
+  case MemFaultKind::Unaligned:
+    return TrapKind::MemUnaligned;
+  default:
+    return TrapKind::IllegalInst;
+  }
+}
+
 /// Everything one retired (or trapped) instruction did.
 struct StepInfo {
   StepStatus Status = StepStatus::Ok;

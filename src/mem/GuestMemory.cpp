@@ -7,7 +7,6 @@
 #include "mem/GuestMemory.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 using namespace ildp;
@@ -45,9 +44,11 @@ bool GuestMemory::isMapped(uint64_t Addr) const {
 }
 
 MemAccessResult GuestMemory::load(uint64_t Addr, unsigned Size) const {
-  assert((Size == 1 || Size == 2 || Size == 4 || Size == 8) &&
-         "Unsupported access size");
   MemAccessResult Result;
+  if (Size != 1 && Size != 2 && Size != 4 && Size != 8) {
+    Result.Fault = MemFaultKind::BadSize;
+    return Result;
+  }
   if (Addr & (Size - 1)) {
     Result.Fault = MemFaultKind::Unaligned;
     return Result;
@@ -67,8 +68,8 @@ MemAccessResult GuestMemory::load(uint64_t Addr, unsigned Size) const {
 }
 
 MemFaultKind GuestMemory::store(uint64_t Addr, uint64_t Value, unsigned Size) {
-  assert((Size == 1 || Size == 2 || Size == 4 || Size == 8) &&
-         "Unsupported access size");
+  if (Size != 1 && Size != 2 && Size != 4 && Size != 8)
+    return MemFaultKind::BadSize;
   if (Addr & (Size - 1))
     return MemFaultKind::Unaligned;
   uint8_t *Page = pageFor(Addr, /*Allocate=*/false);

@@ -30,6 +30,7 @@ enum class MemFaultKind {
   None,      ///< Access succeeded.
   Unmapped,  ///< No page is mapped at the address.
   Unaligned, ///< Address not naturally aligned for the access size.
+  BadSize,   ///< Access size is not 1, 2, 4, or 8 bytes.
 };
 
 /// Result of a guest load: the value plus the fault status.
@@ -65,11 +66,14 @@ public:
   bool isMapped(uint64_t Addr) const;
 
   /// Loads \p Size bytes (1, 2, 4, or 8) from \p Addr, little-endian.
-  /// Requires natural alignment; faults otherwise.
+  /// Requires natural alignment; faults otherwise. Any other size reports
+  /// MemFaultKind::BadSize (a malformed guest encoding traps, it does not
+  /// abort the host).
   MemAccessResult load(uint64_t Addr, unsigned Size) const;
 
   /// Stores the low \p Size bytes of \p Value at \p Addr, little-endian.
-  /// Requires natural alignment; returns the fault status.
+  /// Requires natural alignment; returns the fault status (BadSize for any
+  /// size other than 1, 2, 4, or 8).
   MemFaultKind store(uint64_t Addr, uint64_t Value, unsigned Size);
 
   /// Copies a raw byte blob into guest memory, mapping pages as needed.

@@ -6,6 +6,7 @@
 
 #include "vm/VirtualMachine.h"
 
+#include "core/FaultInjector.h"
 #include "core/SuperblockBuilder.h"
 #include "core/Translator.h"
 #include "persist/CacheFile.h"
@@ -53,17 +54,34 @@ VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
 void VirtualMachine::warmStartFromPersisted() {
   persist::LoadResult Loaded =
       persist::loadCacheFile(Config.PersistPath, PersistFingerprint);
-  switch (Loaded.Status) {
-  case persist::LoadStatus::Ok:
-    break;
-  case persist::LoadStatus::FileNotFound:
-    Stats.add("persist.load_nofile");
-    return;
-  case persist::LoadStatus::FingerprintMismatch:
-    Stats.add("persist.load_mismatch");
-    return;
-  default:
-    Stats.add("persist.load_corrupt");
+  // Every import failure degrades to a cold start; a warm-start problem
+  // must never be worse than not having a cache file at all. A missing
+  // file is the normal first run, not a rejection; everything else is
+  // counted under persist.import_rejected with a per-reason breakdown.
+  const char *Rejected = nullptr;
+  if (Config.Dbt.Fault &&
+      Config.Dbt.Fault->shouldFail(dbt::FaultSite::PersistImport)) {
+    Rejected = "injected-fault";
+  } else {
+    switch (Loaded.Status) {
+    case persist::LoadStatus::Ok:
+      break;
+    case persist::LoadStatus::FileNotFound:
+      Stats.add("persist.load_nofile");
+      return;
+    case persist::LoadStatus::FingerprintMismatch:
+      Stats.add("persist.load_mismatch");
+      Rejected = persist::getLoadStatusName(Loaded.Status);
+      break;
+    default:
+      Stats.add("persist.load_corrupt");
+      Rejected = persist::getLoadStatusName(Loaded.Status);
+      break;
+    }
+  }
+  if (Rejected) {
+    Stats.add("persist.import_rejected");
+    Stats.add(std::string("persist.import_rejected.") + Rejected);
     return;
   }
 
@@ -204,6 +222,10 @@ void VirtualMachine::recordAndTranslate(uint64_t HotPc) {
     return;
   }
 
+  // A re-profile of an entry that failed translation before is a retry.
+  if (Robust.Bailouts != 0 && Profile.failureCount(HotPc) > 0)
+    ++Robust.Retries;
+
   if (Service) {
     submitTranslation(std::move(Sb));
     return;
@@ -211,7 +233,13 @@ void VirtualMachine::recordAndTranslate(uint64_t HotPc) {
 
   dbt::ChainEnv Env;
   Env.IsTranslated = [this](uint64_t VAddr) { return TCache.contains(VAddr); };
-  dbt::TranslationResult Result = translate(Sb, Config.Dbt, Env);
+  dbt::Expected<dbt::TranslationResult> Xlated =
+      translate(Sb, Config.Dbt, Env);
+  if (!Xlated) {
+    noteTranslateFailure(HotPc, Xlated.status(), Sb.Insts.size());
+    return;
+  }
+  dbt::TranslationResult Result = Xlated.take();
   Result.Cost.addTo(Stats);
   Stats.add("dbt.uops", Result.Uops);
   Stats.add("dbt.strands", Result.Strands);
@@ -219,6 +247,16 @@ void VirtualMachine::recordAndTranslate(uint64_t HotPc) {
   Stats.add("dbt.precopies", Result.PreCopies);
   Stats.add("dbt.trap_promotions", Result.TrapPromotions);
   installFragment(std::move(Result.Frag));
+}
+
+void VirtualMachine::noteTranslateFailure(uint64_t EntryPc,
+                                          dbt::TranslateStatus Status,
+                                          uint64_t SourceInsts) {
+  ++Robust.Bailouts;
+  ++Robust.ByReason[size_t(Status)];
+  Robust.FallbackInsts += SourceInsts;
+  Profile.recordFailure(EntryPc, Config.MaxTranslateRetries,
+                        Config.BlacklistBackoff);
 }
 
 VirtualMachine::InterpOutcome VirtualMachine::interpretUntilTranslated() {
@@ -271,6 +309,26 @@ void VirtualMachine::submitTranslation(dbt::Superblock Sb) {
 }
 
 void VirtualMachine::finishCompletion(dbt::TranslateCompletion C) {
+  if (!C.ok()) {
+    // A worker bailed out. Undo the optimistic submission-time effects:
+    // the entry is no longer pending (lookupSettled must not wait on it),
+    // new translations must not chain to it, and the profiler un-marks it
+    // as translated so it can re-qualify — or be blacklisted. Fragments
+    // whose exits were already patched to this entry self-heal: their
+    // Chained exit finds no fragment and falls back to the interpreter.
+    auto It = PendingSeqByEntry.find(C.EntryVAddr);
+    if (It != PendingSeqByEntry.end() && It->second == C.Seq) {
+      PendingSeqByEntry.erase(It);
+      ChainView.erase(C.EntryVAddr);
+    }
+    if (LogicalFragments > 0)
+      --LogicalFragments; // Submission counted a fragment that never came.
+    noteTranslateFailure(C.EntryVAddr, C.Status, C.SourceInsts);
+    if (Service->outstandingCount() == 0)
+      Async.InstsDuringXlate += GuestInsts - Async.XlateStartInsts;
+    return;
+  }
+
   dbt::TranslationResult &R = C.Result;
   // Translation-cost accounting is identical to the synchronous path; the
   // async split additionally attributes the decode share to the VM thread
@@ -662,6 +720,15 @@ const StatisticSet &VirtualMachine::stats() {
   Stats.set("tcache.unique_source_insts", TCache.uniqueSourceInsts());
   Stats.set("tcache.patches", TCache.patchCount());
   Stats.set("tcache.flushes", TCache.flushCount());
+  Stats.set("robust.bailouts", Robust.Bailouts);
+  Stats.set("robust.retries", Robust.Retries);
+  Stats.set("robust.fallback_insts", Robust.FallbackInsts);
+  Stats.set("robust.blacklisted_pcs", Profile.blacklistedCount());
+  for (size_t I = 0; I != Robust.ByReason.size(); ++I)
+    if (Robust.ByReason[I])
+      Stats.set(std::string("robust.bailout.") +
+                    dbt::getTranslateStatusName(dbt::TranslateStatus(I)),
+                Robust.ByReason[I]);
   if (Service) {
     Stats.set("async.workers", Service->workerCount());
     Stats.set("async.submitted", Async.Submitted);

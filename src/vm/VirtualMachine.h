@@ -24,6 +24,7 @@
 
 #include "core/Config.h"
 #include "core/ProfileController.h"
+#include "core/TranslateStatus.h"
 #include "core/TranslationCache.h"
 #include "core/TranslationService.h"
 #include "core/TrapRecovery.h"
@@ -88,6 +89,14 @@ struct VmConfig {
   /// Bound of the translation request queue (back-pressure: submission
   /// blocks the VM thread when this many requests are in flight).
   size_t TranslateQueueDepth = 64;
+
+  /// Graceful degradation on translation failure (DESIGN.md §9). When a
+  /// pipeline stage bails out, the VM keeps interpreting the entry and
+  /// re-profiles it with its hot threshold multiplied by BlacklistBackoff
+  /// per failure; after MaxTranslateRetries failed retries the entry is
+  /// blacklisted and interpreted for the rest of the run.
+  unsigned MaxTranslateRetries = 3;
+  uint64_t BlacklistBackoff = 8;
 };
 
 /// Why the VM stopped.
@@ -188,6 +197,17 @@ private:
   };
   HotCounters Hot;
 
+  /// Robustness accounting (translation bailouts and their fallout).
+  struct RobustCounters {
+    uint64_t Bailouts = 0; ///< Failed translation attempts, any reason.
+    uint64_t Retries = 0;  ///< Attempts for an entry that failed before.
+    /// Source instructions of failed superblocks: recording work that was
+    /// interpreted and then thrown away, now served by the interpreter.
+    uint64_t FallbackInsts = 0;
+    std::array<uint64_t, dbt::NumTranslateStatuses> ByReason{};
+  };
+  RobustCounters Robust;
+
   // ---- Interpretation / profiling ----
   struct InterpOutcome {
     StepStatus Status;
@@ -198,6 +218,11 @@ private:
   };
   InterpOutcome interpretUntilTranslated();
   void recordAndTranslate(uint64_t HotPc);
+  /// Accounts a translation bailout for \p EntryPc and feeds it back into
+  /// the profiler (backoff, eventually blacklisting). Never throws; the VM
+  /// simply keeps interpreting the entry.
+  void noteTranslateFailure(uint64_t EntryPc, dbt::TranslateStatus Status,
+                            uint64_t SourceInsts);
   void installFragment(dbt::Fragment Frag);
   void maybePhaseFlush();
   void installPrepared(dbt::Fragment Frag);

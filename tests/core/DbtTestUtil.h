@@ -49,10 +49,10 @@ struct Program {
 inline dbt::LoweredBlock analyze(const dbt::Superblock &Sb,
                                  const dbt::DbtConfig &Config,
                                  dbt::StrandAllocResult *AllocOut = nullptr) {
-  dbt::LoweredBlock Block = dbt::lower(Sb, Config);
+  dbt::LoweredBlock Block = dbt::lower(Sb, Config).take();
   dbt::analyzeUsage(Block, Config);
   if (Config.Variant != iisa::IsaVariant::Straight) {
-    dbt::StrandAllocResult Alloc = formStrandsAndAllocate(Block, Config);
+    dbt::StrandAllocResult Alloc = formStrandsAndAllocate(Block, Config).take();
     if (AllocOut)
       *AllocOut = std::move(Alloc);
   }

@@ -88,7 +88,7 @@ TEST(Fig2Golden, BasicIsa) {
 
   DbtConfig Config;
   Config.Variant = iisa::IsaVariant::Basic;
-  TranslationResult R = translate(Sb, Config, ChainEnv());
+  TranslationResult R = translate(Sb, Config, ChainEnv()).take();
 
   // Figure 2(c), with the set-VPC-base prologue (Section 2.2) first.
   const std::vector<std::string> Expected = {
@@ -136,7 +136,7 @@ TEST(Fig2Golden, ModifiedIsa) {
 
   DbtConfig Config;
   Config.Variant = iisa::IsaVariant::Modified;
-  TranslationResult R = translate(Sb, Config, ChainEnv());
+  TranslationResult R = translate(Sb, Config, ChainEnv()).take();
 
   // Figure 2(d): destination registers explicit, no copy instructions.
   const std::vector<std::string> Expected = {
@@ -164,7 +164,7 @@ TEST(Fig2Golden, ModifiedIsa) {
   // the copy elimination the paper quantifies in Table 2.
   DbtConfig BasicConfig;
   BasicConfig.Variant = iisa::IsaVariant::Basic;
-  TranslationResult BasicR = translate(Sb, BasicConfig, ChainEnv());
+  TranslationResult BasicR = translate(Sb, BasicConfig, ChainEnv()).take();
   EXPECT_EQ(BasicR.Frag.Body.size(), 16u);
   EXPECT_EQ(R.Frag.Body.size(), 12u);
   // Static footprint: modified spends more bytes per instruction but has
@@ -177,7 +177,7 @@ TEST(Fig2Golden, ModifiedShadowWriteClassification) {
   Superblock Sb = P.Prog->record();
   DbtConfig Config;
   Config.Variant = iisa::IsaVariant::Modified;
-  TranslationResult R = translate(Sb, Config, ChainEnv());
+  TranslationResult R = translate(Sb, Config, ChainEnv()).take();
 
   // Intermediate r3/r1 definitions are consumed through accumulators and
   // redefined before the exit: shadow-file-only writes. The final
@@ -196,7 +196,7 @@ TEST(Fig2Golden, BasicPeiTableCoversAccHeldState) {
   Superblock Sb = P.Prog->record();
   DbtConfig Config;
   Config.Variant = iisa::IsaVariant::Basic;
-  TranslationResult R = translate(Sb, Config, ChainEnv());
+  TranslationResult R = translate(Sb, Config, ChainEnv()).take();
 
   // At the first load (the ldbu), nothing is held in accumulators yet
   // (all live state is in the GPR file at loop entry).

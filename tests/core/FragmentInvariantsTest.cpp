@@ -129,7 +129,7 @@ TEST_P(FragmentInvariants, HoldOnDiverseProgram) {
   Config.Chaining = Param.Chaining;
   Config.NumAccumulators = Param.Accs;
   Config.SplitMemoryOps = Param.SplitMem;
-  TranslationResult R = translate(Sb, Config, ChainEnv());
+  TranslationResult R = translate(Sb, Config, ChainEnv()).take();
   checkInvariants(R.Frag);
 }
 
@@ -185,25 +185,25 @@ TEST(FragmentInvariants, IndirectEndingsPerPolicy) {
   DbtConfig C;
   C.Variant = iisa::IsaVariant::Modified;
   C.Chaining = ChainPolicy::NoPred;
-  EXPECT_EQ(LastKind(translate(CallSb, C, ChainEnv()).Frag),
+  EXPECT_EQ(LastKind(translate(CallSb, C, ChainEnv()).take().Frag),
             iisa::IKind::JumpDispatch);
-  EXPECT_EQ(LastKind(translate(RetSb, C, ChainEnv()).Frag),
+  EXPECT_EQ(LastKind(translate(RetSb, C, ChainEnv()).take().Frag),
             iisa::IKind::JumpDispatch);
 
   C.Chaining = ChainPolicy::SwPredNoRas;
-  EXPECT_EQ(LastKind(translate(CallSb, C, ChainEnv()).Frag),
+  EXPECT_EQ(LastKind(translate(CallSb, C, ChainEnv()).take().Frag),
             iisa::IKind::JumpPredict);
-  EXPECT_EQ(LastKind(translate(RetSb, C, ChainEnv()).Frag),
+  EXPECT_EQ(LastKind(translate(RetSb, C, ChainEnv()).take().Frag),
             iisa::IKind::JumpPredict);
 
   C.Chaining = ChainPolicy::SwPredRas;
-  Fragment CallFrag = translate(CallSb, C, ChainEnv()).Frag;
+  Fragment CallFrag = translate(CallSb, C, ChainEnv()).take().Frag;
   EXPECT_EQ(LastKind(CallFrag), iisa::IKind::JumpPredict);
   // The call fragment pushes the dual-address RAS.
   bool HasPush = false;
   for (const auto &Inst : CallFrag.Body)
     HasPush |= Inst.Kind == iisa::IKind::PushDualRas;
   EXPECT_TRUE(HasPush);
-  EXPECT_EQ(LastKind(translate(RetSb, C, ChainEnv()).Frag),
+  EXPECT_EQ(LastKind(translate(RetSb, C, ChainEnv()).take().Frag),
             iisa::IKind::ReturnDual);
 }

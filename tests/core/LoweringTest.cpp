@@ -69,7 +69,7 @@ TEST(Lowering, MemorySplitOnDisplacement) {
   Sb.End = SbEndReason::MaxSize;
   Sb.FinalNextVAddr = 0x1008;
 
-  LoweredBlock B = lower(Sb, modifiedConfig());
+  LoweredBlock B = lower(Sb, modifiedConfig()).take();
   // Zero-displacement load: one uop; disp 8: address add + load.
   ASSERT_EQ(B.List.Uops.size(), 3u);
   EXPECT_EQ(B.List.Uops[0].Kind, UopKind::Load);
@@ -90,7 +90,7 @@ TEST(Lowering, NoSplitMode) {
   Sb.End = SbEndReason::MaxSize;
   DbtConfig C = modifiedConfig();
   C.SplitMemoryOps = false;
-  LoweredBlock B = lower(Sb, C);
+  LoweredBlock B = lower(Sb, C).take();
   ASSERT_EQ(B.List.Uops.size(), 1u);
   EXPECT_EQ(B.List.Uops[0].MemDisp, 8);
 }
@@ -102,7 +102,7 @@ TEST(Lowering, CmovTwoOpDecomposition) {
   Sb.EntryVAddr = 0x1000;
   Sb.Insts.push_back(src(0x1000, operate(Op::CMOVEQ, 1, 2, 3)));
   Sb.End = SbEndReason::MaxSize;
-  LoweredBlock B = lower(Sb, modifiedConfig());
+  LoweredBlock B = lower(Sb, modifiedConfig()).take();
   ASSERT_EQ(B.List.Uops.size(), 2u);
   EXPECT_EQ(B.List.Uops[0].Kind, UopKind::CmovMask);
   EXPECT_EQ(B.List.Uops[1].Kind, UopKind::CmovBlend);
@@ -130,7 +130,7 @@ TEST(Lowering, CmovFourOpDecomposition) {
                       C.CmovTwoOp = false;
                       return C;
                     }}) {
-    LoweredBlock B = lower(Sb, Make());
+    LoweredBlock B = lower(Sb, Make()).take();
     ASSERT_EQ(B.List.Uops.size(), 4u);
     EXPECT_EQ(B.List.Uops[0].Kind, UopKind::CmovMask);
     EXPECT_EQ(B.List.Uops[1].Op, Op::AND);
@@ -153,7 +153,7 @@ TEST(Lowering, StraightKeepsCmovWhole) {
   Sb.End = SbEndReason::MaxSize;
   DbtConfig C;
   C.Variant = iisa::IsaVariant::Straight;
-  LoweredBlock B = lower(Sb, C);
+  LoweredBlock B = lower(Sb, C).take();
   ASSERT_EQ(B.List.Uops.size(), 1u);
   EXPECT_EQ(B.List.Uops[0].Op, Op::CMOVEQ);
 }
@@ -164,7 +164,7 @@ TEST(Lowering, NopsRemovedWithoutCredit) {
   Sb.Insts.push_back(src(0x1000, operate(Op::BIS, 31, 31, 31))); // NOP
   Sb.Insts.push_back(src(0x1004, operatei(Op::ADDQ, 1, 1, 1)));
   Sb.End = SbEndReason::MaxSize;
-  LoweredBlock B = lower(Sb, modifiedConfig());
+  LoweredBlock B = lower(Sb, modifiedConfig()).take();
   ASSERT_EQ(B.List.Uops.size(), 1u);
   EXPECT_EQ(B.NopsRemoved, 1u);
   // NOPs are excluded from V-ISA characteristics entirely (Section 4.4).
@@ -181,7 +181,7 @@ TEST(Lowering, StraightenedBrCarriesCredit) {
   Sb.Insts.push_back(src(0x1000, Br, true, 0x100C));
   Sb.Insts.push_back(src(0x100C, operatei(Op::ADDQ, 1, 1, 1)));
   Sb.End = SbEndReason::MaxSize;
-  LoweredBlock B = lower(Sb, modifiedConfig());
+  LoweredBlock B = lower(Sb, modifiedConfig()).take();
   ASSERT_EQ(B.List.Uops.size(), 1u);
   // The removed BR is real retired work; its credit lands on the add.
   EXPECT_EQ(B.List.Uops[0].VCredit, 2);
@@ -198,7 +198,7 @@ TEST(Lowering, TakenSideExitReversed) {
   Sb.Insts.push_back(src(0x1000, Beq, /*Taken=*/true, 0x1014));
   Sb.Insts.push_back(src(0x1014, operatei(Op::ADDQ, 1, 1, 1)));
   Sb.End = SbEndReason::MaxSize;
-  LoweredBlock B = lower(Sb, modifiedConfig());
+  LoweredBlock B = lower(Sb, modifiedConfig()).take();
   ASSERT_EQ(B.SideExits.size(), 1u);
   const Uop &Cond = B.List.Uops[B.SideExits[0].UopIdx];
   EXPECT_EQ(Cond.Op, Op::BNE); // reversed
@@ -215,7 +215,7 @@ TEST(Lowering, NotTakenSideExitKeepsSense) {
   Sb.Insts.push_back(src(0x1000, Beq, /*Taken=*/false));
   Sb.Insts.push_back(src(0x1004, operatei(Op::ADDQ, 1, 1, 1)));
   Sb.End = SbEndReason::MaxSize;
-  LoweredBlock B = lower(Sb, modifiedConfig());
+  LoweredBlock B = lower(Sb, modifiedConfig()).take();
   ASSERT_EQ(B.SideExits.size(), 1u);
   EXPECT_EQ(B.List.Uops[B.SideExits[0].UopIdx].Op, Op::BEQ);
   EXPECT_EQ(B.SideExits[0].ExitVAddr, 0x1014u); // branch target
@@ -232,7 +232,7 @@ TEST(Lowering, FinalBackwardBranchNotReversed) {
   Sb.Insts.push_back(src(0x1008, Bne, /*Taken=*/true, 0x1004));
   Sb.End = SbEndReason::BackwardTaken;
   Sb.FinalNextVAddr = 0x1004;
-  LoweredBlock B = lower(Sb, modifiedConfig());
+  LoweredBlock B = lower(Sb, modifiedConfig()).take();
   ASSERT_EQ(B.SideExits.size(), 1u);
   EXPECT_EQ(B.List.Uops[B.SideExits[0].UopIdx].Op, Op::BNE);
   EXPECT_EQ(B.SideExits[0].ExitVAddr, 0x1004u); // the taken (hot) target
@@ -251,7 +251,7 @@ TEST(Lowering, JsrEmitsSaveRetPushRasAndEndJump) {
 
   DbtConfig C = modifiedConfig();
   C.Chaining = ChainPolicy::SwPredRas;
-  LoweredBlock B = lower(Sb, C);
+  LoweredBlock B = lower(Sb, C).take();
   ASSERT_EQ(B.List.Uops.size(), 3u);
   EXPECT_EQ(B.List.Uops[0].Kind, UopKind::SaveRet);
   EXPECT_EQ(B.List.Uops[0].Out, ValueId(26));
@@ -262,7 +262,7 @@ TEST(Lowering, JsrEmitsSaveRetPushRasAndEndJump) {
 
   // Without the RAS policy there is no push.
   C.Chaining = ChainPolicy::SwPredNoRas;
-  LoweredBlock B2 = lower(Sb, C);
+  LoweredBlock B2 = lower(Sb, C).take();
   ASSERT_EQ(B2.List.Uops.size(), 2u);
   EXPECT_EQ(B2.List.Uops[1].Kind, UopKind::EndJump);
 }

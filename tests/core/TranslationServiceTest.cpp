@@ -15,6 +15,8 @@
 
 #include "core/TranslationService.h"
 
+#include "core/FaultInjector.h"
+
 #include "DbtTestUtil.h"
 
 #include <gtest/gtest.h>
@@ -80,7 +82,7 @@ TEST(TranslationService, ResultMatchesSynchronousTranslate) {
   DbtConfig Config;
 
   ChainEnv Env; // Default: nothing translated.
-  TranslationResult Sync = translate(Sbs[0], Config, Env);
+  TranslationResult Sync = translate(Sbs[0], Config, Env).take();
 
   TranslationService Service(Config, 1, 8);
   uint64_t Seq = Service.submit(Sbs[0], {}, /*Epoch=*/0);
@@ -101,7 +103,7 @@ TEST(TranslationService, ChainableSnapshotMatchesSyncChainEnv) {
   // (the self-loop exit comes out chained, not pending).
   ChainEnv Env;
   Env.IsTranslated = [Entry](uint64_t V) { return V == Entry; };
-  TranslationResult Sync = translate(Sbs[0], Config, Env);
+  TranslationResult Sync = translate(Sbs[0], Config, Env).take();
 
   TranslationService Service(Config, 2, 8);
   Service.submit(Sbs[0], {Entry}, /*Epoch=*/0);
@@ -176,6 +178,51 @@ TEST(TranslationService, CancellingShutdownDropsQueuedWork) {
   // Shutdown is idempotent; destruction after an explicit shutdown is a
   // no-op (no double-join, no hang).
   EXPECT_EQ(Service.shutdown(false), 0u);
+}
+
+TEST(TranslationService, WorkerBailoutDeliversTypedFailureCompletion) {
+  std::vector<Superblock> Sbs = recordSuperblocks(3);
+  ASSERT_EQ(Sbs.size(), 3u);
+  FaultInjector Inj;
+  Inj.armCount(FaultSite::AsyncWorker, 1); // Only the first request fails.
+  DbtConfig Config;
+  Config.Fault = &Inj;
+
+  TranslationService Service(Config, 1, 8);
+  for (const Superblock &Sb : Sbs)
+    Service.submit(Sb, {}, /*Epoch=*/0);
+
+  // The failed request still produces an in-order completion — typed, with
+  // an empty result — and does not wedge delivery of later successes.
+  TranslateCompletion First = Service.takeNext();
+  EXPECT_EQ(First.Seq, 1u);
+  EXPECT_FALSE(First.ok());
+  EXPECT_EQ(First.Status, TranslateStatus::InjectedFault);
+  EXPECT_EQ(First.EntryVAddr, Sbs[0].EntryVAddr);
+  EXPECT_EQ(First.SourceInsts, uint64_t(Sbs[0].Insts.size()));
+  EXPECT_TRUE(First.Result.Frag.Body.empty());
+
+  for (unsigned I = 1; I != 3; ++I) {
+    TranslateCompletion C = Service.takeNext();
+    EXPECT_EQ(C.Seq, uint64_t(I + 1));
+    EXPECT_TRUE(C.ok());
+    EXPECT_FALSE(C.Result.Frag.Body.empty());
+  }
+  EXPECT_EQ(Service.outstandingCount(), 0u);
+}
+
+TEST(TranslationService, PipelineBailoutInsideWorkerIsTypedToo) {
+  std::vector<Superblock> Sbs = recordSuperblocks(1);
+  FaultInjector Inj;
+  Inj.armAlways(FaultSite::CodeGen); // Fault deep in the pipeline, not at
+  DbtConfig Config;                  // the worker boundary.
+  Config.Fault = &Inj;
+  TranslationService Service(Config, 2, 4);
+  Service.submit(Sbs[0], {}, /*Epoch=*/0);
+  TranslateCompletion C = Service.takeNext();
+  EXPECT_FALSE(C.ok());
+  EXPECT_EQ(C.Status, TranslateStatus::InjectedFault);
+  EXPECT_TRUE(C.Result.Frag.Body.empty());
 }
 
 TEST(TranslationService, DestructorCancelsOutstandingWork) {

@@ -75,7 +75,7 @@ LoopEnv makeLoopFragment(iisa::IsaVariant Variant) {
   dbt::DbtConfig Config;
   Config.Variant = Variant;
   LoopEnv S;
-  S.Frag = dbt::translate(Builder.take(), Config, dbt::ChainEnv()).Frag;
+  S.Frag = dbt::translate(Builder.take(), Config, dbt::ChainEnv()).take().Frag;
   for (size_t I = 0; I != Words.size(); ++I)
     S.Mem.poke32(0x10000 + I * 4, Words[I]);
   S.Mem.mapRegion(DataBase, 0x1000);
