@@ -56,9 +56,13 @@ struct DbtConfig {
   /// Upper bound on the encoded fragment body, in bytes; translation bails
   /// out with TranslateStatus::FragmentTooLarge beyond it. Generous by
   /// default (a 200-instruction superblock encodes far below this); tests
-  /// shrink it to exercise the bailout path.
+  /// shrink it to exercise the bailout path. The VM clamps this to
+  /// VmConfig::CodeCacheBytes when a cache budget is set, so no single
+  /// fragment can ever exceed the whole cache. Like Fault, not part of the
+  /// persisted-cache config fingerprint: it changes *whether* a fragment
+  /// exists, never its contents.
   uint32_t MaxFragmentBytes = 1u << 16;
-  /// Deterministic fault injection for tests/benches (DESIGN.md §9);
+  /// Deterministic fault injection for tests/benches (DESIGN.md §9/§10);
   /// non-owning, may be null. Not part of the persisted-cache config
   /// fingerprint: injected faults change *whether* a fragment exists, never
   /// its contents.

@@ -27,6 +27,10 @@ const char *dbt::getFaultSiteName(FaultSite Site) {
     return "async_worker";
   case FaultSite::PersistImport:
     return "persist_import";
+  case FaultSite::EvictSelect:
+    return "evict_select";
+  case FaultSite::Unchain:
+    return "unchain";
   }
   return "unknown";
 }

@@ -18,6 +18,12 @@
 ///   Assemble      - generateCode() encoding/sizing pass
 ///   AsyncWorker   - TranslationService worker, before translate()
 ///   PersistImport - VM warm-start import of a persisted cache file
+///   EvictSelect   - TranslationCache victim selection under a byte budget
+///   Unchain       - TranslationCache exit unchaining during an eviction
+///
+/// A fire at either eviction site aborts the eviction sequence; the cache
+/// degrades to a wholesale flush rather than risking half-torn-down
+/// linkage (DESIGN.md §10).
 ///
 /// All counters are atomic: the injector is shared between the VM thread
 /// and translation workers. Firing decisions depend only on the per-site
@@ -51,9 +57,11 @@ enum class FaultSite : uint8_t {
   Assemble,
   AsyncWorker,
   PersistImport,
+  EvictSelect,
+  Unchain,
 };
 
-constexpr unsigned NumFaultSites = 8;
+constexpr unsigned NumFaultSites = 10;
 
 /// Stable lowercase site name ("decode", "strand_alloc", ...).
 const char *getFaultSiteName(FaultSite Site);

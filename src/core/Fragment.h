@@ -57,6 +57,9 @@ struct Fragment {
 
   uint64_t IBase = 0; ///< Translation-cache address, assigned at install.
   uint64_t ExecCount = 0;
+  /// Lookup recency stamp, maintained by TranslationCache::lookup() when a
+  /// byte budget is set; the exec-weighted-LRU eviction tiebreaker.
+  uint64_t LastUseTick = 0;
   unsigned SourceInsts = 0;  ///< Source instructions recorded (incl. NOPs).
   unsigned NopsRemoved = 0;
   unsigned BodyBytes = 0;    ///< Encoded size of the body.

@@ -62,11 +62,21 @@ public:
         Goal = It->second.Threshold;
       }
     }
-    return ++Counters[VAddr] == Goal;
+    // >= rather than ==: an entry whose fragment was evicted re-enters
+    // profiling with its counter intact (noteEvicted), so the count may
+    // already sit at or past the goal when it becomes bumpable again.
+    return ++Counters[VAddr] >= Goal;
   }
 
   /// Marks \p VAddr as translated (its counter stops mattering).
   void markTranslated(uint64_t VAddr) { Translated.insert(VAddr); }
+
+  /// The fragment for \p VAddr was evicted from the translation cache:
+  /// drop only the translation mark, keeping the execution counter and any
+  /// failure state intact. The entry re-enters profiling where it left
+  /// off — a previously hot entry re-qualifies on its next bump instead of
+  /// paying the full threshold again.
+  void noteEvicted(uint64_t VAddr) { Translated.erase(VAddr); }
 
   bool isTranslated(uint64_t VAddr) const { return Translated.count(VAddr); }
 

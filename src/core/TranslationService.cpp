@@ -29,6 +29,7 @@ void TranslationService::workerMain() {
     TranslateCompletion Out;
     Out.Seq = Req->Seq;
     Out.Epoch = Req->Epoch;
+    Out.CacheGen = Req->CacheGen;
     Out.EntryVAddr = Req->Sb.EntryVAddr;
 
     Out.SourceInsts = Req->Sb.Insts.size();
@@ -60,11 +61,12 @@ void TranslationService::workerMain() {
 
 uint64_t TranslationService::submit(Superblock Sb,
                                     std::unordered_set<uint64_t> Chainable,
-                                    uint64_t Epoch) {
+                                    uint64_t Epoch, uint64_t CacheGen) {
   assert(!ShutDown && "submit() after shutdown");
   TranslateRequest Req;
   Req.Seq = NextSubmitSeq;
   Req.Epoch = Epoch;
+  Req.CacheGen = CacheGen;
   Req.Sb = std::move(Sb);
   Req.Chainable = std::move(Chainable);
   bool Accepted = Requests.push(std::move(Req));

@@ -51,6 +51,10 @@ namespace dbt {
 struct TranslateRequest {
   uint64_t Seq = 0;   ///< Submission sequence number (1-based).
   uint64_t Epoch = 0; ///< Translation-cache flush epoch at submission.
+  /// Translation-cache eviction-event count at submission; echoed in the
+  /// completion so the VM can tell that the Chainable snapshot predates
+  /// evictions (install() then reconciles stale chained exits).
+  uint64_t CacheGen = 0;
   Superblock Sb;
   /// Snapshot of the entries translated or pending at submission time;
   /// the worker's ChainEnv::IsTranslated queries this set, never the live
@@ -65,6 +69,7 @@ struct TranslateRequest {
 struct TranslateCompletion {
   uint64_t Seq = 0;
   uint64_t Epoch = 0;
+  uint64_t CacheGen = 0; ///< Eviction-event count at submission (see above).
   uint64_t EntryVAddr = 0;
   /// Source instructions of the recorded superblock (kept for failure
   /// accounting: the recording was interpreted for nothing).
@@ -89,9 +94,11 @@ public:
   TranslationService &operator=(const TranslationService &) = delete;
 
   /// Enqueues \p Sb for translation; blocks while the request queue is
-  /// full. Returns the request's sequence number.
+  /// full. Returns the request's sequence number. \p CacheGen is the
+  /// translation cache's eviction-event count at submission, echoed back
+  /// in the completion.
   uint64_t submit(Superblock Sb, std::unordered_set<uint64_t> Chainable,
-                  uint64_t Epoch);
+                  uint64_t Epoch, uint64_t CacheGen = 0);
 
   /// The completion with the lowest undelivered sequence number, if its
   /// translation has finished; std::nullopt otherwise. Never blocks.

@@ -25,6 +25,14 @@
 /// The writer stages through "<path>.tmp" and renames into place so a
 /// crashed save cannot leave a half-written cache under the real name.
 ///
+/// Under a bounded cache (VmConfig::CodeCacheBytes, DESIGN.md §10) a save
+/// naturally covers only the *resident* fragments — eviction removes a
+/// fragment from the cache's export set the moment it is torn down — and a
+/// warm-start import skips fragments that would not fit the budget. The
+/// budget itself is deliberately not part of the fingerprint: like fault
+/// injection, it changes which fragments exist, never their contents, so
+/// cache files stay interchangeable across budget settings.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ILDP_PERSIST_CACHEFILE_H

@@ -54,6 +54,12 @@ public:
     return Buf[wrap(Head + Count - 1)];
   }
 
+  /// Element \p Index positions from the front (0 = oldest).
+  const T &at(size_t Index) const {
+    assert(Index < Count && "at() out of range");
+    return Buf[wrap(Head + Index)];
+  }
+
   void popFront() {
     assert(Count && "popFront() on empty ring");
     Head = wrap(Head + 1);

@@ -28,6 +28,21 @@ VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
       RecentCreates(Config.PhaseFragmentThreshold + 1) {
   Interp.state().Pc = EntryPc;
   Profile.addCandidate(EntryPc);
+  if (Config.CodeCacheBytes != 0) {
+    // No single fragment may exceed the whole cache: clamp the fragment
+    // size bound so oversized superblocks become ordinary FragmentTooLarge
+    // bailouts (retry/backoff/blacklist) instead of un-fittable installs.
+    // MaxFragmentBytes is not fingerprinted, so the clamp cannot
+    // invalidate persisted caches.
+    uint64_t Clamp = std::min<uint64_t>(Config.CodeCacheBytes, UINT32_MAX);
+    if (this->Config.Dbt.MaxFragmentBytes == 0 ||
+        this->Config.Dbt.MaxFragmentBytes > Clamp)
+      this->Config.Dbt.MaxFragmentBytes = uint32_t(Clamp);
+    TCache.setByteBudget(Config.CodeCacheBytes);
+    TCache.setFaultInjector(Config.Dbt.Fault);
+    TCache.setEvictionListener(
+        [this](const dbt::Fragment &Frag) { onFragmentEvicted(Frag); });
+  }
   if (!Config.PersistPath.empty()) {
     PersistFingerprint = persist::fingerprint(Mem, EntryPc, Config.Dbt);
     if (Config.PersistLoad)
@@ -36,7 +51,7 @@ VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
   LogicalFragments = TCache.fragmentCount();
   if (Config.AsyncTranslate && Config.TranslateWorkers > 0) {
     Service = std::make_unique<dbt::TranslationService>(
-        Config.Dbt, Config.TranslateWorkers, Config.TranslateQueueDepth);
+        this->Config.Dbt, Config.TranslateWorkers, Config.TranslateQueueDepth);
     // A draining fragment may chain to entries whose translation is still
     // in flight: a synchronous install at the same logical time would
     // already have them in the cache.
@@ -97,6 +112,8 @@ void VirtualMachine::warmStartFromPersisted() {
   }
   Stats.add("persist.load_ok");
   Stats.set("persist.fragments_imported", Installed);
+  if (Config.CodeCacheBytes != 0)
+    Stats.set("persist.fragments_skipped_budget", TCache.importBudgetSkips());
 }
 
 void VirtualMachine::savePersistedCache() {
@@ -181,18 +198,53 @@ void VirtualMachine::maybePhaseFlush() {
 }
 
 void VirtualMachine::installPrepared(dbt::Fragment Frag) {
+  uint64_t DegradedBefore = TCache.degradedFlushCount();
   dbt::Fragment &Installed = TCache.install(std::move(Frag));
   Stats.add("dbt.fragments");
   Stats.add("dbt.body_insts", Installed.Body.size());
   Stats.add("dbt.body_bytes", Installed.BodyBytes);
   Stats.add("dbt.source_insts", Installed.SourceInsts);
   Stats.add("dbt.nops_removed", Installed.NopsRemoved);
+  if (TCache.degradedFlushCount() != DegradedBefore)
+    handleDegradedFlush();
+}
+
+void VirtualMachine::onFragmentEvicted(const dbt::Fragment &Frag) {
+  Profile.noteEvicted(Frag.EntryVAddr);
+  EvictedEntries.insert(Frag.EntryVAddr);
+  // New translations must stop chaining to the entry; exits already
+  // chained to it are unchained by the cache itself.
+  ChainView.erase(Frag.EntryVAddr);
+}
+
+void VirtualMachine::handleDegradedFlush() {
+  // A failed eviction degraded to a wholesale flush in the middle of the
+  // install that just returned. Mirror the phase-flush bookkeeping, then
+  // re-mark what actually survived — the fragment installed into the
+  // emptied cache — so its entry is not profiled toward a duplicate
+  // install.
+  Profile.resetAfterFlush();
+  RecentCreates.clear();
+  LogicalFragments = TCache.fragmentCount();
+  for (const std::unique_ptr<dbt::Fragment> &Frag : TCache.fragments())
+    Profile.markTranslated(Frag->EntryVAddr);
+  if (Service) {
+    // In-flight translations predate the flush: account them when they
+    // drain, but never install them (the phase-flush epoch rule).
+    ++Epoch;
+    PendingSeqByEntry.clear();
+    ChainView.clear();
+    for (const std::unique_ptr<dbt::Fragment> &Frag : TCache.fragments())
+      ChainView.insert(Frag->EntryVAddr);
+  }
 }
 
 void VirtualMachine::installFragment(dbt::Fragment Frag) {
   maybePhaseFlush();
   ++LogicalFragments;
   uint64_t Entry = Frag.EntryVAddr;
+  if (!EvictedEntries.empty() && EvictedEntries.erase(Entry))
+    ++CacheRetranslations;
   Profile.markTranslated(Entry);
   // Exit targets of existing fragments become trace-start candidates.
   for (const dbt::ExitRecord &Exit : Frag.Exits)
@@ -255,14 +307,21 @@ void VirtualMachine::noteTranslateFailure(uint64_t EntryPc,
   ++Robust.Bailouts;
   ++Robust.ByReason[size_t(Status)];
   Robust.FallbackInsts += SourceInsts;
-  Profile.recordFailure(EntryPc, Config.MaxTranslateRetries,
-                        Config.BlacklistBackoff);
+  if (Profile.recordFailure(EntryPc, Config.MaxTranslateRetries,
+                            Config.BlacklistBackoff)) {
+    // Just blacklisted: pending exits targeting this entry would never be
+    // patched and their index records would leak for the rest of the run.
+    TCache.dropPendingExitsTo(EntryPc);
+  }
 }
 
 VirtualMachine::InterpOutcome VirtualMachine::interpretUntilTranslated() {
   while (GuestInsts < Config.MaxGuestInsts) {
+    // Dispatch-loop safepoint: no translated-code pointer is live here, so
+    // storage of fragments evicted/flushed since the last pass can go.
+    TCache.reclaimEvicted();
     if (Service)
-      drainCompleted(); // Dispatch-loop safepoint.
+      drainCompleted();
     uint64_t Pc = Interp.state().Pc;
     // Single hash probe per dispatch: the fragment found here is handed
     // back to the run loop and executed directly.
@@ -296,6 +355,8 @@ void VirtualMachine::submitTranslation(dbt::Superblock Sb) {
   maybePhaseFlush();
   ++LogicalFragments;
   uint64_t Entry = Sb.EntryVAddr;
+  if (!EvictedEntries.empty() && EvictedEntries.erase(Entry))
+    ++CacheRetranslations;
   Profile.markTranslated(Entry);
   for (uint64_t Target : dbt::collectExitTargets(Sb))
     Profile.addCandidate(Target);
@@ -303,7 +364,8 @@ void VirtualMachine::submitTranslation(dbt::Superblock Sb) {
   ChainView.insert(Entry);
   if (Service->outstandingCount() == 0)
     Async.XlateStartInsts = GuestInsts;
-  uint64_t Seq = Service->submit(std::move(Sb), ChainView, Epoch);
+  uint64_t Seq =
+      Service->submit(std::move(Sb), ChainView, Epoch, TCache.evictionEpoch());
   PendingSeqByEntry[Entry] = Seq;
   ++Async.Submitted;
 }
@@ -320,6 +382,10 @@ void VirtualMachine::finishCompletion(dbt::TranslateCompletion C) {
     if (It != PendingSeqByEntry.end() && It->second == C.Seq) {
       PendingSeqByEntry.erase(It);
       ChainView.erase(C.EntryVAddr);
+      // Exits patched toward this entry at submission time now point at a
+      // translation that will never arrive; rewrite them back to their
+      // call-translator form so no chained branch leads nowhere.
+      TCache.unchainExitsTo(C.EntryVAddr);
     }
     if (LogicalFragments > 0)
       --LogicalFragments; // Submission counted a fragment that never came.
@@ -351,6 +417,8 @@ void VirtualMachine::finishCompletion(dbt::TranslateCompletion C) {
     PendingSeqByEntry.erase(It);
 
   if (C.Epoch == Epoch) {
+    if (C.CacheGen != TCache.evictionEpoch())
+      ++EvictRaces; // Snapshot predates evictions; install() reconciles.
     installPrepared(std::move(R.Frag));
     ++Async.Installed;
   } else {
@@ -720,6 +788,13 @@ const StatisticSet &VirtualMachine::stats() {
   Stats.set("tcache.unique_source_insts", TCache.uniqueSourceInsts());
   Stats.set("tcache.patches", TCache.patchCount());
   Stats.set("tcache.flushes", TCache.flushCount());
+  Stats.set("cache.evictions", TCache.evictionCount());
+  Stats.set("cache.evicted_bytes", TCache.evictedBytes());
+  Stats.set("cache.unchained_exits", TCache.unchainedExitCount());
+  Stats.set("cache.retranslations", CacheRetranslations);
+  Stats.set("cache.budget_high_water", TCache.budgetHighWater());
+  Stats.set("cache.degraded_flushes", TCache.degradedFlushCount());
+  Stats.set("cache.pending_dropped_blacklisted", TCache.droppedPendingCount());
   Stats.set("robust.bailouts", Robust.Bailouts);
   Stats.set("robust.retries", Robust.Retries);
   Stats.set("robust.fallback_insts", Robust.FallbackInsts);
@@ -738,6 +813,7 @@ const StatisticSet &VirtualMachine::stats() {
     Stats.set("async.inline_units", Async.InlineUnits);
     Stats.set("async.offloaded_units", Async.OffloadedUnits);
     Stats.set("async.insts_during_xlate", Async.InstsDuringXlate);
+    Stats.set("async.evict_races", EvictRaces);
   }
   return Stats;
 }

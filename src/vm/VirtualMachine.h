@@ -97,6 +97,17 @@ struct VmConfig {
   /// blacklisted and interpreted for the rest of the run.
   unsigned MaxTranslateRetries = 3;
   uint64_t BlacklistBackoff = 8;
+
+  /// Hard byte budget for the translation cache (DESIGN.md §10). When an
+  /// install would push the cache's total body bytes past this bound,
+  /// exec-weighted-LRU victims are evicted (and every surviving chained
+  /// exit into them unchained) until the new fragment fits; evicted-hot
+  /// entries re-enter profiling with their counters intact. 0 (the
+  /// default) disables eviction and is bit-identical to the unbounded
+  /// cache. The VM clamps Dbt.MaxFragmentBytes to this value so a single
+  /// fragment can never exceed the whole cache. Accounting lands in the
+  /// "cache.*" statistics group.
+  uint64_t CodeCacheBytes = 0;
 };
 
 /// Why the VM stopped.
@@ -196,6 +207,23 @@ private:
     uint64_t RasPushes = 0;
   };
   HotCounters Hot;
+
+  // ---- Bounded translation cache (CodeCacheBytes; DESIGN.md §10) ----
+  /// Entries whose fragment was evicted and not yet re-translated; feeds
+  /// the cache.retranslations statistic.
+  std::unordered_set<uint64_t> EvictedEntries;
+  uint64_t CacheRetranslations = 0;
+  /// Asynchronous completions that drained after an eviction event their
+  /// chainability snapshot predates (install() reconciles their exits).
+  uint64_t EvictRaces = 0;
+  /// Eviction listener body: un-marks the entry in the profiler (counters
+  /// intact, so a hot entry re-qualifies on its next bump) and drops it
+  /// from the async chain view.
+  void onFragmentEvicted(const dbt::Fragment &Frag);
+  /// Rebuilds profile marks, phase bookkeeping, and the async chain view
+  /// after the cache degraded a failed eviction to a wholesale flush in
+  /// the middle of an install.
+  void handleDegradedFlush();
 
   /// Robustness accounting (translation bailouts and their fallout).
   struct RobustCounters {
