@@ -1,20 +1,23 @@
-//===- examples/persist_cache.cpp - Warm-start demonstration --------------===//
+//===- examples/persist_cache.cpp - Multi-image warm-start demo -----------===//
 //
 // Part of the ILDP-DBT project (CGO 2003 reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Demonstrates the persistent translation cache: a cold run of a workload
-/// translates its hot paths and saves the translation cache to disk; a
-/// second run of the same workload imports the fragments and goes straight
-/// to chained translated execution — zero fragments translated — while
-/// producing the identical final checksum. A third run deliberately
-/// corrupts the cache file to show the graceful cold-start fallback.
+/// Demonstrates the multi-image persistent cache store: cold runs of TWO
+/// different workloads save their translation caches into one store file;
+/// re-running either workload finds its own image slot by fingerprint and
+/// goes straight to chained translated execution — zero fragments
+/// translated — while producing the identical final checksum. A final run
+/// deliberately corrupts the store to show the graceful cold-start
+/// fallback (typed under persist.import_rejected.<reason>), after which
+/// the exit save heals the artifact.
 ///
-/// Usage: persist_cache [workload] [scale] [cache-file]
-///   workload:   one of the twelve SPEC stand-ins (default: gzip)
-///   cache-file: default "<workload>.tcache" in the working directory
+/// Usage: persist_cache [workload] [scale] [store-file]
+///   workload:   one of the twelve SPEC stand-ins (default: gzip); the
+///               demo picks a second, different workload automatically
+///   store-file: default "persist_cache.tstore" in the working directory
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,18 +38,19 @@ struct RunSummary {
   uint64_t Fragments = 0;  ///< Fragments resident at exit.
   uint64_t Translated = 0; ///< Fragments translated during THIS run.
   uint64_t Imported = 0;
+  uint64_t StoreImages = 0; ///< Image slots in the store at load time.
   uint64_t InterpInsts = 0;
   uint64_t TransCost = 0; ///< Translator work units spent this run.
   bool Halted = false;
 };
 
 RunSummary runOnce(const std::string &Workload, unsigned Scale,
-                   const std::string &CachePath) {
+                   const std::string &StorePath) {
   GuestMemory Mem;
   workloads::WorkloadImage Image =
       workloads::buildWorkload(Workload, Mem, Scale);
   vm::VmConfig Config;
-  Config.PersistPath = CachePath;
+  Config.PersistPath = StorePath;
   vm::VirtualMachine Vm(Mem, Image.EntryPc, Config);
   vm::RunResult Result = Vm.run();
 
@@ -57,16 +61,19 @@ RunSummary runOnce(const std::string &Workload, unsigned Scale,
   S.Fragments = Stats.get("tcache.fragments");
   S.Translated = Stats.get("dbt.fragments");
   S.Imported = Stats.get("persist.fragments_imported");
+  S.StoreImages = Stats.get("persist.store_images");
   S.InterpInsts = Stats.get("interp.insts");
   S.TransCost = Stats.get("dbt.cost.total");
   return S;
 }
 
-void printRun(const char *Label, const RunSummary &S) {
-  std::printf("%s\n", Label);
+void printRun(const std::string &Label, const RunSummary &S) {
+  std::printf("%s\n", Label.c_str());
   std::printf("  halted cleanly      : %s\n", S.Halted ? "yes" : "NO");
   std::printf("  checksum (v0)       : 0x%016llx\n",
               (unsigned long long)S.Checksum);
+  std::printf("  images in store     : %llu\n",
+              (unsigned long long)S.StoreImages);
   std::printf("  fragments imported  : %llu\n", (unsigned long long)S.Imported);
   std::printf("  fragments translated: %llu\n",
               (unsigned long long)S.Translated);
@@ -84,7 +91,7 @@ int main(int argc, char **argv) {
   std::string Name = argc > 1 ? argv[1] : "gzip";
   int ScaleArg = argc > 2 ? std::atoi(argv[2]) : 1;
   unsigned Scale = ScaleArg >= 1 ? unsigned(ScaleArg) : 1;
-  std::string CachePath = argc > 3 ? argv[3] : Name + ".tcache";
+  std::string StorePath = argc > 3 ? argv[3] : "persist_cache.tstore";
   bool Known = false;
   for (const std::string &W : workloads::workloadNames())
     Known |= W == Name;
@@ -95,21 +102,29 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "\n");
     return 1;
   }
+  // A second, different workload shares the store and proves the slots
+  // coexist.
+  std::string Other = Name == "gzip" ? "bzip2" : "gzip";
 
-  std::remove(CachePath.c_str()); // Start from a guaranteed-cold state.
-  std::printf("workload: %s (scale %u), cache file: %s\n\n", Name.c_str(),
-              Scale, CachePath.c_str());
+  std::remove(StorePath.c_str()); // Start from a guaranteed-cold state.
+  std::printf("workloads: %s + %s (scale %u), shared store: %s\n\n",
+              Name.c_str(), Other.c_str(), Scale, StorePath.c_str());
 
-  RunSummary Cold = runOnce(Name, Scale, CachePath);
-  printRun("== cold run (no cache file) ==", Cold);
+  RunSummary ColdA = runOnce(Name, Scale, StorePath);
+  printRun("== cold run of " + Name + " (no store yet) ==", ColdA);
+  RunSummary ColdB = runOnce(Other, Scale, StorePath);
+  printRun("== cold run of " + Other + " (store miss, new slot) ==", ColdB);
 
-  RunSummary Warm = runOnce(Name, Scale, CachePath);
-  printRun("== warm run (cache imported) ==", Warm);
+  RunSummary WarmA = runOnce(Name, Scale, StorePath);
+  printRun("== warm run of " + Name + " (slot found by fingerprint) ==",
+           WarmA);
+  RunSummary WarmB = runOnce(Other, Scale, StorePath);
+  printRun("== warm run of " + Other + " (same store, own slot) ==", WarmB);
 
-  // Flip one byte in the middle of the file: the CRC check must reject it
-  // and the run must fall back to a full cold start, still correct.
+  // Flip one byte in the middle of the store: the CRC checks must reject
+  // it and the run must fall back to a full cold start, still correct.
   {
-    std::fstream F(CachePath,
+    std::fstream F(StorePath,
                    std::ios::binary | std::ios::in | std::ios::out);
     F.seekg(0, std::ios::end);
     long Size = long(F.tellg());
@@ -121,20 +136,23 @@ int main(int argc, char **argv) {
     F.seekp(Size / 2);
     F.write(&Byte, 1);
   }
-  RunSummary Corrupt = runOnce(Name, Scale, CachePath);
-  printRun("== corrupted-cache run (cold fallback) ==", Corrupt);
+  RunSummary Corrupt = runOnce(Name, Scale, StorePath);
+  printRun("== corrupted-store run of " + Name + " (cold fallback) ==",
+           Corrupt);
 
-  bool Ok = Cold.Halted && Warm.Halted && Corrupt.Halted &&
-            Warm.Checksum == Cold.Checksum &&
-            Corrupt.Checksum == Cold.Checksum && Warm.Translated == 0 &&
-            Warm.Imported == Cold.Fragments &&
-            Warm.Fragments == Cold.Fragments && Corrupt.Imported == 0 &&
+  bool Ok = ColdA.Halted && ColdB.Halted && WarmA.Halted && WarmB.Halted &&
+            Corrupt.Halted && WarmA.Checksum == ColdA.Checksum &&
+            WarmB.Checksum == ColdB.Checksum &&
+            Corrupt.Checksum == ColdA.Checksum && WarmA.Translated == 0 &&
+            WarmB.Translated == 0 && WarmA.Imported == ColdA.Fragments &&
+            WarmB.Imported == ColdB.Fragments && WarmA.StoreImages == 2 &&
+            WarmB.StoreImages == 2 && Corrupt.Imported == 0 &&
             Corrupt.Translated > 0;
-  std::printf("warm start %s: translated %llu -> %llu fragments, "
-              "translator work %llu -> %llu units\n",
-              Ok ? "OK" : "FAILED", (unsigned long long)Cold.Translated,
-              (unsigned long long)Warm.Translated,
-              (unsigned long long)Cold.TransCost,
-              (unsigned long long)Warm.TransCost);
+  std::printf("multi-image warm start %s: one store, two images; "
+              "translator work %llu+%llu -> %llu+%llu units\n",
+              Ok ? "OK" : "FAILED", (unsigned long long)ColdA.TransCost,
+              (unsigned long long)ColdB.TransCost,
+              (unsigned long long)WarmA.TransCost,
+              (unsigned long long)WarmB.TransCost);
   return Ok ? 0 : 1;
 }

@@ -1,0 +1,170 @@
+//===- persist/CacheStore.h - Multi-image persistent cache store ----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A multi-image translation-cache store: one checksummed artifact holding
+/// any number of fingerprinted guest images, each with its own fragment
+/// payload and per-image bookkeeping. A server process warming many Alpha
+/// guests shares one store file instead of one cache file per (image,
+/// config) pair; a VM warm-starts by fingerprint lookup and saves (or
+/// updates) only its own image slot on exit, leaving every other slot
+/// intact. Layout (all integers little-endian):
+///
+///   header  magic u64 ("ILDPTS1\0"), format version u32, image count u32,
+///           index CRC32 u32                                    (20 bytes)
+///   index   per image: fingerprint u64, payload offset u64, payload size
+///           u64, payload CRC32 u32, fragment count u32, total body bytes
+///           u64, save count u32, translation cost units u64    (52 bytes)
+///   images  per image: FragmentCodec encodings, back to back
+///
+/// The loader is strictly fail-safe, mirroring CacheFile: magic/version
+/// gate first, then the index is CRC-checked as a unit (a flipped
+/// fingerprint or offset must be caught, not silently missed at lookup),
+/// then every payload is bounds- and CRC-checked, and duplicate
+/// fingerprints are rejected — all before a single fragment byte is
+/// decoded. Fragment decoding happens per image at lookup() time and is
+/// itself bounds-checked with count/byte cross-checks. Any failure yields
+/// a distinct StoreStatus and an empty store — the VM counts the reason
+/// under persist.import_rejected.<reason> and runs cold. Loading NEVER
+/// crashes on a bad file.
+///
+/// Saves stage through a unique "<path>.tmp.*" file and rename into place,
+/// so a crashed save never corrupts a good store. saveMerged() additionally
+/// serializes concurrent writers through a best-effort "<path>.lock" file
+/// and re-reads the on-disk store under the lock, adopting image slots
+/// written by other processes since this store was opened: two VMs saving
+/// different images into one store both survive. If the lock cannot be
+/// acquired (bounded wait; a crashed holder must not wedge every writer),
+/// the save degrades to read-merge-write without it — last writer wins on
+/// the file, but each writer still merges every slot it can see.
+///
+/// Legacy single-image cache files (CacheFile format, PR 1) are detected
+/// by magic: open() returns StoreStatus::LegacyFile and the caller imports
+/// them through loadCacheFile() instead; the next save rewrites the path
+/// in store format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_PERSIST_CACHESTORE_H
+#define ILDP_PERSIST_CACHESTORE_H
+
+#include "core/Fragment.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ildp {
+namespace persist {
+
+/// "ILDPTS1\0" as a little-endian u64 (TS = translation store; distinct
+/// from the legacy single-image magic "ILDPTC1\0").
+constexpr uint64_t CacheStoreMagic = 0x0031535450444C49ull;
+/// Bumped on any incompatible change to the header, index, or fragment
+/// encoding.
+constexpr uint32_t CacheStoreVersion = 1;
+/// Corruption guard on the image count: a store serving even a very large
+/// fleet holds a few dozen images, and a corrupt count must never drive a
+/// huge allocation.
+constexpr uint32_t MaxStoreImages = 4096;
+
+/// Why a store operation succeeded or was rejected.
+enum class StoreStatus : uint8_t {
+  Ok,
+  FileNotFound,   ///< No file at the path (first run; not an error).
+  LegacyFile,     ///< Single-image CacheFile format; import via
+                  ///< loadCacheFile() instead (see persist.import_legacy).
+  BadMagic,       ///< Not a translation-cache artifact at all.
+  BadVersion,     ///< Produced by an incompatible format revision.
+  Truncated,      ///< Header, index, or a payload extends past end of file.
+  BadIndex,       ///< Index CRC mismatch or implausible index fields.
+  BadChecksum,    ///< An image payload's CRC32 does not match its bytes.
+  DuplicateImage, ///< Two index entries carry the same fingerprint.
+  BadPayload,     ///< CRCs passed but fragment decoding failed
+                  ///< (structurally invalid records).
+  ImageNotFound,  ///< lookup(): no slot with that fingerprint (not an
+                  ///< error; the image runs cold and saves a new slot).
+};
+
+const char *getStoreStatusName(StoreStatus Status);
+
+/// One image slot held in memory: identity, bookkeeping, and the encoded
+/// (not yet decoded) fragment payload.
+struct StoreImage {
+  uint64_t Fingerprint = 0;
+  uint32_t FragmentCount = 0;
+  uint64_t BodyBytes = 0; ///< Sum of fragment body bytes (cross-check).
+  uint32_t SaveCount = 0; ///< Times this slot has been written.
+  /// Translator work units (dbt.cost.total) invested in this slot across
+  /// its producing runs — the work a warm start avoids re-spending.
+  uint64_t CostUnits = 0;
+  std::vector<uint8_t> Payload; ///< FragmentCodec encodings, back to back.
+};
+
+/// Result of saveMerged().
+struct SaveMergeResult {
+  bool Saved = false;
+  size_t Adopted = 0;     ///< Slots adopted from concurrent writers.
+  size_t Compacted = 0;   ///< Oldest slots dropped by the image bound.
+  bool LockContended = false; ///< The lock file was busy at least once.
+};
+
+/// An in-memory multi-image store. Slot order is write order (put() moves
+/// an updated slot to the back), so compaction drops the stalest slots.
+class CacheStore {
+public:
+  /// Loads and validates the store at \p Path, replacing this store's
+  /// contents. On any non-Ok status the store is left empty, so a
+  /// subsequent save rewrites the path with a clean artifact.
+  StoreStatus open(const std::string &Path);
+
+  /// Decodes the fragments of the image slot fingerprinted \p Fingerprint
+  /// into \p Out. Returns Ok, ImageNotFound, or BadPayload (corruption
+  /// that kept the CRC intact); \p Out is empty unless Ok.
+  StoreStatus lookup(uint64_t Fingerprint,
+                     std::vector<dbt::Fragment> &Out) const;
+
+  /// Inserts or replaces the slot for \p Fingerprint with \p Fragments
+  /// (install order) and moves it to the back (most recently written).
+  /// A replaced slot's SaveCount carries over (and is incremented).
+  void put(uint64_t Fingerprint,
+           const std::vector<const dbt::Fragment *> &Fragments,
+           uint64_t CostUnits);
+
+  /// Drops the slot for \p Fingerprint. Returns true if one existed.
+  bool erase(uint64_t Fingerprint);
+
+  /// Drops oldest-written slots until at most \p MaxImages remain
+  /// (0 = no bound). Returns the number dropped.
+  size_t compact(size_t MaxImages);
+
+  /// Writes the store to \p Path via a unique temp file + atomic rename.
+  /// Returns false on I/O failure (the previous file is left intact).
+  bool save(const std::string &Path) const;
+
+  /// Read-merge-write: under a best-effort "<path>.lock", re-reads the
+  /// on-disk store, adopts every slot this store does not already hold,
+  /// applies the image bound, and saves atomically. See file comment.
+  SaveMergeResult saveMerged(const std::string &Path, size_t MaxImages = 0);
+
+  bool contains(uint64_t Fingerprint) const { return find(Fingerprint); }
+  /// The slot for \p Fingerprint, or nullptr.
+  const StoreImage *find(uint64_t Fingerprint) const;
+
+  size_t imageCount() const { return Images.size(); }
+  const std::vector<StoreImage> &images() const { return Images; }
+  /// Total encoded payload bytes across all slots.
+  uint64_t totalPayloadBytes() const;
+  void clear() { Images.clear(); }
+
+private:
+  std::vector<StoreImage> Images;
+};
+
+} // namespace persist
+} // namespace ildp
+
+#endif // ILDP_PERSIST_CACHESTORE_H

@@ -10,6 +10,7 @@
 #include "core/SuperblockBuilder.h"
 #include "core/Translator.h"
 #include "persist/CacheFile.h"
+#include "persist/CacheStore.h"
 #include "persist/Fingerprint.h"
 
 #include <algorithm>
@@ -66,41 +67,10 @@ VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
 // Persistent translation cache (warm start / save on exit).
 // ---------------------------------------------------------------------------
 
-void VirtualMachine::warmStartFromPersisted() {
-  persist::LoadResult Loaded =
-      persist::loadCacheFile(Config.PersistPath, PersistFingerprint);
-  // Every import failure degrades to a cold start; a warm-start problem
-  // must never be worse than not having a cache file at all. A missing
-  // file is the normal first run, not a rejection; everything else is
-  // counted under persist.import_rejected with a per-reason breakdown.
-  const char *Rejected = nullptr;
-  if (Config.Dbt.Fault &&
-      Config.Dbt.Fault->shouldFail(dbt::FaultSite::PersistImport)) {
-    Rejected = "injected-fault";
-  } else {
-    switch (Loaded.Status) {
-    case persist::LoadStatus::Ok:
-      break;
-    case persist::LoadStatus::FileNotFound:
-      Stats.add("persist.load_nofile");
-      return;
-    case persist::LoadStatus::FingerprintMismatch:
-      Stats.add("persist.load_mismatch");
-      Rejected = persist::getLoadStatusName(Loaded.Status);
-      break;
-    default:
-      Stats.add("persist.load_corrupt");
-      Rejected = persist::getLoadStatusName(Loaded.Status);
-      break;
-    }
-  }
-  if (Rejected) {
-    Stats.add("persist.import_rejected");
-    Stats.add(std::string("persist.import_rejected.") + Rejected);
-    return;
-  }
+VirtualMachine::~VirtualMachine() = default;
 
-  size_t Installed = TCache.importAll(std::move(Loaded.Fragments));
+void VirtualMachine::importFragments(std::vector<dbt::Fragment> Frags) {
+  size_t Installed = TCache.importAll(std::move(Frags));
   // Imported entries count as translated for the profiler, so hot-counter
   // qualification never tries to re-translate them, and their exit targets
   // become candidates exactly as after a cold install.
@@ -116,7 +86,101 @@ void VirtualMachine::warmStartFromPersisted() {
     Stats.set("persist.fragments_skipped_budget", TCache.importBudgetSkips());
 }
 
+const char *VirtualMachine::importLegacyFile() {
+  Stats.add("persist.import_legacy");
+  persist::LoadResult Loaded =
+      persist::loadCacheFile(Config.PersistPath, PersistFingerprint);
+  switch (Loaded.Status) {
+  case persist::LoadStatus::Ok:
+    importFragments(std::move(Loaded.Fragments));
+    ImportedCostUnits = 0; // Legacy files carry no cost bookkeeping.
+    return nullptr;
+  case persist::LoadStatus::FingerprintMismatch: {
+    // A legacy file for some *other* image (or config). The old format
+    // would be clobbered by this run's save; instead preserve it as a
+    // store slot under its own fingerprint — converting a legacy
+    // single-image file into a multi-image store keeps the image.
+    persist::LoadResult Foreign =
+        persist::loadCacheFile(Config.PersistPath, Loaded.FileFingerprint);
+    if (Foreign.Status == persist::LoadStatus::Ok) {
+      std::vector<const dbt::Fragment *> Ptrs;
+      Ptrs.reserve(Foreign.Fragments.size());
+      for (const dbt::Fragment &Frag : Foreign.Fragments)
+        Ptrs.push_back(&Frag);
+      Store->put(Foreign.FileFingerprint, Ptrs, /*CostUnits=*/0);
+    }
+    Stats.add("persist.load_mismatch");
+    return persist::getLoadStatusName(Loaded.Status);
+  }
+  default:
+    Stats.add("persist.load_corrupt");
+    return persist::getLoadStatusName(Loaded.Status);
+  }
+}
+
+void VirtualMachine::warmStartFromPersisted() {
+  Store = std::make_unique<persist::CacheStore>();
+  persist::StoreStatus Opened = Store->open(Config.PersistPath);
+
+  // Every import failure degrades to a cold start; a warm-start problem
+  // must never be worse than not having a store at all. A missing file is
+  // the normal first run and a store miss is the normal first run *of this
+  // image*; everything else is counted under persist.import_rejected with
+  // a per-reason breakdown. On corruption the store stays empty, so the
+  // exit save rewrites the path with a clean artifact.
+  const char *Rejected = nullptr;
+  if (Config.Dbt.Fault &&
+      Config.Dbt.Fault->shouldFail(dbt::FaultSite::PersistImport)) {
+    Rejected = "injected-fault";
+  } else {
+    switch (Opened) {
+    case persist::StoreStatus::FileNotFound:
+      Stats.add("persist.load_nofile");
+      return;
+    case persist::StoreStatus::LegacyFile:
+      Rejected = importLegacyFile();
+      break;
+    case persist::StoreStatus::Ok: {
+      Stats.set("persist.store_images", Store->imageCount());
+      Stats.set("persist.store_bytes", Store->totalPayloadBytes());
+      std::vector<dbt::Fragment> Frags;
+      persist::StoreStatus Found = Store->lookup(PersistFingerprint, Frags);
+      if (Found == persist::StoreStatus::ImageNotFound) {
+        // Other images live here; ours runs cold and saves a new slot.
+        Stats.add("persist.store_miss");
+        return;
+      }
+      if (Found != persist::StoreStatus::Ok) {
+        // Structural corruption the CRCs happened to bless. Drop the slot
+        // (the rest of the store is fine and stays preserved).
+        Stats.add("persist.load_corrupt");
+        Store->erase(PersistFingerprint);
+        Rejected = persist::getStoreStatusName(Found);
+        break;
+      }
+      Stats.add("persist.store_hit");
+      ImportedCostUnits = Store->find(PersistFingerprint)->CostUnits;
+      importFragments(std::move(Frags));
+      break;
+    }
+    default:
+      Stats.add("persist.load_corrupt");
+      Rejected = persist::getStoreStatusName(Opened);
+      break;
+    }
+  }
+  if (Rejected) {
+    Stats.add("persist.import_rejected");
+    Stats.add(std::string("persist.import_rejected.") + Rejected);
+  }
+}
+
 void VirtualMachine::savePersistedCache() {
+  // PersistLoad=false leaves Store null: start from an empty store and let
+  // the read-merge-write below adopt whatever already lives on disk.
+  if (!Store)
+    Store = std::make_unique<persist::CacheStore>();
+
   std::vector<const dbt::Fragment *> Frags = TCache.exportAll();
   size_t SkippedCold = 0;
   if (Config.PersistMinExecCount > 0) {
@@ -127,12 +191,25 @@ void VirtualMachine::savePersistedCache() {
     Frags.erase(std::remove_if(Frags.begin(), Frags.end(), Cold),
                 Frags.end());
   }
-  bool Ok = persist::saveCacheFile(Config.PersistPath, PersistFingerprint,
-                                   Frags);
-  Stats.add(Ok ? "persist.save_ok" : "persist.save_fail");
-  if (Ok) {
+
+  // The slot's CostUnits track the total translator work invested across
+  // its producing runs: what was imported plus what this run spent on top
+  // (a pure warm run adds 0 and preserves the cold run's figure).
+  Store->put(PersistFingerprint, Frags,
+             ImportedCostUnits + Stats.get("dbt.cost.total"));
+  persist::SaveMergeResult Saved =
+      Store->saveMerged(Config.PersistPath, Config.PersistMaxImages);
+  Stats.add(Saved.Saved ? "persist.save_ok" : "persist.save_fail");
+  if (Saved.Saved) {
     Stats.set("persist.fragments_saved", Frags.size());
     Stats.set("persist.fragments_skipped_cold", SkippedCold);
+    Stats.set("persist.store_saved_images", Store->imageCount());
+    if (Saved.Adopted)
+      Stats.set("persist.store_merge_adopted", Saved.Adopted);
+    if (Saved.Compacted)
+      Stats.set("persist.store_compacted", Saved.Compacted);
+    if (Saved.LockContended)
+      Stats.add("persist.store_lock_contended");
   }
 }
 

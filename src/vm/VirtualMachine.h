@@ -38,6 +38,9 @@
 #include <unordered_map>
 
 namespace ildp {
+namespace persist {
+class CacheStore;
+}
 namespace vm {
 
 /// VM run configuration.
@@ -58,21 +61,33 @@ struct VmConfig {
   unsigned PhaseFragmentThreshold = 24;
 
   /// Persistent translation cache (warm start). When PersistPath is
-  /// non-empty, the VM fingerprints the guest image + DbtConfig at
-  /// construction, imports fragments from the file before the first
-  /// instruction executes (PersistLoad), and writes the final translation
-  /// cache back when run() returns (PersistSave). Any load problem —
-  /// missing file, truncation, corruption, fingerprint mismatch — is
-  /// counted in the statistics ("persist.*") and the run degrades to a
-  /// normal cold start.
+  /// non-empty it names a multi-image cache *store* (persist::CacheStore,
+  /// DESIGN.md §11): the VM fingerprints the guest image + DbtConfig at
+  /// construction, looks its image up in the store by fingerprint before
+  /// the first instruction executes (PersistLoad), and saves-or-updates
+  /// only its own image slot when run() returns (PersistSave), leaving
+  /// every other image's slot intact — one artifact warm-starts a whole
+  /// fleet of guests. Legacy single-image cache files are detected by
+  /// magic and imported under "persist.import_legacy"; the next save
+  /// rewrites the path in store format. Any load problem — missing file,
+  /// truncation, corruption, bad index, duplicate image — is counted in
+  /// the statistics ("persist.*", typed under
+  /// "persist.import_rejected.<reason>") and the run degrades to a normal
+  /// cold start. A store miss (other images present, not this one) is a
+  /// normal first run for this image, not a rejection.
   std::string PersistPath;
   bool PersistLoad = true;
   bool PersistSave = true;
   /// Persist only fragments executed at least this many times (first slice
   /// of the translation-cache eviction roadmap item): cold fragments are
   /// dropped from the save and counted under
-  /// "persist.fragments_skipped_cold". 0 persists everything.
+  /// "persist.fragments_skipped_cold". 0 persists everything. Applies to
+  /// this VM's image slot only; other slots in the store are untouched.
   uint64_t PersistMinExecCount = 0;
+  /// Bound on the number of image slots the store keeps at save time
+  /// (0 = unbounded): oldest-written slots beyond the bound are dropped
+  /// and counted under "persist.store_compacted".
+  size_t PersistMaxImages = 0;
 
   /// Asynchronous background translation. When AsyncTranslate is set and
   /// TranslateWorkers > 0, superblock recording stays on the VM thread but
@@ -128,6 +143,7 @@ struct RunResult {
 class VirtualMachine {
 public:
   VirtualMachine(GuestMemory &Mem, uint64_t EntryPc, const VmConfig &Config);
+  ~VirtualMachine(); // Out of line: persist::CacheStore is incomplete here.
 
   /// Optional timing model; when set, all translated execution (fragments,
   /// stubs, dispatch) is streamed into it.
@@ -316,7 +332,24 @@ private:
   /// at construction while memory still holds the pristine image; reused
   /// for the save on exit.
   uint64_t PersistFingerprint = 0;
+  /// The multi-image store backing PersistPath: opened (with every other
+  /// image's slot) at construction, this VM's slot put back and the whole
+  /// store saved with read-merge-write on exit. Null until the warm start
+  /// or save path first needs it.
+  std::unique_ptr<persist::CacheStore> Store;
+  /// Translator work units previously invested in this VM's image slot
+  /// (carried forward so a warm run's re-save does not zero the slot's
+  /// CostUnits bookkeeping).
+  uint64_t ImportedCostUnits = 0;
   void warmStartFromPersisted();
+  /// Installs \p Frags as the warm-start image and marks their entries
+  /// translated in the profiler. Shared by the store and legacy paths.
+  void importFragments(std::vector<dbt::Fragment> Frags);
+  /// Legacy single-image CacheFile import ("persist.import_legacy"); a
+  /// foreign-fingerprint legacy image is preserved as a store slot instead
+  /// of being clobbered by the save. Returns the rejection reason, or
+  /// nullptr on success/clean miss.
+  const char *importLegacyFile();
   void savePersistedCache();
 
   RunResult runLoop();

@@ -14,6 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "persist/CacheFile.h"
+#include "persist/Fingerprint.h"
 #include "vm/VirtualMachine.h"
 #include "workloads/Workloads.h"
 
@@ -141,7 +143,7 @@ TEST(VmWarmStart, TruncatedFileFallsBackToCorrectColdRun) {
   EXPECT_EQ(Fallback.Checksum, Cold.Checksum);
 }
 
-TEST(VmWarmStart, ConfigChangeIsAFingerprintMismatch) {
+TEST(VmWarmStart, ConfigChangeIsAStoreMissAndBothSlotsCoexist) {
   std::string Path = tempPath("config.tcache");
   vm::VmConfig Config;
   Config.PersistPath = Path;
@@ -151,27 +153,129 @@ TEST(VmWarmStart, ConfigChangeIsAFingerprintMismatch) {
 
   // Same guest image, different translator configuration: fragments built
   // with 4 accumulators must not be executed under an 8-accumulator
-  // config's expectations.
+  // config's expectations. The store has no slot for the new fingerprint,
+  // so this run goes cold and appends its own slot.
   vm::VmConfig Other = Config;
   Other.Dbt.NumAccumulators = 8;
-  Outcome Mismatch = runWorkload("gzip", Other);
-  EXPECT_EQ(Mismatch.Stats.get("persist.load_mismatch"), 1u);
-  EXPECT_EQ(Mismatch.Stats.get("persist.fragments_imported"), 0u);
-  EXPECT_GT(Mismatch.Stats.get("dbt.fragments"), 0u);
-  EXPECT_EQ(Mismatch.Checksum, Cold.Checksum);
+  Outcome Miss = runWorkload("gzip", Other);
+  EXPECT_EQ(Miss.Stats.get("persist.store_miss"), 1u);
+  EXPECT_EQ(Miss.Stats.get("persist.fragments_imported"), 0u);
+  EXPECT_GT(Miss.Stats.get("dbt.fragments"), 0u);
+  EXPECT_EQ(Miss.Checksum, Cold.Checksum);
+  EXPECT_EQ(Miss.Stats.get("persist.store_saved_images"), 2u);
+
+  // Both configurations now warm-start from the same artifact.
+  Outcome WarmA = runWorkload("gzip", Config);
+  EXPECT_EQ(WarmA.Stats.get("persist.store_hit"), 1u);
+  EXPECT_EQ(WarmA.Stats.get("dbt.fragments"), 0u);
+  Outcome WarmB = runWorkload("gzip", Other);
+  EXPECT_EQ(WarmB.Stats.get("persist.store_hit"), 1u);
+  EXPECT_EQ(WarmB.Stats.get("dbt.fragments"), 0u);
 }
 
-TEST(VmWarmStart, DifferentGuestImageIsAFingerprintMismatch) {
+TEST(VmWarmStart, DifferentGuestImagesShareOneStore) {
   std::string Path = tempPath("image.tcache");
   vm::VmConfig Config;
   Config.PersistPath = Path;
 
   runWorkload("gzip", Config);
-  // A different workload (different guest pages) against gzip's cache.
+  // A different workload (different guest pages) misses gzip's slot, runs
+  // cold, and adds its own — without evicting gzip's.
   Outcome Other = runWorkload("bzip2", Config);
-  EXPECT_EQ(Other.Stats.get("persist.load_mismatch"), 1u);
+  EXPECT_EQ(Other.Stats.get("persist.store_miss"), 1u);
   EXPECT_EQ(Other.Stats.get("persist.load_ok"), 0u);
   EXPECT_GT(Other.Stats.get("dbt.fragments"), 0u);
+
+  Outcome WarmGzip = runWorkload("gzip", Config);
+  EXPECT_EQ(WarmGzip.Stats.get("persist.store_hit"), 1u);
+  EXPECT_EQ(WarmGzip.Stats.get("persist.store_images"), 2u);
+  EXPECT_EQ(WarmGzip.Stats.get("dbt.fragments"), 0u);
+  Outcome WarmBzip2 = runWorkload("bzip2", Config);
+  EXPECT_EQ(WarmBzip2.Stats.get("persist.store_hit"), 1u);
+  EXPECT_EQ(WarmBzip2.Stats.get("dbt.fragments"), 0u);
+}
+
+TEST(VmWarmStart, StoreImageBoundEvictsStalestSlot) {
+  std::string Path = tempPath("bound.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+  Config.PersistMaxImages = 2;
+
+  runWorkload("gzip", Config);
+  runWorkload("bzip2", Config);
+  Outcome Third = runWorkload("gcc", Config);
+  EXPECT_EQ(Third.Stats.get("persist.store_compacted"), 1u);
+  EXPECT_EQ(Third.Stats.get("persist.store_saved_images"), 2u);
+
+  // gzip was written first and is the one evicted.
+  Outcome ColdAgain = runWorkload("gzip", Config);
+  EXPECT_EQ(ColdAgain.Stats.get("persist.store_miss"), 1u);
+  Outcome WarmGcc = runWorkload("gcc", Config);
+  EXPECT_EQ(WarmGcc.Stats.get("persist.store_hit"), 1u);
+}
+
+TEST(VmWarmStart, LegacyCacheFileImportsAndConvertsToStore) {
+  std::string Path = tempPath("legacy.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+
+  // Produce a legacy single-image cache file for gzip by re-saving a cold
+  // run's fragments in the PR 1 format.
+  Outcome Cold = runWorkload("gzip", Config);
+  {
+    GuestMemory Mem;
+    workloads::WorkloadImage Image = workloads::buildWorkload("gzip", Mem, 1);
+    vm::VirtualMachine Vm(Mem, Image.EntryPc, Config);
+    vm::RunResult Result = Vm.run();
+    ASSERT_EQ(Result.Reason, vm::StopReason::Halted);
+    uint64_t Fp = persist::fingerprint(Mem, Image.EntryPc, Config.Dbt);
+    ASSERT_TRUE(
+        persist::saveCacheFile(Path, Fp, Vm.tcache().exportAll()));
+  }
+
+  // The legacy file warms the run and the exit save converts the path to
+  // store format, which warms the run after that.
+  Outcome Legacy = runWorkload("gzip", Config);
+  EXPECT_EQ(Legacy.Stats.get("persist.import_legacy"), 1u);
+  EXPECT_EQ(Legacy.Stats.get("persist.load_ok"), 1u);
+  EXPECT_EQ(Legacy.Stats.get("dbt.fragments"), 0u);
+  EXPECT_EQ(Legacy.Checksum, Cold.Checksum);
+
+  Outcome Warm = runWorkload("gzip", Config);
+  EXPECT_EQ(Warm.Stats.get("persist.import_legacy"), 0u);
+  EXPECT_EQ(Warm.Stats.get("persist.store_hit"), 1u);
+  EXPECT_EQ(Warm.Stats.get("dbt.fragments"), 0u);
+  EXPECT_EQ(Warm.Checksum, Cold.Checksum);
+}
+
+TEST(VmWarmStart, ForeignLegacyFileIsPreservedAsAStoreSlot) {
+  std::string Path = tempPath("legacy-foreign.tcache");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+
+  // A legacy cache file for gzip, then a bzip2 run against it: the
+  // fingerprints differ, so bzip2 runs cold — but conversion to store
+  // format must carry gzip's image along instead of clobbering it.
+  {
+    GuestMemory Mem;
+    workloads::WorkloadImage Image = workloads::buildWorkload("gzip", Mem, 1);
+    vm::VirtualMachine Vm(Mem, Image.EntryPc, Config);
+    ASSERT_EQ(Vm.run().Reason, vm::StopReason::Halted);
+    uint64_t Fp = persist::fingerprint(Mem, Image.EntryPc, Config.Dbt);
+    std::remove(Path.c_str());
+    ASSERT_TRUE(
+        persist::saveCacheFile(Path, Fp, Vm.tcache().exportAll()));
+  }
+
+  Outcome Other = runWorkload("bzip2", Config);
+  EXPECT_EQ(Other.Stats.get("persist.import_legacy"), 1u);
+  EXPECT_EQ(Other.Stats.get("persist.load_mismatch"), 1u);
+  EXPECT_GT(Other.Stats.get("dbt.fragments"), 0u);
+  EXPECT_EQ(Other.Stats.get("persist.store_saved_images"), 2u);
+
+  Outcome WarmGzip = runWorkload("gzip", Config);
+  EXPECT_EQ(WarmGzip.Stats.get("persist.store_hit"), 1u);
+  EXPECT_EQ(WarmGzip.Stats.get("dbt.fragments"), 0u);
 }
 
 TEST(VmWarmStart, SaveAndLoadKnobsAreIndependent) {
