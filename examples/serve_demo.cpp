@@ -1,0 +1,229 @@
+//===- examples/serve_demo.cpp - Line-oriented fleet service front end ----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin front end over the in-process fleet service: one line in, one
+/// line out. The scheduler itself is a library (src/serve/); this demo
+/// only parses lines and prints responses, from stdin by default or from
+/// a TCP socket with --port.
+///
+///   serve_demo [--store <path>] [--workers N] [--port P]
+///   serve_demo --seed <path>        build a warm store, then exit
+///
+/// Protocol (one request per line, blank-separated fields):
+///
+///   run <workload> [tenant=<t>] [max_insts=<n>] [deadline_us=<n>]
+///   stats
+///   quit
+///
+/// Responses:
+///
+///   ok <checksum-hex> insts=<n> wall_us=<n> worker=<n>
+///   err <status> <detail>
+///
+/// Example session:
+///
+///   $ build/examples/serve_demo --store warm.tstore --workers 4
+///   run gzip
+///   ok 1f9a... insts=2755561 wall_us=10234 worker=0
+///   run mcf deadline_us=100
+///   err deadline wall-deadline
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/ExecutionScheduler.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace ildp;
+using namespace ildp::serve;
+
+namespace {
+
+/// Serves one parsed line; returns the response line (without newline),
+/// or an empty string for "quit".
+std::string serveLine(ExecutionScheduler &Sched, const std::string &Line) {
+  std::istringstream In(Line);
+  std::string Cmd;
+  In >> Cmd;
+  if (Cmd.empty() || Cmd[0] == '#')
+    return "# comment";
+  if (Cmd == "quit" || Cmd == "exit")
+    return "";
+  if (Cmd == "stats") {
+    std::string Out;
+    for (const auto &[Name, Value] : Sched.fleet().stats().getWithPrefix(""))
+      Out += Name + "=" + std::to_string(Value) + " ";
+    return Out.empty() ? "(no stats)" : Out;
+  }
+  if (Cmd == "help" || Cmd != "run")
+    return "err bad-command usage: run <workload> [tenant=t] [max_insts=n] "
+           "[deadline_us=n] | stats | quit";
+
+  ExecRequest Req;
+  In >> Req.Workload;
+  if (Req.Workload.empty())
+    return "err bad-command missing workload name";
+  std::string Opt;
+  while (In >> Opt) {
+    size_t Eq = Opt.find('=');
+    std::string Key = Opt.substr(0, Eq);
+    std::string Val = Eq == std::string::npos ? "" : Opt.substr(Eq + 1);
+    if (Key == "tenant")
+      Req.Tenant = Val;
+    else if (Key == "max_insts")
+      Req.MaxGuestInsts = std::strtoull(Val.c_str(), nullptr, 0);
+    else if (Key == "deadline_us")
+      Req.DeadlineMicros = std::strtoull(Val.c_str(), nullptr, 0);
+    else if (Key == "cache_bytes")
+      Req.CodeCacheBytes = std::strtoull(Val.c_str(), nullptr, 0);
+    else
+      return "err bad-command unknown option " + Key;
+  }
+
+  ExecResponse Resp = Sched.submit(std::move(Req)).get();
+  if (!Resp.ok())
+    return std::string("err ") + getExecStatusName(Resp.Status) + " " +
+           Resp.Detail;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "ok %llx insts=%llu wall_us=%.0f worker=%u",
+                (unsigned long long)Resp.Checksum,
+                (unsigned long long)Resp.GuestInsts, Resp.WallMicros,
+                Resp.Worker);
+  return Buf;
+}
+
+void serveStream(ExecutionScheduler &Sched, FILE *In, FILE *Out) {
+  char LineBuf[4096];
+  while (std::fgets(LineBuf, sizeof(LineBuf), In)) {
+    std::string Line(LineBuf);
+    while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+      Line.pop_back();
+    std::string Resp = serveLine(Sched, Line);
+    if (Resp.empty())
+      break;
+    std::fprintf(Out, "%s\n", Resp.c_str());
+    std::fflush(Out);
+  }
+}
+
+int seedStore(const std::string &Path) {
+  std::remove(Path.c_str());
+  for (const std::string &W : workloads::workloadNames()) {
+    GuestMemory Mem;
+    workloads::WorkloadImage Img = workloads::buildWorkload(W, Mem, 1);
+    vm::VmConfig Config;
+    Config.PersistPath = Path;
+    vm::VirtualMachine Vm(Mem, Img.EntryPc, Config);
+    if (Vm.run().Reason != vm::StopReason::Halted) {
+      std::fprintf(stderr, "%s: seeding run did not halt\n", W.c_str());
+      return 1;
+    }
+  }
+  std::printf("seeded %zu workload images into %s\n",
+              workloads::workloadNames().size(), Path.c_str());
+  return 0;
+}
+
+#ifndef _WIN32
+int serveTcp(ExecutionScheduler &Sched, unsigned Port) {
+  int Listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (Listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int One = 1;
+  setsockopt(Listener, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(uint16_t(Port));
+  if (bind(Listener, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      listen(Listener, 4) < 0) {
+    std::perror("bind/listen");
+    close(Listener);
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (one client at a time; "
+              "\"quit\" ends a session, Ctrl-C the server)\n",
+              Port);
+  for (;;) {
+    int Client = accept(Listener, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    FILE *In = fdopen(Client, "r");
+    FILE *Out = fdopen(dup(Client), "w");
+    if (In && Out)
+      serveStream(Sched, In, Out);
+    if (In)
+      fclose(In);
+    if (Out)
+      fclose(Out);
+  }
+}
+#endif
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string StorePath, SeedPath;
+  unsigned Workers = 2, Port = 0;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--store" && Next())
+      StorePath = argv[I];
+    else if (Arg == "--seed" && Next())
+      SeedPath = argv[I];
+    else if (Arg == "--workers" && Next())
+      Workers = unsigned(std::strtoul(argv[I], nullptr, 0));
+    else if (Arg == "--port" && Next())
+      Port = unsigned(std::strtoul(argv[I], nullptr, 0));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--store <path>] [--workers N] [--port P]\n"
+                   "       %s --seed <path>\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+  }
+  if (!SeedPath.empty())
+    return seedStore(SeedPath);
+
+  FleetConfig Config;
+  Config.Workers = Workers;
+  Config.StorePath = StorePath;
+  ExecutionScheduler Sched(Config);
+  Sched.fleet().registerWorkloads();
+  std::fprintf(stderr, "fleet up: %u workers, %zu workloads, store %s\n",
+               Workers, workloads::workloadNames().size(),
+               StorePath.empty() ? "(cold)"
+               : Sched.fleet().storeLoaded()
+                   ? (StorePath + " (warm)").c_str()
+                   : (StorePath + " (FAILED TO LOAD, serving cold)").c_str());
+
+#ifndef _WIN32
+  if (Port)
+    return serveTcp(Sched, Port);
+#endif
+  serveStream(Sched, stdin, stdout);
+  return 0;
+}

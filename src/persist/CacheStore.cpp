@@ -116,6 +116,7 @@ const char *persist::getStoreStatusName(StoreStatus Status) {
 
 StoreStatus CacheStore::open(const std::string &Path) {
   Images.clear();
+  ReadOnlyMode = false;
 
   std::ifstream In(Path, std::ios::binary);
   if (!In)
@@ -186,6 +187,12 @@ StoreStatus CacheStore::open(const std::string &Path) {
   return StoreStatus::Ok;
 }
 
+StoreStatus CacheStore::openReadOnly(const std::string &Path) {
+  StoreStatus Status = open(Path);
+  ReadOnlyMode = true;
+  return Status;
+}
+
 StoreStatus CacheStore::lookup(uint64_t Fingerprint,
                                std::vector<Fragment> &Out) const {
   Out.clear();
@@ -225,6 +232,8 @@ const StoreImage *CacheStore::find(uint64_t Fingerprint) const {
 void CacheStore::put(uint64_t Fingerprint,
                      const std::vector<const Fragment *> &Fragments,
                      uint64_t CostUnits) {
+  if (ReadOnlyMode)
+    return;
   StoreImage Img;
   Img.Fingerprint = Fingerprint;
   Img.FragmentCount = uint32_t(Fragments.size());
@@ -249,6 +258,8 @@ void CacheStore::put(uint64_t Fingerprint,
 }
 
 bool CacheStore::erase(uint64_t Fingerprint) {
+  if (ReadOnlyMode)
+    return false;
   auto It = std::find_if(Images.begin(), Images.end(),
                          [&](const StoreImage &Slot) {
                            return Slot.Fingerprint == Fingerprint;
@@ -260,7 +271,7 @@ bool CacheStore::erase(uint64_t Fingerprint) {
 }
 
 size_t CacheStore::compact(size_t MaxImages) {
-  if (MaxImages == 0 || Images.size() <= MaxImages)
+  if (ReadOnlyMode || MaxImages == 0 || Images.size() <= MaxImages)
     return 0;
   size_t Drop = Images.size() - MaxImages;
   Images.erase(Images.begin(), Images.begin() + long(Drop));
@@ -326,6 +337,11 @@ bool CacheStore::save(const std::string &Path) const {
 SaveMergeResult CacheStore::saveMerged(const std::string &Path,
                                        size_t MaxImages) {
   SaveMergeResult Result;
+  // A read-only store never writes and — the point of the mode — never
+  // creates "<path>.lock": a fleet of readers must not contend with (or
+  // delay) a concurrent writer's lock acquisition.
+  if (ReadOnlyMode)
+    return Result;
   ScopedLockFile Lock(Path + ".lock");
   Result.LockContended = Lock.contended();
 

@@ -121,6 +121,20 @@ public:
   /// subsequent save rewrites the path with a clean artifact.
   StoreStatus open(const std::string &Path);
 
+  /// open() + freeze: loads the store and marks it read-only. A read-only
+  /// store never touches "<path>.lock" (open() never did; the flag
+  /// guarantees no later saveMerged() will either) and refuses every
+  /// mutation — put/erase/compact become no-ops and saveMerged() returns
+  /// Saved=false without staging a temp file or taking the lock. The
+  /// fleet service opens one store this way and shares it across every
+  /// pool VM, so a thousand concurrent warm starts contend on nothing:
+  /// lookup() is const over an immutable payload. Counted by the VM under
+  /// "persist.store_readonly".
+  StoreStatus openReadOnly(const std::string &Path);
+
+  /// True once openReadOnly() loaded this store.
+  bool readOnly() const { return ReadOnlyMode; }
+
   /// Decodes the fragments of the image slot fingerprinted \p Fingerprint
   /// into \p Out. Returns Ok, ImageNotFound, or BadPayload (corruption
   /// that kept the CRC intact); \p Out is empty unless Ok.
@@ -162,6 +176,7 @@ public:
 
 private:
   std::vector<StoreImage> Images;
+  bool ReadOnlyMode = false;
 };
 
 } // namespace persist

@@ -1,0 +1,78 @@
+//===- serve/ExecRequest.cpp - Execution-service request/response types ---===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ExecRequest.h"
+
+#include "workloads/Workloads.h"
+
+using namespace ildp;
+using namespace ildp::serve;
+
+const char *serve::getExecStatusName(ExecStatus Status) {
+  switch (Status) {
+  case ExecStatus::Ok:
+    return "ok";
+  case ExecStatus::Trapped:
+    return "trapped";
+  case ExecStatus::BadImage:
+    return "bad-image";
+  case ExecStatus::QueueFull:
+    return "queue-full";
+  case ExecStatus::DeadlineExceeded:
+    return "deadline";
+  case ExecStatus::InstBudgetExceeded:
+    return "inst-budget";
+  case ExecStatus::ShutDown:
+    return "shutdown";
+  }
+  return "unknown";
+}
+
+GuestImage serve::imageFromWorkload(const std::string &Name, unsigned Scale) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Built = workloads::buildWorkload(Name, Mem, Scale);
+  GuestImage Image;
+  Image.Name = Built.Name;
+  Image.EntryPc = Built.EntryPc;
+  // Snapshot page-for-page: a memory rebuilt from these segments maps the
+  // same pages with the same bytes, so the persistence fingerprint (and
+  // with it the shared-store slot) is identical to a directly built
+  // workload's.
+  for (uint64_t Base : Mem.mappedPageBases()) {
+    ImageSegment Seg;
+    Seg.Base = Base;
+    const uint8_t *Data = Mem.pageData(Base);
+    Seg.Bytes.assign(Data, Data + GuestMemory::PageSize);
+    Image.Segments.push_back(std::move(Seg));
+  }
+  return Image;
+}
+
+const char *serve::buildGuestMemory(const GuestImage &Image,
+                                    GuestMemory &Mem) {
+  if (Image.empty())
+    return "empty-image";
+  if (Image.EntryPc % 4 != 0)
+    return "entry-misaligned";
+  uint64_t TotalBytes = 0;
+  for (const ImageSegment &Seg : Image.Segments) {
+    if (Seg.Bytes.empty())
+      return "empty-segment";
+    // Overflow/absurd-size guard: segment lengths come from tenants —
+    // never trust them to drive an allocation.
+    if (Seg.Bytes.size() > (uint64_t(1) << 32) ||
+        Seg.Base + Seg.Bytes.size() < Seg.Base)
+      return "segment-bounds";
+    TotalBytes += Seg.Bytes.size();
+    if (TotalBytes > (uint64_t(1) << 32))
+      return "image-too-large";
+  }
+  for (const ImageSegment &Seg : Image.Segments)
+    Mem.writeBlob(Seg.Base, Seg.Bytes.data(), Seg.Bytes.size());
+  if (!Mem.isMapped(Image.EntryPc))
+    return "entry-unmapped";
+  return nullptr;
+}

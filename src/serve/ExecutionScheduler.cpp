@@ -1,0 +1,83 @@
+//===- serve/ExecutionScheduler.cpp - Bounded request scheduler -----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ExecutionScheduler.h"
+
+using namespace ildp;
+using namespace ildp::serve;
+
+ExecutionScheduler::ExecutionScheduler(const FleetConfig &Config)
+    : Fleet(Config), Queue(Config.QueueDepth ? Config.QueueDepth : 1) {
+  unsigned N = Fleet.config().Workers;
+  Workers.reserve(N);
+  for (unsigned Id = 0; Id != N; ++Id)
+    Workers.emplace_back([this, Id] { workerMain(Id); });
+}
+
+ExecutionScheduler::~ExecutionScheduler() { shutdown(/*FinishQueued=*/false); }
+
+ExecResponse ExecutionScheduler::makeReject(ExecStatus Status,
+                                            const char *Detail) {
+  ExecResponse Resp;
+  Resp.Status = Status;
+  Resp.Detail = Detail;
+  return Resp;
+}
+
+std::future<ExecResponse> ExecutionScheduler::submit(ExecRequest Request) {
+  Job J;
+  J.Request = std::move(Request);
+  std::future<ExecResponse> Future = J.Promise.get_future();
+  if (Stopped.load(std::memory_order_acquire)) {
+    Fleet.countRejected(ExecStatus::ShutDown);
+    J.Promise.set_value(makeReject(ExecStatus::ShutDown, "scheduler-stopped"));
+    return Future;
+  }
+  if (!Queue.tryPush(J)) {
+    // A closed queue means shutdown raced ahead of the Stopped check; a
+    // full one is plain admission control. Either way the caller gets an
+    // immediate typed answer instead of blocking on a saturated fleet.
+    bool WasClosed = Queue.closed();
+    ExecStatus Status =
+        WasClosed ? ExecStatus::ShutDown : ExecStatus::QueueFull;
+    Fleet.countRejected(Status);
+    J.Promise.set_value(makeReject(
+        Status, WasClosed ? "scheduler-stopped" : "queue-full"));
+    return Future;
+  }
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  return Future;
+}
+
+void ExecutionScheduler::workerMain(unsigned Id) {
+  while (std::optional<Job> J = Queue.pop()) {
+    if (CancelQueued.load(std::memory_order_acquire)) {
+      Fleet.countRejected(ExecStatus::ShutDown);
+      Cancelled.fetch_add(1, std::memory_order_relaxed);
+      J->Promise.set_value(
+          makeReject(ExecStatus::ShutDown, "cancelled-queued"));
+      continue;
+    }
+    J->Promise.set_value(Fleet.execute(J->Request, Id));
+  }
+}
+
+size_t ExecutionScheduler::shutdown(bool FinishQueued) {
+  bool Expected = false;
+  if (!Stopped.compare_exchange_strong(Expected, true,
+                                       std::memory_order_acq_rel))
+    return 0; // Someone else already shut us down.
+  if (!FinishQueued)
+    CancelQueued.store(true, std::memory_order_release);
+  // close(), not closeAndClear(): queued Jobs carry promises that must be
+  // fulfilled, so the workers drain them — executing (drain) or typed-
+  // rejecting (cancel) — and exit on queue exhaustion.
+  Queue.close();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+  return size_t(Cancelled.load(std::memory_order_relaxed));
+}

@@ -1,0 +1,96 @@
+//===- serve/ExecutionScheduler.h - Bounded request scheduler -------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service layer over VmFleet (DESIGN.md §12): a bounded request
+/// queue (the PR-2 WorkQueue, generalized with non-blocking admission)
+/// feeding a pool of execution worker threads. submit() never blocks —
+/// admission control turns a full queue into an immediate typed
+/// ExecStatus::QueueFull response, so an overloaded fleet degrades
+/// instead of wedging its tenants.
+///
+/// Shutdown mirrors TranslationService semantics: shutdown(true) drains —
+/// queued requests all execute before the workers exit; shutdown(false)
+/// cancels — in-flight requests complete, still-queued requests are
+/// rejected with a typed ExecStatus::ShutDown response. Either way every
+/// accepted promise is fulfilled (no broken futures, no leaks) and the
+/// destructor performs a cancelling shutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SERVE_EXECUTIONSCHEDULER_H
+#define ILDP_SERVE_EXECUTIONSCHEDULER_H
+
+#include "serve/VmFleet.h"
+#include "support/WorkQueue.h"
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace ildp {
+namespace serve {
+
+/// Asynchronous multi-tenant execution service.
+class ExecutionScheduler {
+public:
+  /// Opens the shared store (read-only) and spawns Config.Workers
+  /// execution threads.
+  explicit ExecutionScheduler(const FleetConfig &Config);
+  ~ExecutionScheduler(); // Cancelling shutdown.
+
+  ExecutionScheduler(const ExecutionScheduler &) = delete;
+  ExecutionScheduler &operator=(const ExecutionScheduler &) = delete;
+
+  /// Enqueues \p Request and returns the future response. Never blocks:
+  /// a full queue or a stopped scheduler fulfills the future immediately
+  /// with a typed rejection (QueueFull / ShutDown). Every returned
+  /// future is eventually fulfilled.
+  std::future<ExecResponse> submit(ExecRequest Request);
+
+  /// Stops the service. With \p FinishQueued, workers complete every
+  /// queued request first (drain); otherwise queued requests are
+  /// rejected with ExecStatus::ShutDown (cancel) — in-flight requests
+  /// complete either way. Joins the workers. Returns the number of
+  /// queued requests cancelled. Idempotent.
+  size_t shutdown(bool FinishQueued);
+
+  bool stopped() const { return Stopped.load(std::memory_order_acquire); }
+
+  VmFleet &fleet() { return Fleet; }
+  const VmFleet &fleet() const { return Fleet; }
+  unsigned workerCount() const { return unsigned(Workers.size()); }
+
+  /// Requests accepted into the queue so far.
+  uint64_t submittedCount() const {
+    return Submitted.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Job {
+    ExecRequest Request;
+    std::promise<ExecResponse> Promise;
+  };
+
+  void workerMain(unsigned Id);
+  static ExecResponse makeReject(ExecStatus Status, const char *Detail);
+
+  VmFleet Fleet;
+  WorkQueue<Job> Queue;
+  std::vector<std::thread> Workers;
+  std::atomic<bool> Stopped{false};
+  /// Set by a cancelling shutdown: workers reject (rather than execute)
+  /// everything still queued.
+  std::atomic<bool> CancelQueued{false};
+  std::atomic<uint64_t> Submitted{0};
+  std::atomic<uint64_t> Cancelled{0};
+};
+
+} // namespace serve
+} // namespace ildp
+
+#endif // ILDP_SERVE_EXECUTIONSCHEDULER_H

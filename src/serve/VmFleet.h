@@ -1,0 +1,148 @@
+//===- serve/VmFleet.h - Multi-tenant VM execution fleet ------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate of the fleet service (DESIGN.md §12): a pool
+/// of pre-configured VM slots that all warm-start from ONE shared
+/// read-only CacheStore, opened once at fleet construction. The paper's
+/// amortization argument — pay translation once, reap it across
+/// executions — extended across tenants: every request served warm does
+/// zero translation work, and a thousand concurrent warm starts contend
+/// on nothing (CacheStore::openReadOnly never takes the save lock, and
+/// lookup() is a const walk over immutable payload bytes).
+///
+/// VmFleet itself is the synchronous, in-process core: execute() runs one
+/// request to a typed ExecResponse, enforcing per-request instruction
+/// ceilings, wall-clock deadlines (as budget slices over the resumable
+/// VM), and per-tenant code-cache byte budgets (the PR-4 eviction
+/// machinery, one budget per tenant). ExecutionScheduler puts the bounded
+/// queue and the worker threads on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SERVE_VMFLEET_H
+#define ILDP_SERVE_VMFLEET_H
+
+#include "persist/CacheStore.h"
+#include "serve/ExecRequest.h"
+#include "vm/VirtualMachine.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ildp {
+namespace serve {
+
+/// Fleet-wide configuration.
+struct FleetConfig {
+  /// Execution worker slots (ExecutionScheduler threads; VmFleet::execute
+  /// itself is callable from any of them concurrently).
+  unsigned Workers = 1;
+  /// Bound of the request queue; a full queue rejects QueueFull.
+  size_t QueueDepth = 64;
+  /// Template VM configuration for every request. PersistPath/PersistSave
+  /// are ignored (fleet VMs never write a store); the DbtConfig half
+  /// participates in image fingerprints, so it must match the
+  /// configuration that produced the warm store.
+  vm::VmConfig BaseVm;
+  /// Warm store: opened read-only once at construction and shared by
+  /// every request VM. Empty = cold fleet (every request translates for
+  /// itself).
+  std::string StorePath;
+  /// Guest-instruction ceiling for requests that do not set their own.
+  uint64_t DefaultMaxGuestInsts = 400'000'000;
+  /// Deadline enforcement granularity: wall-clock checks happen between
+  /// budget slices of this many guest instructions.
+  uint64_t DeadlineSliceInsts = 1'000'000;
+  /// Per-tenant translation-cache byte budgets (0 = unbounded). Tenants
+  /// not listed use DefaultCacheBytes.
+  std::map<std::string, uint64_t> TenantCacheBytes;
+  /// Budget for tenants without an entry (0 = unbounded).
+  uint64_t DefaultCacheBytes = 0;
+};
+
+/// The fleet: shared warm store + image registry + request executor.
+class VmFleet {
+public:
+  explicit VmFleet(const FleetConfig &Config);
+
+  VmFleet(const VmFleet &) = delete;
+  VmFleet &operator=(const VmFleet &) = delete;
+
+  /// Registers \p Image for execution by fingerprint or name and returns
+  /// its fingerprint (under the fleet's DbtConfig — the same identity the
+  /// warm store slots use). Re-registering a fingerprint or name replaces
+  /// the previous entry. NOT thread-safe against concurrent execute();
+  /// populate the registry before serving.
+  uint64_t registerImage(GuestImage Image);
+
+  /// Registers all twelve paper workloads at \p Scale. Returns the count.
+  size_t registerWorkloads(unsigned Scale = 1);
+
+  /// Executes one request synchronously on the calling thread and returns
+  /// its typed response. Thread-safe: any number of workers may execute
+  /// concurrently (each request gets a fresh VM; the shared store is
+  /// read-only). \p Worker tags the response with the executing slot.
+  ExecResponse execute(const ExecRequest &Request, unsigned Worker = 0);
+
+  /// Counts a scheduler-level rejection (queue-full / shutdown) in the
+  /// fleet statistics, so serve.* totals cover every submitted request.
+  void countRejected(ExecStatus Status);
+
+  /// The shared warm store (empty when StorePath was empty or bad).
+  const persist::CacheStore &store() const { return Store; }
+  /// Status of the read-only store open (Ok also when StorePath empty —
+  /// a cold fleet is not an error; FileNotFound etc. otherwise).
+  persist::StoreStatus storeStatus() const { return StoreState; }
+  /// True when requests warm-start from the shared store.
+  bool storeLoaded() const { return StoreLoaded; }
+
+  const FleetConfig &config() const { return Config; }
+
+  /// Fleet-level statistics ("serve.*"): request counts by status, guest
+  /// instructions served, translation work paid, evictions, warm hits.
+  /// Thread-safe; materialized from atomics on call.
+  StatisticSet stats() const;
+
+private:
+  const char *materialize(const ExecRequest &Request, GuestMemory &Mem,
+                          uint64_t &EntryPc) const;
+  uint64_t resolveCacheBudget(const ExecRequest &Request) const;
+
+  FleetConfig Config;
+  persist::CacheStore Store;
+  persist::StoreStatus StoreState = persist::StoreStatus::Ok;
+  bool StoreLoaded = false;
+
+  /// Image registry (fixed after setup; see registerImage).
+  std::vector<GuestImage> Images;
+  std::unordered_map<uint64_t, size_t> ImageByFingerprint;
+  std::unordered_map<std::string, size_t> ImageByName;
+
+  /// Lock-free accounting: execute() runs on many workers at once.
+  struct Counters {
+    std::atomic<uint64_t> Requests{0};
+    std::array<std::atomic<uint64_t>, NumExecStatuses> ByStatus{};
+    std::atomic<uint64_t> GuestInsts{0};
+    std::atomic<uint64_t> TranslationUnits{0};
+    std::atomic<uint64_t> Evictions{0};
+    std::atomic<uint64_t> Bailouts{0};
+    std::atomic<uint64_t> StoreHits{0};
+    std::atomic<uint64_t> StoreMisses{0};
+    std::atomic<uint64_t> WallMicros{0};
+  };
+  Counters Count;
+};
+
+} // namespace serve
+} // namespace ildp
+
+#endif // ILDP_SERVE_VMFLEET_H

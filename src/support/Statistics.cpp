@@ -42,6 +42,16 @@ void StatisticSet::mergeFrom(const StatisticSet &Other) {
     Counters[Name] += Value;
 }
 
+StatisticSet StatisticSet::deltaFrom(const StatisticSet &Baseline) const {
+  StatisticSet Delta;
+  for (const auto &[Name, Value] : Counters) {
+    uint64_t Before = Baseline.get(Name);
+    if (Value > Before)
+      Delta.Counters.emplace(Name, Value - Before);
+  }
+  return Delta;
+}
+
 std::string StatisticSet::toString() const {
   std::string Out;
   for (const auto &[Name, Value] : Counters) {

@@ -48,6 +48,16 @@ public:
   /// Merges all counters of \p Other into this set (summing).
   void mergeFrom(const StatisticSet &Other);
 
+  /// Counter-wise difference against an earlier snapshot of the same set:
+  /// for every counter present here, the result holds its value minus the
+  /// baseline's (saturating at zero for gauges that shrank, e.g. a
+  /// translation-cache size after a flush). Zero-delta counters are
+  /// omitted, so a per-request delta lists only what the request actually
+  /// moved. The foundation of VirtualMachine::statsDelta(), which the
+  /// fleet service uses to attribute exact per-request statistics to VMs
+  /// that serve many requests back to back.
+  StatisticSet deltaFrom(const StatisticSet &Baseline) const;
+
   /// Removes every counter.
   void clear() { Counters.clear(); }
 

@@ -5,13 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A bounded multi-producer/multi-consumer blocking queue, the transport
-/// between the VM thread and the background translation workers. Producers
-/// block while the queue is full (back-pressure keeps the number of
-/// outstanding translation requests bounded); consumers block while it is
-/// empty. close() wakes everyone: pop() drains the remaining items first
-/// and then reports exhaustion, so a worker can either finish queued work
-/// or the owner can discard it with closeAndClear().
+/// A bounded multi-producer/multi-consumer blocking queue: the transport
+/// between the VM thread and the background translation workers, and
+/// between request submitters and the fleet scheduler's execution workers.
+/// Producers block while the queue is full (back-pressure keeps the number
+/// of outstanding translation requests bounded) or use tryPush() to turn a
+/// full queue into an immediate typed rejection (admission control for the
+/// execution service); consumers block while it is empty. close() wakes
+/// everyone: pop() drains the remaining items first and then reports
+/// exhaustion, so a worker can either finish queued work or the owner can
+/// discard it with closeAndClear().
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +60,22 @@ public:
     Lock.unlock();
     NotFull.notify_one();
     return Item;
+  }
+
+  /// Non-blocking push: enqueues \p Item only when the queue has room and
+  /// is still open. On failure \p Item is left untouched, so the caller
+  /// can reject it in a typed way instead of losing it — the request
+  /// scheduler turns a full queue into an ExecStatus::QueueFull response
+  /// carrying the request's reply promise.
+  bool tryPush(T &Item) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      if (Closed || Items.size() >= Capacity)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return true;
   }
 
   /// Non-blocking pop. Returns std::nullopt when the queue is empty.

@@ -44,7 +44,11 @@ VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
     TCache.setEvictionListener(
         [this](const dbt::Fragment &Frag) { onFragmentEvicted(Frag); });
   }
-  if (!Config.PersistPath.empty()) {
+  if (Config.SharedStore) {
+    PersistFingerprint = persist::fingerprint(Mem, EntryPc, Config.Dbt);
+    if (Config.PersistLoad)
+      warmStartFromShared();
+  } else if (!Config.PersistPath.empty()) {
     PersistFingerprint = persist::fingerprint(Mem, EntryPc, Config.Dbt);
     if (Config.PersistLoad)
       warmStartFromPersisted();
@@ -173,6 +177,48 @@ void VirtualMachine::warmStartFromPersisted() {
     Stats.add("persist.import_rejected");
     Stats.add(std::string("persist.import_rejected.") + Rejected);
   }
+}
+
+void VirtualMachine::warmStartFromShared() {
+  // The shared-store path exists so a fleet of VMs can warm-start without
+  // per-VM file I/O: the store was opened (read-only) once by the owner
+  // and every lookup here is a const walk over immutable payload bytes.
+  // The degrade taxonomy mirrors warmStartFromPersisted: any problem is a
+  // counted cold start, never a failure.
+  const persist::CacheStore &Shared = *Config.SharedStore;
+  Stats.add("persist.store_readonly");
+  Stats.set("persist.store_images", Shared.imageCount());
+  Stats.set("persist.store_bytes", Shared.totalPayloadBytes());
+
+  const char *Rejected = nullptr;
+  if (Config.Dbt.Fault &&
+      Config.Dbt.Fault->shouldFail(dbt::FaultSite::PersistImport)) {
+    Rejected = "injected-fault";
+  } else {
+    std::vector<dbt::Fragment> Frags;
+    persist::StoreStatus Found = Shared.lookup(PersistFingerprint, Frags);
+    switch (Found) {
+    case persist::StoreStatus::ImageNotFound:
+      // Other images live here; ours runs cold (and stays unsaved — the
+      // shared store is read-only).
+      Stats.add("persist.store_miss");
+      return;
+    case persist::StoreStatus::Ok:
+      Stats.add("persist.store_hit");
+      ImportedCostUnits = Shared.find(PersistFingerprint)->CostUnits;
+      importFragments(std::move(Frags));
+      return;
+    default:
+      // Structural corruption the CRCs happened to bless. The store is
+      // shared and read-only, so unlike the owning path the slot cannot
+      // be dropped here; this VM just runs cold.
+      Stats.add("persist.load_corrupt");
+      Rejected = persist::getStoreStatusName(Found);
+      break;
+    }
+  }
+  Stats.add("persist.import_rejected");
+  Stats.add(std::string("persist.import_rejected.") + Rejected);
 }
 
 void VirtualMachine::savePersistedCache() {
@@ -895,6 +941,30 @@ const StatisticSet &VirtualMachine::stats() {
   return Stats;
 }
 
+/// Counters in stats() that are gauges of *current* VM state (occupancy,
+/// high-water marks, pool sizes) rather than monotonically accumulating
+/// event counts. A per-request delta must report these at face value: the
+/// eviction statistics, for example, can shrink tcache.fragments below a
+/// snapshot taken a request ago, and a saturating subtraction would then
+/// claim "zero fragments resident" to one request and misattribute the
+/// rest to another.
+static const char *const GaugeStats[] = {
+    "tcache.fragments",        "tcache.body_bytes",
+    "tcache.unique_source_insts", "cache.budget_high_water",
+    "robust.blacklisted_pcs",  "async.workers",
+    "persist.store_images",    "persist.store_bytes",
+};
+
+StatisticSet VirtualMachine::statsDelta() {
+  const StatisticSet &Now = stats();
+  StatisticSet Delta = Now.deltaFrom(StatsBaseline);
+  for (const char *Gauge : GaugeStats)
+    if (Now.has(Gauge))
+      Delta.set(Gauge, Now.get(Gauge));
+  StatsBaseline = Now;
+  return Delta;
+}
+
 // ---------------------------------------------------------------------------
 // Top-level run loop.
 // ---------------------------------------------------------------------------
@@ -904,7 +974,9 @@ RunResult VirtualMachine::run() {
   // Settle in-flight translations before anything inspects the cache (the
   // persisted file and final statistics must match a synchronous run).
   drainAllOutstanding();
-  if (!Config.PersistPath.empty() && Config.PersistSave)
+  // A shared-store VM is a pure consumer: SharedStore takes precedence
+  // over PersistPath entirely, including the save side.
+  if (!Config.PersistPath.empty() && Config.PersistSave && !Config.SharedStore)
     savePersistedCache();
   return Result;
 }

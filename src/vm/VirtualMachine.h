@@ -78,6 +78,17 @@ struct VmConfig {
   std::string PersistPath;
   bool PersistLoad = true;
   bool PersistSave = true;
+  /// Shared read-only warm-start source (the fleet service, DESIGN.md
+  /// §12): when set, the VM warm-starts by fingerprint lookup in this
+  /// already-opened store instead of opening PersistPath itself — no file
+  /// I/O, no lock file, no contention, one store image shared by every VM
+  /// in a pool. Counted under "persist.store_readonly"; hits/misses and
+  /// import rejections use the same "persist.*" taxonomy as the file
+  /// path. The store must outlive the VM and must not be mutated while
+  /// any VM reads it. Never saved to: PersistSave applies only to
+  /// PersistPath (normally empty in this mode). Takes precedence over
+  /// PersistPath when both are set.
+  const persist::CacheStore *SharedStore = nullptr;
   /// Persist only fragments executed at least this many times (first slice
   /// of the translation-cache eviction roadmap item): cold fragments are
   /// dropped from the save and counted under
@@ -152,8 +163,28 @@ public:
   /// Runs to completion (HALT), a precise trap, or the budget.
   RunResult run();
 
+  /// Guest (V-ISA) instructions executed so far, both modes.
+  uint64_t guestInsts() const { return GuestInsts; }
+
+  /// Raises (or lowers) MaxGuestInsts for subsequent run() calls. A run()
+  /// that stopped with StopReason::Budget is resumable: raise the budget
+  /// and call run() again. The fleet service executes deadline-bounded
+  /// requests as budget slices, checking the wall clock between slices.
+  void setGuestInstBudget(uint64_t MaxInsts) {
+    Config.MaxGuestInsts = MaxInsts;
+  }
+
   /// Run statistics. Hot-path counters are synced into the set on call.
   const StatisticSet &stats();
+
+  /// Per-request statistic attribution under VM reuse: everything the VM
+  /// did since the previous statsDelta() call (since construction for the
+  /// first call). Monotonic counters are subtracted exactly; the handful
+  /// of gauges (current cache occupancy, high-water marks, worker counts
+  /// — see GaugeStats in the implementation) are reported at their
+  /// current value, because "fragments resident now" is per-VM state that
+  /// a subtraction would silently misattribute across requests.
+  StatisticSet statsDelta();
   dbt::TranslationCache &tcache() { return TCache; }
   const Interpreter &interpreter() const { return Interp; }
 
@@ -341,7 +372,12 @@ private:
   /// (carried forward so a warm run's re-save does not zero the slot's
   /// CostUnits bookkeeping).
   uint64_t ImportedCostUnits = 0;
+  /// stats() snapshot taken by the previous statsDelta() call.
+  StatisticSet StatsBaseline;
   void warmStartFromPersisted();
+  /// Warm start by lookup in Config.SharedStore (read-only, pre-opened;
+  /// no file I/O on this path). Same degrade taxonomy as the file path.
+  void warmStartFromShared();
   /// Installs \p Frags as the warm-start image and marks their entries
   /// translated in the profiler. Shared by the store and legacy paths.
   void importFragments(std::vector<dbt::Fragment> Frags);

@@ -1,0 +1,328 @@
+//===- tests/serve/ExecutionSchedulerTest.cpp -----------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduler's service semantics: non-blocking admission control
+/// (queue-full is an immediate typed response), per-request instruction
+/// ceilings and wall-clock deadlines, per-tenant cache budgets, typed
+/// bad-image and trap outcomes, and the two shutdown modes — drain
+/// (queued requests complete) and cancel (queued requests reject typed) —
+/// with every accepted future fulfilled either way. The concurrent
+/// submitter test runs under TSan in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+#include "serve/ExecutionScheduler.h"
+#include "workloads/Workloads.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+using namespace ildp;
+using namespace ildp::serve;
+
+namespace {
+
+GuestImage imageFromWords(const std::string &Name,
+                          const std::vector<uint32_t> &Words, uint64_t Entry) {
+  GuestImage Img;
+  Img.Name = Name;
+  Img.EntryPc = Entry;
+  ImageSegment Seg;
+  Seg.Base = Entry;
+  for (uint32_t W : Words)
+    for (unsigned B = 0; B != 4; ++B)
+      Seg.Bytes.push_back(uint8_t(W >> (B * 8)));
+  Img.Segments.push_back(std::move(Seg));
+  return Img;
+}
+
+/// A guest that never halts: r1 = 1; loop: r2 += r1; if (r1 != 0) goto
+/// loop. Only a ceiling or a deadline can end it.
+GuestImage spinImage() {
+  alpha::Assembler Asm(0x10000);
+  Asm.loadImm(1, 1);
+  auto Loop = Asm.createLabel("loop");
+  Asm.bind(Loop);
+  Asm.operate(alpha::Opcode::ADDQ, 2, 1, 2);
+  Asm.condBr(alpha::Opcode::BNE, 1, Loop);
+  uint64_t Entry = 0x10000;
+  return imageFromWords("spin", Asm.finalize(), Entry);
+}
+
+/// A guest whose first real work is a load from unmapped memory.
+GuestImage trapImage() {
+  alpha::Assembler Asm(0x10000);
+  Asm.loadImm(1, int64_t(0x40000000));
+  Asm.ldq(2, 0, 1);
+  Asm.halt();
+  return imageFromWords("trap", Asm.finalize(), 0x10000);
+}
+
+FleetConfig quickConfig(unsigned Workers, size_t QueueDepth) {
+  FleetConfig Config;
+  Config.Workers = Workers;
+  Config.QueueDepth = QueueDepth;
+  return Config;
+}
+
+} // namespace
+
+TEST(ExecutionScheduler, FullQueueRejectsImmediatelyTyped) {
+  ExecutionScheduler Sched(quickConfig(/*Workers=*/1, /*QueueDepth=*/1));
+
+  // Occupy the one worker with a deadline-bounded spin, long enough that
+  // everything below happens while it runs.
+  ExecRequest Busy;
+  Busy.Image = spinImage();
+  Busy.DeadlineMicros = 400'000;
+  std::future<ExecResponse> BusyF = Sched.submit(Busy);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The worker is mid-request: this fills the queue's one slot...
+  ExecRequest Queued = Busy;
+  std::future<ExecResponse> QueuedF = Sched.submit(Queued);
+  // ...so further submits must reject instantly — submit() never blocks.
+  std::vector<std::future<ExecResponse>> Rejected;
+  for (unsigned I = 0; I != 4; ++I)
+    Rejected.push_back(Sched.submit(Busy));
+  for (std::future<ExecResponse> &F : Rejected) {
+    ASSERT_EQ(F.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    ExecResponse Resp = F.get();
+    EXPECT_EQ(Resp.Status, ExecStatus::QueueFull);
+    EXPECT_STREQ(Resp.Detail, "queue-full");
+  }
+
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  EXPECT_EQ(QueuedF.get().Status, ExecStatus::DeadlineExceeded);
+  EXPECT_EQ(Sched.fleet().stats().get("serve.rejected.queue-full"), 4u);
+}
+
+TEST(ExecutionScheduler, DrainShutdownCompletesEverythingQueued) {
+  ExecutionScheduler Sched(quickConfig(/*Workers=*/1, /*QueueDepth=*/16));
+  Sched.fleet().registerWorkloads();
+
+  std::vector<std::future<ExecResponse>> Futures;
+  for (const std::string &W : workloads::workloadNames()) {
+    ExecRequest Req;
+    Req.Workload = W;
+    Futures.push_back(Sched.submit(Req));
+  }
+  // Drain: with one worker most of these are still queued, and every one
+  // must complete successfully anyway.
+  EXPECT_EQ(Sched.shutdown(/*FinishQueued=*/true), 0u);
+  for (std::future<ExecResponse> &F : Futures)
+    EXPECT_EQ(F.get().Status, ExecStatus::Ok);
+  EXPECT_TRUE(Sched.stopped());
+}
+
+TEST(ExecutionScheduler, CancelShutdownRejectsQueuedTyped) {
+  ExecutionScheduler Sched(quickConfig(/*Workers=*/1, /*QueueDepth=*/16));
+  Sched.fleet().registerWorkloads();
+
+  ExecRequest Busy;
+  Busy.Image = spinImage();
+  Busy.DeadlineMicros = 400'000;
+  std::future<ExecResponse> BusyF = Sched.submit(Busy);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::vector<std::future<ExecResponse>> Queued;
+  for (unsigned I = 0; I != 5; ++I) {
+    ExecRequest Req;
+    Req.Workload = workloads::workloadNames().front();
+    Queued.push_back(Sched.submit(Req));
+  }
+
+  // Cancel: the in-flight spin completes (on its deadline), the five
+  // queued requests reject typed — and are reported by the return value.
+  EXPECT_EQ(Sched.shutdown(/*FinishQueued=*/false), 5u);
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  for (std::future<ExecResponse> &F : Queued) {
+    ExecResponse Resp = F.get();
+    EXPECT_EQ(Resp.Status, ExecStatus::ShutDown);
+    EXPECT_STREQ(Resp.Detail, "cancelled-queued");
+  }
+
+  // Stopped scheduler: immediate typed rejection, idempotent shutdown.
+  ExecResponse Late = Sched.submit(Busy).get();
+  EXPECT_EQ(Late.Status, ExecStatus::ShutDown);
+  EXPECT_STREQ(Late.Detail, "scheduler-stopped");
+  EXPECT_EQ(Sched.shutdown(false), 0u);
+  EXPECT_EQ(Sched.fleet().stats().get("serve.rejected.shutdown"), 6u);
+}
+
+TEST(ExecutionScheduler, DeadlineExceededIsTyped) {
+  ExecutionScheduler Sched(quickConfig(1, 4));
+  ExecRequest Req;
+  Req.Image = spinImage();
+  Req.DeadlineMicros = 50'000;
+  ExecResponse Resp = Sched.submit(Req).get();
+  EXPECT_EQ(Resp.Status, ExecStatus::DeadlineExceeded);
+  EXPECT_STREQ(Resp.Detail, "wall-deadline");
+  EXPECT_GT(Resp.GuestInsts, 0u);
+  EXPECT_GE(Resp.WallMicros, 50'000.0);
+}
+
+TEST(ExecutionScheduler, InstructionCeilingIsTyped) {
+  ExecutionScheduler Sched(quickConfig(1, 4));
+  ExecRequest Req;
+  Req.Image = spinImage();
+  Req.MaxGuestInsts = 10'000;
+  ExecResponse Resp = Sched.submit(Req).get();
+  EXPECT_EQ(Resp.Status, ExecStatus::InstBudgetExceeded);
+  EXPECT_STREQ(Resp.Detail, "guest-inst-ceiling");
+  EXPECT_GE(Resp.GuestInsts, 10'000u);
+}
+
+TEST(ExecutionScheduler, BadImagesRejectWithReasons) {
+  ExecutionScheduler Sched(quickConfig(1, 4));
+
+  ExecRequest Unknown;
+  Unknown.Workload = "no-such-workload";
+  ExecResponse R1 = Sched.submit(Unknown).get();
+  EXPECT_EQ(R1.Status, ExecStatus::BadImage);
+  EXPECT_STREQ(R1.Detail, "unknown-workload");
+
+  ExecRequest BadPrint;
+  BadPrint.ImageFingerprint = 0xDEAD;
+  ExecResponse R2 = Sched.submit(BadPrint).get();
+  EXPECT_EQ(R2.Status, ExecStatus::BadImage);
+  EXPECT_STREQ(R2.Detail, "unknown-fingerprint");
+
+  ExecRequest Empty;
+  ExecResponse R3 = Sched.submit(Empty).get();
+  EXPECT_EQ(R3.Status, ExecStatus::BadImage);
+  EXPECT_STREQ(R3.Detail, "no-image");
+
+  ExecRequest Misaligned;
+  Misaligned.Image = spinImage();
+  Misaligned.Image.EntryPc += 2;
+  ExecResponse R4 = Sched.submit(Misaligned).get();
+  EXPECT_EQ(R4.Status, ExecStatus::BadImage);
+  EXPECT_STREQ(R4.Detail, "entry-misaligned");
+
+  ExecRequest Unmapped;
+  Unmapped.Image = spinImage();
+  Unmapped.Image.EntryPc += 0x100000;
+  ExecResponse R5 = Sched.submit(Unmapped).get();
+  EXPECT_EQ(R5.Status, ExecStatus::BadImage);
+  EXPECT_STREQ(R5.Detail, "entry-unmapped");
+
+  EXPECT_EQ(Sched.fleet().stats().get("serve.rejected.bad-image"), 5u);
+}
+
+TEST(ExecutionScheduler, GuestTrapIsTypedWithRecoveredState) {
+  ExecutionScheduler Sched(quickConfig(1, 4));
+  ExecRequest Req;
+  Req.Image = trapImage();
+  ExecResponse Resp = Sched.submit(Req).get();
+  EXPECT_EQ(Resp.Status, ExecStatus::Trapped);
+  EXPECT_STREQ(Resp.Detail, "guest-trap");
+  // Precise state: r1 holds the bad address the guest loaded from.
+  EXPECT_EQ(Resp.Arch.readGpr(1), 0x40000000u);
+  EXPECT_EQ(Sched.fleet().stats().get("serve.trapped"), 1u);
+}
+
+TEST(ExecutionScheduler, TenantBudgetsResolvePerRequest) {
+  // Same pressure point as VmCachePressureTest: guarantees eviction.
+  constexpr uint64_t TinyBudget = 128;
+  FleetConfig Config = quickConfig(1, 8);
+  Config.TenantCacheBytes["tiny"] = TinyBudget;
+  ExecutionScheduler Sched(Config);
+  Sched.fleet().registerWorkloads();
+  const std::string W = workloads::workloadNames().front();
+
+  ExecRequest Tiny;
+  Tiny.Workload = W;
+  Tiny.Tenant = "tiny";
+  ExecResponse TinyResp = Sched.submit(Tiny).get();
+  ASSERT_EQ(TinyResp.Status, ExecStatus::Ok) << TinyResp.Detail;
+  EXPECT_LE(TinyResp.Stats.get("cache.budget_high_water"), TinyBudget);
+  EXPECT_GT(TinyResp.Stats.get("cache.evictions"), 0u);
+
+  // Unlisted tenant: fleet default (unbounded) — no eviction pressure.
+  ExecRequest Free;
+  Free.Workload = W;
+  Free.Tenant = "unlisted";
+  ExecResponse FreeResp = Sched.submit(Free).get();
+  ASSERT_EQ(FreeResp.Status, ExecStatus::Ok);
+  EXPECT_EQ(FreeResp.Stats.get("cache.evictions"), 0u);
+
+  // Per-request override beats the tenant budget.
+  ExecRequest Override;
+  Override.Workload = W;
+  Override.Tenant = "tiny";
+  Override.CodeCacheBytes = 0; // Unbounded for this one request.
+  ExecResponse OverrideResp = Sched.submit(Override).get();
+  ASSERT_EQ(OverrideResp.Status, ExecStatus::Ok);
+  EXPECT_EQ(OverrideResp.Stats.get("cache.evictions"), 0u);
+
+  // Identical results regardless of budget.
+  for (unsigned Reg = 0; Reg != alpha::NumGprs; ++Reg)
+    EXPECT_EQ(TinyResp.Arch.readGpr(Reg), FreeResp.Arch.readGpr(Reg))
+        << "r" << Reg;
+}
+
+TEST(ExecutionScheduler, ConcurrentSubmittersAllFulfilled) {
+  ExecutionScheduler Sched(quickConfig(/*Workers=*/4, /*QueueDepth=*/64));
+  Sched.fleet().registerWorkloads();
+  const std::vector<std::string> Names = workloads::workloadNames();
+
+  constexpr unsigned Submitters = 4;
+  constexpr unsigned Each = 12;
+  std::atomic<unsigned> Ok{0}, Full{0}, Other{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != Submitters; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != Each; ++I) {
+        ExecRequest Req;
+        Req.Workload = Names[(T * Each + I) % Names.size()];
+        ExecResponse Resp = Sched.submit(Req).get();
+        if (Resp.Status == ExecStatus::Ok)
+          Ok.fetch_add(1);
+        else if (Resp.Status == ExecStatus::QueueFull)
+          Full.fetch_add(1);
+        else
+          Other.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Every submission got exactly one response; nothing hung, nothing
+  // leaked, and the only legal rejection under load is queue-full.
+  EXPECT_EQ(Ok.load() + Full.load(), Submitters * Each);
+  EXPECT_EQ(Other.load(), 0u);
+  EXPECT_GT(Ok.load(), 0u);
+  StatisticSet S = Sched.fleet().stats();
+  EXPECT_EQ(S.get("serve.requests"), Submitters * Each);
+  EXPECT_EQ(S.get("serve.ok"), Ok.load());
+}
+
+TEST(ExecutionScheduler, DestructorCancelsCleanly) {
+  // Scope exit mid-flight: the destructor must fulfil every promise.
+  std::future<ExecResponse> BusyF, QueuedF;
+  {
+    ExecutionScheduler Sched(quickConfig(1, 4));
+    Sched.fleet().registerWorkloads();
+    ExecRequest Busy;
+    Busy.Image = spinImage();
+    Busy.DeadlineMicros = 200'000;
+    BusyF = Sched.submit(Busy);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ExecRequest Req;
+    Req.Workload = workloads::workloadNames().front();
+    QueuedF = Sched.submit(Req);
+  }
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  EXPECT_EQ(QueuedF.get().Status, ExecStatus::ShutDown);
+}

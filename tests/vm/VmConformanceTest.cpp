@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 #include <map>
 #include <string>
+#include <unistd.h>
 
 using namespace ildp;
 using namespace ildp::vm;
@@ -70,7 +71,11 @@ const std::string &sharedStorePath() {
   static std::string Path;
   if (!Path.empty())
     return Path;
-  Path = testing::TempDir() + "/conformance.tstore";
+  // Pid-unique: under parallel ctest every cell is its own process with
+  // its own lazy seeding pass, and sharing one file across processes
+  // would race a reader against another process's re-seed.
+  Path = testing::TempDir() + "/conformance." + std::to_string(getpid()) +
+         ".tstore";
   std::remove(Path.c_str());
   for (const std::string &W : workloads::workloadNames()) {
     GuestMemory Mem;

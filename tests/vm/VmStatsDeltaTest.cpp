@@ -1,0 +1,114 @@
+//===- tests/vm/VmStatsDeltaTest.cpp --------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VirtualMachine::statsDelta(), the per-request attribution primitive of
+/// the fleet service: repeated deltas over one VM's lifetime must
+/// partition the monotonic counters exactly (every unit of work attributed
+/// to exactly one delta, nothing lost, nothing double-counted), while
+/// gauge counters — sizes and high-waters that do not accumulate — are
+/// reported at their current value in every delta.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+#include <string>
+
+using namespace ildp;
+using namespace ildp::vm;
+
+namespace {
+
+/// Mirror of the gauge list in VirtualMachine.cpp: instantaneous values,
+/// excluded from the sum-of-deltas identity.
+const std::set<std::string> Gauges = {
+    "tcache.fragments",        "tcache.body_bytes",
+    "tcache.unique_source_insts", "cache.budget_high_water",
+    "robust.blacklisted_pcs",  "async.workers",
+    "persist.store_images",    "persist.store_bytes",
+};
+
+} // namespace
+
+TEST(VmStatsDelta, DeltasPartitionCountersAcrossSlicedRun) {
+  const std::string Name = workloads::workloadNames().front();
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload(Name, Mem, 1);
+
+  VmConfig Config;
+  Config.MaxGuestInsts = 20'000; // First slice.
+  VirtualMachine Vm(Mem, Img.EntryPc, Config);
+
+  std::map<std::string, uint64_t> Summed;
+  std::map<std::string, uint64_t> LastGauge;
+  unsigned Slices = 0;
+  for (;;) {
+    RunResult Run = Vm.run();
+    StatisticSet Delta = Vm.statsDelta();
+    ++Slices;
+    for (const auto &[Counter, Value] : Delta.getWithPrefix("")) {
+      if (Gauges.count(Counter))
+        LastGauge[Counter] = Value;
+      else
+        Summed[Counter] += Value;
+    }
+    if (Run.Reason == StopReason::Halted)
+      break;
+    ASSERT_EQ(Run.Reason, StopReason::Budget);
+    Vm.setGuestInstBudget(Vm.guestInsts() + 20'000);
+  }
+  ASSERT_GT(Slices, 2u) << "workload too small to slice";
+
+  // Exact partition: for every monotonic counter the deltas sum to the
+  // lifetime total, and no counter appears in a delta without being in
+  // the totals.
+  const StatisticSet &Total = Vm.stats();
+  for (const auto &[Counter, Value] : Total.getWithPrefix("")) {
+    if (Gauges.count(Counter)) {
+      EXPECT_EQ(LastGauge[Counter], Value) << Counter;
+      continue;
+    }
+    EXPECT_EQ(Summed[Counter], Value) << Counter;
+    Summed.erase(Counter);
+  }
+  for (const auto &[Counter, Value] : Summed)
+    ADD_FAILURE() << "delta-only counter " << Counter << " = " << Value;
+}
+
+TEST(VmStatsDelta, BackToBackDeltaIsAllGauges) {
+  const std::string Name = workloads::workloadNames().front();
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload(Name, Mem, 1);
+  VirtualMachine Vm(Mem, Img.EntryPc, VmConfig{});
+  ASSERT_EQ(Vm.run().Reason, StopReason::Halted);
+
+  (void)Vm.statsDelta();
+  // Nothing ran since the baseline reset: the next delta may carry gauge
+  // readings, but not a single unit of monotonic work.
+  StatisticSet Idle = Vm.statsDelta();
+  for (const auto &[Counter, Value] : Idle.getWithPrefix(""))
+    EXPECT_TRUE(Gauges.count(Counter))
+        << "idle delta charged " << Counter << " = " << Value;
+}
+
+TEST(VmStatsDelta, FirstDeltaIncludesConstructionWork) {
+  // Warm-start import happens at construction; the first delta must
+  // attribute it (the fleet charges it to the first request, never to
+  // nobody).
+  const std::string Name = workloads::workloadNames().front();
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload(Name, Mem, 1);
+  VirtualMachine Vm(Mem, Img.EntryPc, VmConfig{});
+  ASSERT_EQ(Vm.run().Reason, StopReason::Halted);
+  StatisticSet Delta = Vm.statsDelta();
+  EXPECT_EQ(Delta.get("dbt.fragments"), Vm.stats().get("dbt.fragments"));
+  EXPECT_GT(Delta.get("dbt.fragments"), 0u);
+}
