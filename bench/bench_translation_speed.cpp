@@ -11,6 +11,15 @@
 /// complement the architectural cost accounting in
 /// bench_table2_translation_stats.
 ///
+/// The native-tier additions keep the two very different "translation"
+/// costs separate: BM_Translate* is the in-process I-ISA lowering (paid
+/// on every cold fragment), while BM_NativeEmitC / BM_NativeHostCompile
+/// are the native tier's C emission and out-of-line host compilation —
+/// orders of magnitude slower, paid off the critical path by the compile
+/// workers and only until the object lands in the persistent store.
+/// BM_ExecuteFragmentNative mirrors BM_ExecuteFragment on the compiled
+/// code; the host-compile benchmarks skip where no toolchain exists.
+///
 //===----------------------------------------------------------------------===//
 
 #include "alpha/Assembler.h"
@@ -18,6 +27,9 @@
 #include "core/Translator.h"
 #include "iisa/Executor.h"
 #include "interp/Interpreter.h"
+#include "native/NativeCompiler.h"
+#include "native/NativeEmitter.h"
+#include "native/NativeExec.h"
 #include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
@@ -134,11 +146,93 @@ void BM_ExecuteFragment(benchmark::State &State) {
                           int64_t(R.Frag.Body.size()));
 }
 
+void BM_NativeEmitC(benchmark::State &State) {
+  GzipFixture &F = gzipFixture();
+  dbt::DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Modified;
+  dbt::TranslationResult R =
+      dbt::translate(F.Sb, Config, dbt::ChainEnv()).take();
+  for (auto _ : State) {
+    native::EmitResult E =
+        native::emitFragmentC(R.Frag.Body, R.Frag.Variant);
+    benchmark::DoNotOptimize(E.Source.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * F.Sb.Insts.size());
+}
+
+void BM_NativeHostCompile(benchmark::State &State) {
+  const native::HostCompiler &CC = native::hostCompiler();
+  if (!CC.found()) {
+    State.SkipWithError("no host C compiler");
+    return;
+  }
+  GzipFixture &F = gzipFixture();
+  dbt::DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Modified;
+  dbt::TranslationResult R =
+      dbt::translate(F.Sb, Config, dbt::ChainEnv()).take();
+  native::EmitResult E = native::emitFragmentC(R.Frag.Body, R.Frag.Variant);
+  for (auto _ : State) {
+    native::CompileResult C = native::compileToObject(CC, E.Source);
+    if (!C.Ok) {
+      State.SkipWithError("host compile failed");
+      return;
+    }
+    benchmark::DoNotOptimize(C.Object.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * F.Sb.Insts.size());
+  State.counters["src_insts"] = double(F.Sb.Insts.size());
+}
+
+void BM_ExecuteFragmentNative(benchmark::State &State) {
+  const native::HostCompiler &CC = native::hostCompiler();
+  if (!CC.found()) {
+    State.SkipWithError("no host C compiler");
+    return;
+  }
+  GzipFixture &F = gzipFixture();
+  dbt::DbtConfig Config;
+  Config.Variant = iisa::IsaVariant::Modified;
+  dbt::TranslationResult R =
+      dbt::translate(F.Sb, Config, dbt::ChainEnv()).take();
+  native::EmitResult E = native::emitFragmentC(R.Frag.Body, R.Frag.Variant);
+  native::CompileResult C = native::compileToObject(CC, E.Source);
+  if (!C.Ok) {
+    State.SkipWithError("host compile failed");
+    return;
+  }
+  native::NativeCode Code;
+  Code.Module = native::loadModule(C.Object);
+  if (!Code.Module) {
+    State.SkipWithError("dlopen failed");
+    return;
+  }
+  Code.Fn = Code.Module->entry();
+  Code.Meta = native::buildMeta(R.Frag.Body);
+  iisa::IExecState Exec;
+  Exec.writeGpr(16, 0x20000000);
+  Exec.writeGpr(17, 1);
+  Exec.writeGpr(0, 0x28000000);
+  GuestMemory Mem;
+  Mem.mapRegion(0x20000000, 0x10000);
+  Mem.mapRegion(0x28000000, 0x10000);
+  for (auto _ : State) {
+    Exec.writeGpr(17, 1); // single iteration, exits at the cond branch
+    iisa::IExit Exit = native::runFragment(Code, Exec, Mem, R.Frag.Body);
+    benchmark::DoNotOptimize(Exit.VTarget);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(R.Frag.Body.size()));
+}
+
 BENCHMARK(BM_TranslateBasic);
 BENCHMARK(BM_TranslateModified);
 BENCHMARK(BM_TranslateStraight);
+BENCHMARK(BM_NativeEmitC);
+BENCHMARK(BM_NativeHostCompile);
 BENCHMARK(BM_Interpret);
 BENCHMARK(BM_ExecuteFragment);
+BENCHMARK(BM_ExecuteFragmentNative);
 
 } // namespace
 

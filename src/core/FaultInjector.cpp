@@ -31,6 +31,10 @@ const char *dbt::getFaultSiteName(FaultSite Site) {
     return "evict_select";
   case FaultSite::Unchain:
     return "unchain";
+  case FaultSite::NativeCompile:
+    return "native_compile";
+  case FaultSite::NativeLoad:
+    return "native_load";
   }
   return "unknown";
 }

@@ -20,6 +20,8 @@
 ///   PersistImport - VM warm-start import of a persisted cache file
 ///   EvictSelect   - TranslationCache victim selection under a byte budget
 ///   Unchain       - TranslationCache exit unchaining during an eviction
+///   NativeCompile - NativeService worker, before host compilation
+///   NativeLoad    - dlopen/attach of a compiled native module
 ///
 /// A fire at either eviction site aborts the eviction sequence; the cache
 /// degrades to a wholesale flush rather than risking half-torn-down
@@ -59,9 +61,11 @@ enum class FaultSite : uint8_t {
   PersistImport,
   EvictSelect,
   Unchain,
+  NativeCompile,
+  NativeLoad,
 };
 
-constexpr unsigned NumFaultSites = 10;
+constexpr unsigned NumFaultSites = 12;
 
 /// Stable lowercase site name ("decode", "strand_alloc", ...).
 const char *getFaultSiteName(FaultSite Site);

@@ -18,9 +18,15 @@
 #include "iisa/IisaInst.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace ildp {
+
+namespace native {
+struct NativeCode;
+}
+
 namespace dbt {
 
 /// One potentially-excepting-instruction record. The VM indexes this table
@@ -63,6 +69,16 @@ struct Fragment {
   unsigned SourceInsts = 0;  ///< Source instructions recorded (incl. NOPs).
   unsigned NopsRemoved = 0;
   unsigned BodyBytes = 0;    ///< Encoded size of the body.
+
+  // Native-tier linkage (src/native). The core library never touches
+  // these beyond default construction/destruction; the VM manages them.
+  // Holding the NativeCode by shared_ptr means the dlopen'd module lives
+  // exactly as long as some fragment (here or graveyarded) references it
+  // — dlclose rides the reclaim safepoints for free.
+  enum : uint8_t { NativeNone = 0, NativePending = 1, NativeFailed = 2 };
+  uint64_t NativeKey = 0;   ///< native::fragmentKey(Body), 0 = uncomputed.
+  uint8_t NativeState = NativeNone;
+  std::shared_ptr<native::NativeCode> Native; ///< Set once compiled+loaded.
 
   /// I-PC of instruction \p Index.
   uint64_t instPc(size_t Index) const { return IBase + InstOffset[Index]; }

@@ -17,6 +17,7 @@
 ///   iisa     -> the accumulator I-ISA and its functional executor
 ///   core     -> the dynamic binary translator (the paper's contribution)
 ///   persist  -> the persistent translation cache (warm-start files)
+///   native   -> the native-host execution tier (emit-C + dlopen)
 ///   uarch    -> the ILDP and superscalar timing models
 ///   vm       -> the co-designed virtual machine driver
 ///   workloads-> the synthetic SPEC CPU2000 stand-ins
@@ -76,6 +77,15 @@
 #include "persist/Crc32.h"
 #include "persist/Fingerprint.h"
 #include "persist/FragmentCodec.h"
+
+// The native-host execution tier.
+#include "native/NativeAbi.h"
+#include "native/NativeCompiler.h"
+#include "native/NativeEmitter.h"
+#include "native/NativeExec.h"
+#include "native/NativeModule.h"
+#include "native/NativeService.h"
+#include "native/NativeStore.h"
 
 // Timing models.
 #include "uarch/Cache.h"

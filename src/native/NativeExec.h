@@ -1,0 +1,88 @@
+//===- native/NativeExec.h - Run compiled fragments, map exits ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host side of native fragment execution. NativeCode is what a
+/// fragment carries once tiered up: the shared dlopen'd module (shared
+/// across all fragments with the same content key, fleet-wide), the
+/// resolved entry function, and per-fragment accounting metadata.
+///
+/// The metadata exists because the I-ISA executor emits one IisaEvent per
+/// executed instruction and the VM accounts V-instruction credit, copy
+/// instructions, source ops, and usage-class tallies from those events.
+/// Native bodies produce no events — but the executor's event stream for
+/// an exit at body index i is always exactly instructions 0..i inclusive
+/// (events are recorded for not-taken cond_exits and for faulting memory
+/// ops before the trap return), so all of that accounting is a pure
+/// function of the exit index. NativeMeta precomputes it as prefix sums
+/// at attach time; dual-RAS pushes (the one event side effect that is
+/// not a counter) are replayed from an (index, target) list. Metadata is
+/// per-fragment, not per-module: fragments sharing a compiled body can
+/// still differ in VCredit/usage metadata, which is excluded from the
+/// content key precisely because it does not affect emitted code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_NATIVE_NATIVEEXEC_H
+#define ILDP_NATIVE_NATIVEEXEC_H
+
+#include "iisa/Executor.h"
+#include "native/NativeModule.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ildp {
+
+class GuestMemory;
+
+namespace dbt {
+struct Fragment;
+}
+
+namespace native {
+
+constexpr size_t NumUsageClasses =
+    size_t(iisa::UsageClass::NoUserToGlobal) + 1;
+
+/// Cumulative accounting over body instructions 0..i inclusive.
+struct CumCounters {
+  uint64_t VCredit = 0;
+  uint64_t CopyInsts = 0;
+  uint64_t SourceOps = 0;
+  std::array<uint64_t, NumUsageClasses> Usage{};
+};
+
+/// Per-fragment accounting metadata (see file comment).
+struct NativeMeta {
+  std::vector<CumCounters> Cum; ///< One entry per body instruction.
+  /// push_dual_ras sites: (body index, V-ISA return address), ascending.
+  std::vector<std::pair<uint32_t, uint64_t>> RasPushes;
+};
+
+/// Everything a fragment needs to run natively.
+struct NativeCode {
+  std::shared_ptr<NativeModule> Module; ///< Keeps the mapping alive.
+  NativeEntryFn Fn = nullptr;
+  NativeMeta Meta;
+};
+
+/// Builds the prefix-sum metadata for \p Body.
+NativeMeta buildMeta(const std::vector<iisa::IisaInst> &Body);
+
+/// Runs \p Code over \p State / \p Mem and maps the NativeContext outputs
+/// to the same iisa::IExit the interpretive executor would have returned
+/// for \p Body (the live body supplies V-targets and the chained /
+/// call-translator flavor for direct exits — see NativeAbi.h).
+iisa::IExit runFragment(const NativeCode &Code, iisa::IExecState &State,
+                        GuestMemory &Mem,
+                        const std::vector<iisa::IisaInst> &Body);
+
+} // namespace native
+} // namespace ildp
+
+#endif // ILDP_NATIVE_NATIVEEXEC_H

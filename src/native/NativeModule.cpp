@@ -1,0 +1,115 @@
+//===- native/NativeModule.cpp - dlopen'd fragment modules + registry -----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/NativeModule.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <mutex>
+#include <unistd.h>
+#include <unordered_map>
+
+using namespace ildp;
+using namespace ildp::native;
+
+namespace {
+
+uint64_t contentHash64(const std::vector<uint8_t> &Bytes) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint8_t B : Bytes) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// Process-global registry: content hash -> live module. weak_ptr so the
+/// registry never extends a module's lifetime past its last fragment.
+struct Registry {
+  std::mutex Mutex;
+  std::unordered_map<uint64_t, std::weak_ptr<NativeModule>> Modules;
+  size_t Live = 0;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+NativeModule::~NativeModule() {
+  if (Handle)
+    ::dlclose(Handle);
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  // Another thread may have re-registered the same content hash between
+  // our refcount hitting zero and this lock; only erase a dead entry.
+  auto It = R.Modules.find(Hash);
+  if (It != R.Modules.end() && It->second.expired())
+    R.Modules.erase(It);
+  --R.Live;
+}
+
+std::shared_ptr<NativeModule>
+native::loadModule(const std::vector<uint8_t> &Object) {
+  if (Object.empty())
+    return nullptr;
+  uint64_t Hash = contentHash64(Object);
+
+  Registry &R = registry();
+  std::unique_lock<std::mutex> Lock(R.Mutex);
+  auto It = R.Modules.find(Hash);
+  if (It != R.Modules.end())
+    if (std::shared_ptr<NativeModule> M = It->second.lock())
+      return M;
+
+  // dlopen needs a path; write the bytes to a process-unique temp file
+  // and unlink it immediately after mapping (libriscv's idiom, minus the
+  // persistent /tmp cache — persistence lives in CacheStore instead).
+  static std::atomic<uint64_t> Counter{0};
+  const char *Dir = ::getenv("TMPDIR");
+  if (!Dir || !*Dir)
+    Dir = "/tmp";
+  std::string Path = std::string(Dir) + "/ildp-native-mod-" +
+                     std::to_string(uint64_t(::getpid())) + "-" +
+                     std::to_string(Counter.fetch_add(1)) + ".so";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(reinterpret_cast<const char *>(Object.data()),
+              std::streamsize(Object.size()));
+    if (!Out) {
+      std::remove(Path.c_str());
+      return nullptr;
+    }
+  }
+  void *Handle = ::dlopen(Path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  std::remove(Path.c_str());
+  if (!Handle)
+    return nullptr;
+  void *Sym = ::dlsym(Handle, nativeEntrySymbol());
+  if (!Sym) {
+    ::dlclose(Handle);
+    return nullptr;
+  }
+
+  std::shared_ptr<NativeModule> M(new NativeModule());
+  M->Handle = Handle;
+  M->Fn = reinterpret_cast<NativeEntryFn>(Sym);
+  M->Hash = Hash;
+  R.Modules[Hash] = M;
+  ++R.Live;
+  return M;
+}
+
+size_t native::liveModuleCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Live;
+}

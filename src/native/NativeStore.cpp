@@ -1,0 +1,78 @@
+//===- native/NativeStore.cpp - Native-object persistence codec -----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/NativeStore.h"
+
+#include "persist/ByteStream.h"
+
+using namespace ildp;
+using namespace ildp::native;
+using persist::ByteReader;
+using persist::ByteWriter;
+
+uint64_t native::slotFingerprint(uint64_t ImageFp) {
+  // splitmix64 finalizer over the salted image fingerprint: a native slot
+  // never lands on an image slot (which uses the raw fingerprint).
+  uint64_t X = ImageFp ^ NativeStoreMagic;
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+std::vector<uint8_t>
+native::encodeObjects(const std::map<uint64_t, std::vector<uint8_t>> &Objects,
+                      uint64_t CommandChecksum) {
+  ByteWriter W;
+  W.putU64(NativeStoreMagic);
+  W.putU32(NativeStoreVersion);
+  W.putU64(CommandChecksum);
+  W.putU32(uint32_t(Objects.size()));
+  for (const auto &KV : Objects) {
+    W.putU64(KV.first);
+    W.putU32(uint32_t(KV.second.size()));
+    W.putBytes(KV.second.data(), KV.second.size());
+  }
+  return W.take();
+}
+
+NativeStoreStatus
+native::decodeObjects(const std::vector<uint8_t> &Payload,
+                      uint64_t CommandChecksum,
+                      std::map<uint64_t, std::vector<uint8_t>> &Out) {
+  Out.clear();
+  ByteReader R(Payload);
+  if (R.getU64() != NativeStoreMagic || R.failed())
+    return NativeStoreStatus::Malformed;
+  if (R.getU32() != NativeStoreVersion || R.failed())
+    return NativeStoreStatus::Malformed;
+  uint64_t Stamp = R.getU64();
+  uint32_t Count = R.getU32();
+  if (R.failed() || Count > MaxNativeObjects)
+    return NativeStoreStatus::Malformed;
+  // The staleness gate comes before any object decoding: bytes from
+  // another toolchain are rejected wholesale, never partially adopted.
+  if (Stamp != CommandChecksum)
+    return NativeStoreStatus::Stale;
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint64_t Key = R.getU64();
+    uint32_t Size = R.getU32();
+    if (R.failed() || Size == 0 || Size > R.remaining()) {
+      Out.clear();
+      return NativeStoreStatus::Malformed;
+    }
+    std::vector<uint8_t> Bytes(Size);
+    if (!R.getBytes(Bytes.data(), Size) || !Out.emplace(Key, std::move(Bytes)).second) {
+      Out.clear();
+      return NativeStoreStatus::Malformed; // Overrun or duplicate key.
+    }
+  }
+  if (!R.atEnd()) {
+    Out.clear();
+    return NativeStoreStatus::Malformed; // Trailing garbage.
+  }
+  return NativeStoreStatus::Ok;
+}

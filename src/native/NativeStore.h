@@ -1,0 +1,74 @@
+//===- native/NativeStore.h - Native-object persistence codec -------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes a VM's compiled native objects as an opaque CacheStore raw-slot
+/// payload, so warm starts skip host compilation entirely and VmFleet
+/// workers share one read-only set of native modules. Payload layout (all
+/// integers little-endian):
+///
+///   sub-magic u64 ("ILDPNAT1"), format version u32,
+///   compile-command checksum u64, object count u32,
+///   then per object: fragment content key u64, size u32, object bytes
+///
+/// The slot rides the store's index/CRC/merge machinery (CacheStore
+/// putRaw/lookupRaw) under slotFingerprint(imageFp) — the image
+/// fingerprint salted so native slots can never collide with fragment
+/// slots. The compile-command checksum (NativeCompiler) gates import: a
+/// payload produced by a different toolchain, ABI revision, or emitter
+/// revision is typed-rejected as `persist.import_rejected.native_stale`
+/// and the VM recompiles from scratch; structural damage inside an intact
+/// CRC decodes to `native_malformed`. Either way the run degrades, never
+/// crashes, never dlopen's bytes it cannot vouch for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_NATIVE_NATIVESTORE_H
+#define ILDP_NATIVE_NATIVESTORE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ildp {
+namespace native {
+
+/// "ILDPNAT1" as a little-endian u64.
+constexpr uint64_t NativeStoreMagic = 0x3154414E50444C49ull;
+constexpr uint32_t NativeStoreVersion = 1;
+/// Corruption guard: no real run compiles anywhere near this many
+/// distinct hot fragments per image.
+constexpr uint32_t MaxNativeObjects = 65536;
+
+/// Why decodeObjects() rejected a payload.
+enum class NativeStoreStatus : uint8_t {
+  Ok,
+  Stale,     ///< Compile-command checksum differs from the current host.
+  Malformed, ///< Bad sub-magic/version/structure inside an intact slot.
+};
+
+/// The CacheStore fingerprint of the native slot belonging to the image
+/// fingerprinted \p ImageFp (splitmix64-salted; disjoint from image
+/// slots for any realistic fingerprint population).
+uint64_t slotFingerprint(uint64_t ImageFp);
+
+/// Encodes \p Objects (fragment content key -> shared-object bytes) into
+/// a raw-slot payload stamped with \p CommandChecksum.
+std::vector<uint8_t>
+encodeObjects(const std::map<uint64_t, std::vector<uint8_t>> &Objects,
+              uint64_t CommandChecksum);
+
+/// Decodes \p Payload into \p Out (cleared first). Rejects payloads whose
+/// stamp differs from \p CommandChecksum as Stale without decoding any
+/// object bytes; structural violations yield Malformed and an empty map.
+NativeStoreStatus
+decodeObjects(const std::vector<uint8_t> &Payload, uint64_t CommandChecksum,
+              std::map<uint64_t, std::vector<uint8_t>> &Out);
+
+} // namespace native
+} // namespace ildp
+
+#endif // ILDP_NATIVE_NATIVESTORE_H

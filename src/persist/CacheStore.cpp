@@ -257,6 +257,34 @@ void CacheStore::put(uint64_t Fingerprint,
   Images.push_back(std::move(Img)); // Back = most recently written.
 }
 
+void CacheStore::putRaw(uint64_t Fingerprint, std::vector<uint8_t> Payload,
+                        uint64_t CostUnits) {
+  if (ReadOnlyMode)
+    return;
+  StoreImage Img;
+  Img.Fingerprint = Fingerprint;
+  Img.FragmentCount = 0; // Raw slot: no fragment records inside.
+  Img.BodyBytes = 0;
+  Img.CostUnits = CostUnits;
+  Img.SaveCount = 1;
+  Img.Payload = std::move(Payload);
+
+  auto It = std::find_if(Images.begin(), Images.end(),
+                         [&](const StoreImage &Slot) {
+                           return Slot.Fingerprint == Fingerprint;
+                         });
+  if (It != Images.end()) {
+    Img.SaveCount = It->SaveCount + 1;
+    Images.erase(It);
+  }
+  Images.push_back(std::move(Img));
+}
+
+const std::vector<uint8_t> *CacheStore::lookupRaw(uint64_t Fingerprint) const {
+  const StoreImage *Img = find(Fingerprint);
+  return Img ? &Img->Payload : nullptr;
+}
+
 bool CacheStore::erase(uint64_t Fingerprint) {
   if (ReadOnlyMode)
     return false;

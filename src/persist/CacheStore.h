@@ -148,6 +148,20 @@ public:
            const std::vector<const dbt::Fragment *> &Fragments,
            uint64_t CostUnits);
 
+  /// Inserts or replaces the slot for \p Fingerprint with an opaque
+  /// payload that is NOT FragmentCodec data (e.g. the native-object
+  /// payload, NativeStore.h). Raw slots ride the same index, CRC, and
+  /// merge machinery as image slots; FragmentCount/BodyBytes are zero so
+  /// the loader's fragment cross-checks are vacuous, and lookup() on a
+  /// raw slot reports BadPayload rather than decoding garbage — readers
+  /// must use lookupRaw(). Callers keep raw fingerprints disjoint from
+  /// image fingerprints by salting (see native::slotFingerprint).
+  void putRaw(uint64_t Fingerprint, std::vector<uint8_t> Payload,
+              uint64_t CostUnits = 0);
+
+  /// The raw payload bytes for \p Fingerprint, or nullptr if absent.
+  const std::vector<uint8_t> *lookupRaw(uint64_t Fingerprint) const;
+
   /// Drops the slot for \p Fingerprint. Returns true if one existed.
   bool erase(uint64_t Fingerprint);
 

@@ -9,6 +9,12 @@
 #include "core/FaultInjector.h"
 #include "core/SuperblockBuilder.h"
 #include "core/Translator.h"
+#include "native/NativeCompiler.h"
+#include "native/NativeEmitter.h"
+#include "native/NativeExec.h"
+#include "native/NativeModule.h"
+#include "native/NativeService.h"
+#include "native/NativeStore.h"
 #include "persist/CacheFile.h"
 #include "persist/CacheStore.h"
 #include "persist/Fingerprint.h"
@@ -43,6 +49,19 @@ VirtualMachine::VirtualMachine(GuestMemory &Mem, uint64_t EntryPc,
     TCache.setFaultInjector(Config.Dbt.Fault);
     TCache.setEvictionListener(
         [this](const dbt::Fragment &Frag) { onFragmentEvicted(Frag); });
+  }
+  if (Config.NativeTier) {
+    // Probe for a host compiler before warm start so the import path knows
+    // whether stored native objects can be validated and loaded. No
+    // toolchain is a counted, fully graceful degrade: NativeSvc stays null
+    // and every native code path below is gated on it.
+    const native::HostCompiler &CC = native::hostCompiler();
+    if (CC.Found)
+      NativeSvc = std::make_unique<native::NativeService>(
+          CC, Config.NativeWorkers, Config.NativeQueueDepth,
+          Config.Dbt.Fault);
+    else
+      Nat.NoToolchain = 1;
   }
   if (Config.SharedStore) {
     PersistFingerprint = persist::fingerprint(Mem, EntryPc, Config.Dbt);
@@ -165,6 +184,7 @@ void VirtualMachine::warmStartFromPersisted() {
       Stats.add("persist.store_hit");
       ImportedCostUnits = Store->find(PersistFingerprint)->CostUnits;
       importFragments(std::move(Frags));
+      importNativeObjects(*Store);
       break;
     }
     default:
@@ -207,6 +227,7 @@ void VirtualMachine::warmStartFromShared() {
       Stats.add("persist.store_hit");
       ImportedCostUnits = Shared.find(PersistFingerprint)->CostUnits;
       importFragments(std::move(Frags));
+      importNativeObjects(Shared);
       return;
     default:
       // Structural corruption the CRCs happened to bless. The store is
@@ -243,6 +264,18 @@ void VirtualMachine::savePersistedCache() {
   // (a pure warm run adds 0 and preserves the cold run's figure).
   Store->put(PersistFingerprint, Frags,
              ImportedCostUnits + Stats.get("dbt.cost.total"));
+
+  if (NativeSvc) {
+    // Persist the native objects under the image's native slot — imported
+    // plus freshly compiled. Written even when empty: erasing instead
+    // would be undone by saveMerged re-adopting the on-disk copy, leaving
+    // a stale slot behind a changed toolchain.
+    NativeSvc->waitAllIdle();
+    drainNativeCompleted();
+    Store->putRaw(native::slotFingerprint(PersistFingerprint),
+                  native::encodeObjects(NativeObjects,
+                                        NativeSvc->compiler().Checksum));
+  }
   persist::SaveMergeResult Saved =
       Store->saveMerged(Config.PersistPath, Config.PersistMaxImages);
   Stats.add(Saved.Saved ? "persist.save_ok" : "persist.save_fail");
@@ -256,6 +289,133 @@ void VirtualMachine::savePersistedCache() {
       Stats.set("persist.store_compacted", Saved.Compacted);
     if (Saved.LockContended)
       Stats.add("persist.store_lock_contended");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Native-host execution tier (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+uint64_t VirtualMachine::nativeKey(dbt::Fragment &Frag) {
+  if (Frag.NativeKey == 0)
+    Frag.NativeKey = native::fragmentKey(Frag.Body, Frag.Variant);
+  return Frag.NativeKey;
+}
+
+bool VirtualMachine::attachNative(dbt::Fragment &Frag,
+                                  const std::vector<uint8_t> &Object) {
+  if (Config.Dbt.Fault &&
+      Config.Dbt.Fault->shouldFail(dbt::FaultSite::NativeLoad)) {
+    ++Nat.LoadFailed;
+    Frag.NativeState = dbt::Fragment::NativeFailed;
+    return false;
+  }
+  std::shared_ptr<native::NativeModule> Module = native::loadModule(Object);
+  if (!Module) {
+    ++Nat.LoadFailed;
+    Frag.NativeState = dbt::Fragment::NativeFailed;
+    return false;
+  }
+  auto Code = std::make_shared<native::NativeCode>();
+  Code->Fn = Module->entry();
+  Code->Module = std::move(Module);
+  Code->Meta = native::buildMeta(Frag.Body);
+  Frag.Native = std::move(Code);
+  Frag.NativeState = dbt::Fragment::NativeNone;
+  return true;
+}
+
+void VirtualMachine::maybeNativeTierUp(dbt::Fragment *Frag) {
+  if (Frag->Native || Frag->NativeState != dbt::Fragment::NativeNone ||
+      Frag->ExecCount < Config.NativeThreshold)
+    return;
+  uint64_t Key = nativeKey(*Frag);
+  auto Known = NativeObjects.find(Key);
+  if (Known != NativeObjects.end()) {
+    // Same body compiled before: this run behind an eviction/retranslation
+    // cycle, a same-key fragment at another entry, or a warm-started
+    // store. Re-attach is a map hit plus a (deduplicated) dlopen — never
+    // a host compile.
+    if (attachNative(*Frag, Known->second))
+      ++Nat.Reattached;
+    return;
+  }
+  native::NativeRequest Req;
+  Req.Key = Key;
+  Req.EntryVAddr = Frag->EntryVAddr;
+  Req.Body = Frag->Body;
+  Req.Variant = Frag->Variant;
+  if (NativeSvc->trySubmit(std::move(Req))) {
+    Frag->NativeState = dbt::Fragment::NativePending;
+    ++Nat.Submitted;
+  }
+  // Queue full: stays NativeNone and re-qualifies on a later execution.
+}
+
+void VirtualMachine::drainNativeCompleted() {
+  if (!NativeSvc->hasCompleted())
+    return;
+  std::vector<native::NativeCompletion> Done;
+  NativeSvc->drainCompleted(Done);
+  for (native::NativeCompletion &C : Done) {
+    // Completions are keyed by body content, not fragment identity: find
+    // a live fragment still waiting on this key. A linear walk on purpose
+    // — completions are rare, and lookup() would bump eviction recency
+    // the interpretive tiers never see at this point.
+    dbt::Fragment *Waiter = nullptr;
+    for (const std::unique_ptr<dbt::Fragment> &Frag : TCache.fragments())
+      if (Frag->NativeState == dbt::Fragment::NativePending &&
+          Frag->NativeKey == C.Key) {
+        Waiter = Frag.get();
+        break;
+      }
+    if (!C.Ok) {
+      ++Nat.CompileFailed;
+      if (Waiter)
+        Waiter->NativeState = dbt::Fragment::NativeFailed;
+      continue;
+    }
+    ++Nat.Compiles;
+    auto Slot = NativeObjects.emplace(C.Key, std::move(C.Object)).first;
+    if (!Waiter) {
+      // Evicted or flushed while compiling. The object stays in the map:
+      // if the body is ever re-translated it re-attaches instantly.
+      ++Nat.PendingDrops;
+      continue;
+    }
+    if (attachNative(*Waiter, Slot->second))
+      ++Nat.Installed;
+  }
+}
+
+void VirtualMachine::importNativeObjects(const persist::CacheStore &St) {
+  if (!NativeSvc)
+    return; // Tier off or no toolchain: cannot validate stored objects.
+  const std::vector<uint8_t> *Payload =
+      St.lookupRaw(native::slotFingerprint(PersistFingerprint));
+  if (!Payload)
+    return; // Store predates the native tier; normal cold-compile run.
+  switch (native::decodeObjects(*Payload, NativeSvc->compiler().Checksum,
+                                NativeObjects)) {
+  case native::NativeStoreStatus::Ok:
+    Nat.ImportedObjects = NativeObjects.size();
+    // Attach eagerly: every imported fragment whose body has a stored
+    // object runs natively from its first execution, so a warm start of a
+    // stable workload performs zero host compilations.
+    for (const std::unique_ptr<dbt::Fragment> &Frag : TCache.fragments()) {
+      auto Known = NativeObjects.find(nativeKey(*Frag));
+      if (Known != NativeObjects.end() && attachNative(*Frag, Known->second))
+        ++Nat.Reattached;
+    }
+    break;
+  case native::NativeStoreStatus::Stale:
+    Stats.add("persist.import_rejected");
+    Stats.add("persist.import_rejected.native_stale");
+    break;
+  case native::NativeStoreStatus::Malformed:
+    Stats.add("persist.import_rejected");
+    Stats.add("persist.import_rejected.native_malformed");
+    break;
   }
 }
 
@@ -445,6 +605,8 @@ VirtualMachine::InterpOutcome VirtualMachine::interpretUntilTranslated() {
     TCache.reclaimEvicted();
     if (Service)
       drainCompleted();
+    if (NativeSvc)
+      drainNativeCompleted();
     uint64_t Pc = Interp.state().Pc;
     // Single hash probe per dispatch: the fragment found here is handed
     // back to the run loop and executed directly.
@@ -762,25 +924,61 @@ VirtualMachine::executeTranslated(dbt::Fragment *Frag) {
     }
 
     Events.clear();
-    iisa::IExit Exit = iisa::execute(Frag->Body.data(), Frag->Body.size(),
-                                     ExecState, Mem, &Events);
-    ++Frag->ExecCount;
-
-    // Accounting pass (also performs dual-RAS pushes).
-    for (const IisaEvent &Ev : Events) {
-      const IisaInst &Inst = Frag->Body[Ev.Index];
-      ++Hot.FragInsts;
-      GuestInsts += Inst.VCredit;
-      Hot.VInstsTranslated += Inst.VCredit;
-      if (Inst.Kind == IKind::CopyToGpr || Inst.Kind == IKind::CopyFromGpr)
-        ++Hot.CopyInsts;
-      if (Inst.IsSourceOp) {
-        ++Hot.SourceOps;
-        ++Hot.Usage[size_t(Inst.Usage)];
+    iisa::IExit Exit;
+    bool RanNative = false;
+    if (NativeSvc && !Timing) {
+      // Hot loops never leave this dispatch loop, so the native tier's
+      // drain/tier-up bookkeeping must also live here (attach never
+      // destroys a fragment, so Frag stays valid). Detailed-timing runs
+      // stay on the I-ISA tier: the model consumes per-instruction events.
+      drainNativeCompleted();
+      maybeNativeTierUp(Frag);
+      if (Frag->Native) {
+        Exit = native::runFragment(*Frag->Native, ExecState, Mem, Frag->Body);
+        ++Frag->ExecCount;
+        ++Nat.Runs;
+        RanNative = true;
+        // The accounting below is a pure function of the exit index: the
+        // executor's event stream for an exit at body index i is exactly
+        // instructions 0..i, precomputed as prefix sums at attach time.
+        const native::CumCounters &Cum = Frag->Native->Meta.Cum[Exit.InstIndex];
+        Nat.Insts += Exit.InstIndex + 1;
+        Hot.FragInsts += Exit.InstIndex + 1;
+        GuestInsts += Cum.VCredit;
+        Hot.VInstsTranslated += Cum.VCredit;
+        Hot.CopyInsts += Cum.CopyInsts;
+        Hot.SourceOps += Cum.SourceOps;
+        for (size_t U = 0; U != Cum.Usage.size(); ++U)
+          Hot.Usage[U] += Cum.Usage[U];
+        if (Config.Dbt.Chaining == dbt::ChainPolicy::SwPredRas)
+          for (const auto &[PushIdx, VRet] : Frag->Native->Meta.RasPushes) {
+            if (PushIdx > Exit.InstIndex)
+              break;
+            dualRasPush(VRet);
+          }
       }
-      if (Inst.Kind == IKind::PushDualRas &&
-          Config.Dbt.Chaining == dbt::ChainPolicy::SwPredRas)
-        dualRasPush(Inst.VTarget);
+    }
+    if (!RanNative) {
+      Exit = iisa::execute(Frag->Body.data(), Frag->Body.size(), ExecState,
+                           Mem, &Events);
+      ++Frag->ExecCount;
+
+      // Accounting pass (also performs dual-RAS pushes).
+      for (const IisaEvent &Ev : Events) {
+        const IisaInst &Inst = Frag->Body[Ev.Index];
+        ++Hot.FragInsts;
+        GuestInsts += Inst.VCredit;
+        Hot.VInstsTranslated += Inst.VCredit;
+        if (Inst.Kind == IKind::CopyToGpr || Inst.Kind == IKind::CopyFromGpr)
+          ++Hot.CopyInsts;
+        if (Inst.IsSourceOp) {
+          ++Hot.SourceOps;
+          ++Hot.Usage[size_t(Inst.Usage)];
+        }
+        if (Inst.Kind == IKind::PushDualRas &&
+            Config.Dbt.Chaining == dbt::ChainPolicy::SwPredRas)
+          dualRasPush(Inst.VTarget);
+      }
     }
 
     // Exit decision.
@@ -938,6 +1136,26 @@ const StatisticSet &VirtualMachine::stats() {
     Stats.set("async.insts_during_xlate", Async.InstsDuringXlate);
     Stats.set("async.evict_races", EvictRaces);
   }
+  if (Config.NativeTier) {
+    Stats.set("native.enabled", NativeSvc ? 1 : 0);
+    if (Nat.NoToolchain)
+      Stats.set("native.no_toolchain", Nat.NoToolchain);
+    if (NativeSvc) {
+      Stats.set("native.workers", NativeSvc->workerCount());
+      Stats.set("native.submitted", Nat.Submitted);
+      Stats.set("native.compiles", Nat.Compiles);
+      Stats.set("native.compile_failed", Nat.CompileFailed);
+      Stats.set("native.load_failed", Nat.LoadFailed);
+      Stats.set("native.installed", Nat.Installed);
+      Stats.set("native.reattached", Nat.Reattached);
+      Stats.set("native.pending_drops", Nat.PendingDrops);
+      Stats.set("native.runs", Nat.Runs);
+      Stats.set("native.insts", Nat.Insts);
+      Stats.set("native.imported_objects", Nat.ImportedObjects);
+      Stats.set("native.objects", NativeObjects.size());
+      Stats.set("native.modules_live", native::liveModuleCount());
+    }
+  }
   return Stats;
 }
 
@@ -953,6 +1171,8 @@ static const char *const GaugeStats[] = {
     "tcache.unique_source_insts", "cache.budget_high_water",
     "robust.blacklisted_pcs",  "async.workers",
     "persist.store_images",    "persist.store_bytes",
+    "native.enabled",          "native.workers",
+    "native.objects",          "native.modules_live",
 };
 
 StatisticSet VirtualMachine::statsDelta() {
@@ -974,6 +1194,8 @@ RunResult VirtualMachine::run() {
   // Settle in-flight translations before anything inspects the cache (the
   // persisted file and final statistics must match a synchronous run).
   drainAllOutstanding();
+  if (NativeSvc)
+    drainNativeCompleted();
   // A shared-store VM is a pure consumer: SharedStore takes precedence
   // over PersistPath entirely, including the save side.
   if (!Config.PersistPath.empty() && Config.PersistSave && !Config.SharedStore)

@@ -33,6 +33,7 @@
 #include "support/Statistics.h"
 #include "uarch/Trace.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -40,6 +41,10 @@
 namespace ildp {
 namespace persist {
 class CacheStore;
+}
+namespace native {
+class NativeService;
+struct NativeCompletion;
 }
 namespace vm {
 
@@ -115,6 +120,28 @@ struct VmConfig {
   /// Bound of the translation request queue (back-pressure: submission
   /// blocks the VM thread when this many requests are in flight).
   size_t TranslateQueueDepth = 64;
+
+  /// Native-host execution tier (DESIGN.md §13). When NativeTier is set
+  /// and a working host C compiler is found at startup, a fragment whose
+  /// exec count crosses NativeThreshold is lowered to C, compiled to a
+  /// shared object on NativeWorkers background threads (never blocking
+  /// dispatch), dlopen'd, and thereafter entered through a function
+  /// pointer instead of the I-ISA interpreter loop. Architected state is
+  /// bit-identical to the interpretive tiers; side exits, traps, and any
+  /// compile/load failure deopt to the I-ISA tier. Compiled objects ride
+  /// the persistent store (keyed by fragment content + compile-command
+  /// checksum), so warm starts skip host compilation entirely. With no
+  /// toolchain ("native.no_toolchain") or NativeTier=false the VM runs
+  /// exactly as without this feature. The native tier is bypassed while a
+  /// timing model is attached: detailed timing simulates the I-ISA, and
+  /// the two tiers' per-instruction event streams are not comparable.
+  bool NativeTier = false;
+  uint64_t NativeThreshold = 64;
+  unsigned NativeWorkers = 1;
+  /// Bound of the compile request queue. Unlike translation, submission
+  /// never blocks: a full queue drops the request and the fragment simply
+  /// re-qualifies on a later execution.
+  size_t NativeQueueDepth = 16;
 
   /// Graceful degradation on translation failure (DESIGN.md §9). When a
   /// pipeline stage bails out, the VM keeps interpreting the entry and
@@ -340,6 +367,46 @@ private:
   /// TCache.lookup that first waits out a pending background translation
   /// of \p VAddr (a synchronous run would already have installed it).
   dbt::Fragment *lookupSettled(uint64_t VAddr);
+
+  // ---- Native-host execution tier (src/native; DESIGN.md §13) ----
+  /// Worker pool; null when the tier is off or no toolchain was found
+  /// (every native code path is gated on this pointer).
+  std::unique_ptr<native::NativeService> NativeSvc;
+  /// Compiled objects by fragment content key: imported from the store at
+  /// warm start plus compiled this run. Re-attach (after eviction and
+  /// re-translation of an identical body, or for a same-key fragment at a
+  /// different entry) is a map hit, never a recompile; the save path
+  /// persists exactly this map.
+  std::map<uint64_t, std::vector<uint8_t>> NativeObjects;
+  struct NativeCounters {
+    uint64_t Submitted = 0;      ///< Compile requests accepted.
+    uint64_t Compiles = 0;       ///< Successful host compilations.
+    uint64_t CompileFailed = 0;  ///< Emit refusals/faults/cc failures.
+    uint64_t LoadFailed = 0;     ///< dlopen/dlsym/fault failures.
+    uint64_t Installed = 0;      ///< Fresh-compile attaches.
+    uint64_t Reattached = 0;     ///< Attaches served from NativeObjects.
+    uint64_t PendingDrops = 0;   ///< Completions whose fragment was gone.
+    uint64_t Runs = 0;           ///< Native body executions.
+    uint64_t Insts = 0;          ///< I-ISA instructions executed natively.
+    uint64_t ImportedObjects = 0;
+    uint64_t NoToolchain = 0;    ///< 1 when enabled but no compiler found.
+  };
+  NativeCounters Nat;
+  /// Frag.NativeKey, computed on first use and cached.
+  uint64_t nativeKey(dbt::Fragment &Frag);
+  /// Submits a compile (or re-attaches a known object) once \p Frag's
+  /// exec count crosses NativeThreshold.
+  void maybeNativeTierUp(dbt::Fragment *Frag);
+  /// Drains finished compilations and attaches them (VM thread only; also
+  /// called between body runs inside executeTranslated — safe, as attach
+  /// never destroys a fragment).
+  void drainNativeCompleted();
+  /// dlopen + entry resolution + metadata; NativeLoad fault site. Marks
+  /// the fragment failed (stays on the I-ISA tier) on any failure.
+  bool attachNative(dbt::Fragment &Frag, const std::vector<uint8_t> &Object);
+  /// Warm-start import of the image's native-object slot from \p St
+  /// (typed rejects: native_stale / native_malformed).
+  void importNativeObjects(const persist::CacheStore &St);
 
   // ---- Translated execution ----
   struct SegmentOutcome {

@@ -1,0 +1,139 @@
+//===- tests/native/NativeStoreTest.cpp -----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native-object persistence codec: exact round-trips, the
+/// compile-command staleness gate (checked BEFORE any object bytes are
+/// decoded), structural rejection of malformed payloads, and the raw
+/// slot's interplay with CacheStore — raw payloads ride the store's
+/// index/CRC/merge machinery but must never decode as fragments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "native/NativeStore.h"
+
+#include "persist/CacheStore.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+using namespace ildp;
+using namespace ildp::native;
+
+namespace {
+
+std::map<uint64_t, std::vector<uint8_t>> sampleObjects() {
+  std::map<uint64_t, std::vector<uint8_t>> Objects;
+  Objects[0x1111] = {0x7F, 'E', 'L', 'F', 1, 2, 3};
+  Objects[0x2222] = std::vector<uint8_t>(300, 0xAB);
+  Objects[0x3333] = {0x00}; // Single byte, and a zero at that.
+  return Objects;
+}
+
+constexpr uint64_t Checksum = 0xFEEDFACE12345678ull;
+
+void putLE32At(std::vector<uint8_t> &Bytes, size_t Off, uint32_t Value) {
+  for (unsigned I = 0; I != 4; ++I)
+    Bytes[Off + I] = uint8_t(Value >> (8 * I));
+}
+
+} // namespace
+
+TEST(NativeStore, RoundTripIsExact) {
+  std::map<uint64_t, std::vector<uint8_t>> Objects = sampleObjects();
+  std::vector<uint8_t> Payload = encodeObjects(Objects, Checksum);
+
+  std::map<uint64_t, std::vector<uint8_t>> Out;
+  Out[0xDEAD] = {1}; // Must be cleared by decode.
+  EXPECT_EQ(decodeObjects(Payload, Checksum, Out), NativeStoreStatus::Ok);
+  EXPECT_EQ(Out, Objects);
+
+  std::map<uint64_t, std::vector<uint8_t>> Empty;
+  std::vector<uint8_t> EmptyPayload = encodeObjects(Empty, Checksum);
+  EXPECT_EQ(decodeObjects(EmptyPayload, Checksum, Out),
+            NativeStoreStatus::Ok);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(NativeStore, ChecksumMismatchIsStale) {
+  std::vector<uint8_t> Payload = encodeObjects(sampleObjects(), Checksum);
+  std::map<uint64_t, std::vector<uint8_t>> Out;
+  EXPECT_EQ(decodeObjects(Payload, Checksum ^ 1, Out),
+            NativeStoreStatus::Stale);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(NativeStore, StructuralDamageIsMalformed) {
+  std::vector<uint8_t> Valid = encodeObjects(sampleObjects(), Checksum);
+  std::map<uint64_t, std::vector<uint8_t>> Out;
+
+  // Every truncation of an otherwise valid payload.
+  for (size_t Len = 0; Len != Valid.size(); ++Len) {
+    std::vector<uint8_t> Cut(Valid.begin(), Valid.begin() + long(Len));
+    EXPECT_EQ(decodeObjects(Cut, Checksum, Out), NativeStoreStatus::Malformed)
+        << "accepted prefix " << Len;
+    EXPECT_TRUE(Out.empty()) << "objects from prefix " << Len;
+  }
+
+  std::vector<uint8_t> BadMagic = Valid;
+  BadMagic[0] ^= 0xFF;
+  EXPECT_EQ(decodeObjects(BadMagic, Checksum, Out),
+            NativeStoreStatus::Malformed);
+
+  std::vector<uint8_t> BadVersion = Valid;
+  putLE32At(BadVersion, 8, NativeStoreVersion + 1);
+  EXPECT_EQ(decodeObjects(BadVersion, Checksum, Out),
+            NativeStoreStatus::Malformed);
+
+  std::vector<uint8_t> BadCount = Valid;
+  putLE32At(BadCount, 20, MaxNativeObjects + 1);
+  EXPECT_EQ(decodeObjects(BadCount, Checksum, Out),
+            NativeStoreStatus::Malformed);
+
+  // Trailing garbage after the last object.
+  std::vector<uint8_t> Trailing = Valid;
+  Trailing.push_back(0x00);
+  EXPECT_EQ(decodeObjects(Trailing, Checksum, Out),
+            NativeStoreStatus::Malformed);
+}
+
+TEST(NativeStore, SlotFingerprintIsSaltedAwayFromImageFingerprint) {
+  // The native slot must never collide with the image's own fragment slot
+  // and must differ per image.
+  EXPECT_NE(slotFingerprint(0xABCD), 0xABCDull);
+  EXPECT_NE(slotFingerprint(0xABCD), slotFingerprint(0xABCEull));
+  EXPECT_EQ(slotFingerprint(0xABCD), slotFingerprint(0xABCDull));
+}
+
+TEST(NativeStore, RawSlotRidesCacheStoreButNeverDecodesAsFragments) {
+  std::string Path = testing::TempDir() + "/native-raw." +
+                     std::to_string(getpid()) + ".tstore";
+  std::remove(Path.c_str());
+
+  std::vector<uint8_t> Payload = encodeObjects(sampleObjects(), Checksum);
+  uint64_t Slot = slotFingerprint(0x1234);
+  {
+    persist::CacheStore Store;
+    Store.putRaw(Slot, Payload);
+    ASSERT_TRUE(Store.save(Path));
+  }
+  persist::CacheStore Store;
+  // The slot passes the store's CRC/index validation on open...
+  ASSERT_EQ(Store.open(Path), persist::StoreStatus::Ok);
+  const std::vector<uint8_t> *Loaded = Store.lookupRaw(Slot);
+  ASSERT_NE(Loaded, nullptr);
+  EXPECT_EQ(*Loaded, Payload);
+  std::map<uint64_t, std::vector<uint8_t>> Out;
+  EXPECT_EQ(decodeObjects(*Loaded, Checksum, Out), NativeStoreStatus::Ok);
+
+  // ...but a fragment lookup on it must refuse, not misparse.
+  std::vector<dbt::Fragment> Frags;
+  EXPECT_EQ(Store.lookup(Slot, Frags), persist::StoreStatus::BadPayload);
+  EXPECT_TRUE(Frags.empty());
+
+  std::remove(Path.c_str());
+}

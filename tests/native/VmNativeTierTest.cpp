@@ -1,0 +1,316 @@
+//===- tests/native/VmNativeTierTest.cpp ----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-VM contracts of the native-host execution tier: bit-identical
+/// architected state against pure interpretation on every workload; full
+/// statistics identity against a native-off run (the tier may only add
+/// `native.*` counters); warm starts that import persisted objects and
+/// perform ZERO host compilations; deterministic graceful degrade with no
+/// toolchain (ILDP_NATIVE_CC pointed at a nonexistent compiler); typed
+/// degrade under armed native_compile / native_load faults; and precise
+/// mid-fragment trap deopt out of native code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+#include "core/FaultInjector.h"
+#include "native/NativeCompiler.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+#include <unistd.h>
+
+using namespace ildp;
+using namespace ildp::vm;
+using dbt::FaultInjector;
+using dbt::FaultSite;
+
+namespace {
+
+/// Low enough that every workload's hot code tiers up quickly.
+constexpr uint64_t TestThreshold = 8;
+
+bool hostToolchain() { return native::hostCompiler().found(); }
+
+std::string tempStorePath(const char *Tag) {
+  std::string Path = testing::TempDir() + "/native-" + Tag + "." +
+                     std::to_string(getpid()) + ".tstore";
+  std::remove(Path.c_str());
+  return Path;
+}
+
+ArchState referenceRun(const std::string &Name) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload(Name, Mem, 1);
+  Interpreter Interp(Mem);
+  Interp.state().Pc = Img.EntryPc;
+  EXPECT_EQ(Interp.run(2'000'000'000ull).Status, StepStatus::Halted);
+  return Interp.state();
+}
+
+void expectSameGprs(const ArchState &Got, const ArchState &Ref,
+                    const std::string &Context) {
+  for (unsigned Reg = 0; Reg != alpha::NumGprs; ++Reg)
+    EXPECT_EQ(Got.readGpr(Reg), Ref.readGpr(Reg))
+        << Context << ": register r" << Reg << " diverged";
+}
+
+struct Outcome {
+  ArchState Arch;
+  StatisticSet Stats;
+};
+
+Outcome runWorkload(const std::string &Name, VmConfig Config) {
+  GuestMemory Mem;
+  workloads::WorkloadImage Img = workloads::buildWorkload(Name, Mem, 1);
+  VirtualMachine Vm(Mem, Img.EntryPc, Config);
+  EXPECT_EQ(Vm.run().Reason, StopReason::Halted) << Name;
+  return {Vm.interpreter().state(), Vm.stats()};
+}
+
+VmConfig nativeConfig() {
+  VmConfig Config;
+  Config.NativeTier = true;
+  Config.NativeThreshold = TestThreshold;
+  return Config;
+}
+
+} // namespace
+
+TEST(VmNativeTier, EveryWorkloadMatchesInterpreterCold) {
+  for (const std::string &W : workloads::workloadNames()) {
+    ArchState Ref = referenceRun(W);
+    Outcome Out = runWorkload(W, nativeConfig());
+    expectSameGprs(Out.Arch, Ref, W + "/native-cold");
+    if (hostToolchain()) {
+      EXPECT_EQ(Out.Stats.get("native.enabled"), 1u) << W;
+      EXPECT_GT(Out.Stats.get("native.submitted"), 0u) << W;
+    } else {
+      EXPECT_EQ(Out.Stats.get("native.enabled"), 0u) << W;
+      EXPECT_EQ(Out.Stats.get("native.no_toolchain"), 1u) << W;
+    }
+  }
+}
+
+TEST(VmNativeTier, StatsIdenticalToNativeOffRun) {
+  // The native tier replaces the execution engine, not the execution: on
+  // the same workload every counter outside native.* must be bit-identical
+  // to a native-off run — exits, per-class usage tallies, V-instruction
+  // credit, RAS traffic, translation work, everything. This holds even
+  // though compile completion timing is nondeterministic, because all
+  // native accounting is a pure function of the (deterministic) exit
+  // indices.
+  for (const std::string &W : {std::string("gzip"), std::string("mcf")}) {
+    VmConfig Off;
+    Outcome OffOut = runWorkload(W, Off);
+    Outcome OnOut = runWorkload(W, nativeConfig());
+
+    for (const auto &[Name, Value] : OffOut.Stats.getWithPrefix(""))
+      EXPECT_EQ(OnOut.Stats.get(Name), Value) << W << ": stat " << Name;
+    for (const auto &[Name, Value] : OnOut.Stats.getWithPrefix("")) {
+      if (Name.rfind("native.", 0) != 0) {
+        EXPECT_EQ(OffOut.Stats.get(Name), Value)
+            << W << ": native-only stat " << Name;
+      }
+    }
+    if (hostToolchain()) {
+      EXPECT_GT(OnOut.Stats.get("native.submitted"), 0u) << W;
+    }
+  }
+}
+
+TEST(VmNativeTier, WarmStartCompilesNothingAndRunsNatively) {
+  if (!hostToolchain())
+    GTEST_SKIP() << "no host C compiler on this machine";
+
+  std::string Path = tempStorePath("warm");
+  ArchState Ref = referenceRun("gzip");
+
+  // Save-runs until converged: the save path waits for in-flight compiles,
+  // so each round persists every object its run qualified; once a warm run
+  // qualifies nothing new, compiles hit zero and stay there.
+  StatisticSet Last;
+  uint64_t Compiles = 1;
+  int Rounds = 0;
+  for (; Rounds != 6 && Compiles != 0; ++Rounds) {
+    VmConfig Config = nativeConfig();
+    Config.PersistPath = Path;
+    GuestMemory Mem;
+    workloads::WorkloadImage Img = workloads::buildWorkload("gzip", Mem, 1);
+    VirtualMachine Vm(Mem, Img.EntryPc, Config);
+    EXPECT_EQ(Vm.run().Reason, StopReason::Halted);
+    expectSameGprs(Vm.interpreter().state(), Ref,
+                   "warm round " + std::to_string(Rounds));
+    Last = Vm.stats();
+    Compiles = Last.get("native.compiles");
+  }
+  ASSERT_LT(Rounds, 6) << "native object set never converged";
+
+  // The converged warm run: the acceptance criterion in person.
+  EXPECT_EQ(Last.get("native.compiles"), 0u);
+  EXPECT_EQ(Last.get("native.submitted"), 0u);
+  EXPECT_GT(Last.get("native.imported_objects"), 0u);
+  EXPECT_GT(Last.get("native.reattached"), 0u);
+  EXPECT_GT(Last.get("native.runs"), 0u);
+  EXPECT_GT(Last.get("native.insts"), 0u);
+  // And it is genuinely warm on the fragment side too.
+  EXPECT_EQ(Last.get("dbt.fragments"), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(VmNativeTier, NoToolchainRunsExactlyAsToday) {
+  // ILDP_NATIVE_CC pointed at a nonexistent binary is the deterministic
+  // no-toolchain environment; the probe cache keys on the variable. The
+  // prior value is restored so a CI run that sets the variable for the
+  // whole binary keeps its simulated environment.
+  const char *Prev = getenv("ILDP_NATIVE_CC");
+  std::string Saved = Prev ? Prev : "";
+  ASSERT_EQ(setenv("ILDP_NATIVE_CC", "/nonexistent/ildp-no-such-cc", 1), 0);
+  ASSERT_FALSE(native::hostCompiler().found());
+
+  Outcome Off = runWorkload("gzip", VmConfig());
+  Outcome On = runWorkload("gzip", nativeConfig());
+  expectSameGprs(On.Arch, Off.Arch, "no-toolchain");
+  EXPECT_EQ(On.Stats.get("native.enabled"), 0u);
+  EXPECT_EQ(On.Stats.get("native.no_toolchain"), 1u);
+  EXPECT_FALSE(On.Stats.has("native.runs"));
+  // Beyond the two gauges above, the run is indistinguishable from today.
+  for (const auto &[Name, Value] : Off.Stats.getWithPrefix(""))
+    EXPECT_EQ(On.Stats.get(Name), Value) << "stat " << Name;
+
+  if (Prev)
+    ASSERT_EQ(setenv("ILDP_NATIVE_CC", Saved.c_str(), 1), 0);
+  else
+    ASSERT_EQ(unsetenv("ILDP_NATIVE_CC"), 0);
+}
+
+TEST(VmNativeTier, ArmedCompileFaultDegradesToIisaTier) {
+  if (!hostToolchain())
+    GTEST_SKIP() << "no host C compiler on this machine";
+
+  ArchState Ref = referenceRun("gzip");
+  FaultInjector Inj;
+  Inj.armCount(FaultSite::NativeCompile, 1u << 20); // Every compile fails.
+  VmConfig Config = nativeConfig();
+  Config.Dbt.Fault = &Inj;
+  Outcome Out = runWorkload("gzip", Config);
+  expectSameGprs(Out.Arch, Ref, "native-compile-fault");
+  EXPECT_GT(Out.Stats.get("native.submitted"), 0u);
+  EXPECT_GT(Out.Stats.get("native.compile_failed"), 0u);
+  EXPECT_EQ(Out.Stats.get("native.compiles"), 0u);
+  EXPECT_EQ(Out.Stats.get("native.runs"), 0u);
+}
+
+TEST(VmNativeTier, ArmedLoadFaultDegradesToIisaTier) {
+  if (!hostToolchain())
+    GTEST_SKIP() << "no host C compiler on this machine";
+
+  // Seed a store with native objects, then warm-start with the dlopen
+  // site armed: the attach fails, the fragment stays on the I-ISA tier,
+  // the answer does not change.
+  std::string Path = tempStorePath("loadfault");
+  ArchState Ref = referenceRun("gzip");
+  {
+    VmConfig Config = nativeConfig();
+    Config.PersistPath = Path;
+    Outcome Seed = runWorkload("gzip", Config);
+    expectSameGprs(Seed.Arch, Ref, "load-fault seed");
+  }
+  FaultInjector Inj;
+  Inj.armCount(FaultSite::NativeLoad, 1);
+  VmConfig Config = nativeConfig();
+  Config.PersistPath = Path;
+  Config.PersistSave = false;
+  Config.Dbt.Fault = &Inj;
+  Outcome Out = runWorkload("gzip", Config);
+  expectSameGprs(Out.Arch, Ref, "native-load-fault");
+  EXPECT_GT(Out.Stats.get("native.imported_objects"), 0u);
+  EXPECT_EQ(Out.Stats.get("native.load_failed"), 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(VmNativeTier, MidFragmentTrapDeoptIsPrecise) {
+  if (!hostToolchain())
+    GTEST_SKIP() << "no host C compiler on this machine";
+
+  // The VmTrapRecoveryTest walk-off-the-array program: its hot loop runs
+  // 1024 iterations before the load faults mid-fragment. Warm-started
+  // with persisted native objects the loop executes natively from its
+  // first translated pass, so the trap is raised from compiled host code
+  // and must recover the exact interpreter state through the PEI table.
+  using Op = alpha::Opcode;
+  auto Build = [](GuestMemory &Mem) {
+    alpha::Assembler Asm(0x10000);
+    Asm.loadImm(16, 0x20000);
+    Asm.loadImm(17, 4000);
+    Asm.movi(0, 9);
+    auto Loop = Asm.createLabel("loop");
+    Asm.bind(Loop);
+    Asm.operatei(Op::ADDQ, 9, 3, 2);
+    Asm.operatei(Op::SLL, 2, 2, 3);
+    Asm.ldq(4, 0, 16);
+    Asm.operate(Op::XOR, 3, 4, 5);
+    Asm.operate(Op::ADDQ, 9, 5, 9);
+    Asm.lda(16, 8, 16);
+    Asm.operatei(Op::SUBL, 17, 1, 17);
+    Asm.condBr(Op::BNE, 17, Loop);
+    Asm.halt();
+    std::vector<uint32_t> Words = Asm.finalize();
+    for (size_t I = 0; I != Words.size(); ++I)
+      Mem.poke32(0x10000 + I * 4, Words[I]);
+    Mem.mapRegion(0x20000, 0x2000);
+    for (unsigned I = 0; I != 1024; ++I)
+      Mem.poke64(0x20000 + I * 8, I * 0x9E3779B97F4A7C15ull);
+    return uint64_t(0x10000);
+  };
+
+  ArchState Ref;
+  Trap RefTrap;
+  {
+    GuestMemory Mem;
+    uint64_t Entry = Build(Mem);
+    Interpreter Interp(Mem);
+    Interp.state().Pc = Entry;
+    StepInfo Last = Interp.run(1'000'000);
+    ASSERT_EQ(Last.Status, StepStatus::Trapped);
+    Ref = Interp.state();
+    RefTrap = Last.TrapInfo;
+  }
+  ASSERT_EQ(RefTrap.Kind, TrapKind::MemUnmapped);
+
+  std::string Path = tempStorePath("trapdeopt");
+  VmConfig Config = nativeConfig();
+  Config.NativeThreshold = 1;
+  Config.PersistPath = Path;
+  StatisticSet Stats;
+  RunResult Result;
+  for (int Round = 0; Round != 2; ++Round) { // Round 1 runs warm+native.
+    GuestMemory Mem;
+    uint64_t Entry = Build(Mem);
+    VirtualMachine Vm(Mem, Entry, Config);
+    Result = Vm.run();
+    ASSERT_EQ(Result.Reason, StopReason::Trapped);
+    Stats = Vm.stats();
+
+    EXPECT_EQ(Result.Trap.TrapInfo.Kind, RefTrap.Kind);
+    EXPECT_EQ(Result.Trap.TrapInfo.Pc, RefTrap.Pc);
+    EXPECT_EQ(Result.Trap.TrapInfo.MemAddr, RefTrap.MemAddr);
+    for (unsigned Reg = 0; Reg != alpha::NumGprs; ++Reg)
+      EXPECT_EQ(Result.Trap.Arch.readGpr(Reg), Ref.readGpr(Reg))
+          << "round " << Round << ": register r" << Reg
+          << " not precisely recovered";
+    EXPECT_EQ(Result.Trap.Arch.Pc, Ref.Pc);
+  }
+  // The warm round really took the native path up to the trap.
+  EXPECT_GT(Stats.get("native.runs"), 0u);
+  EXPECT_GT(Stats.get("exit.trap"), 0u);
+  std::remove(Path.c_str());
+}

@@ -19,6 +19,8 @@
 
 #include "persist/CacheStore.h"
 
+#include "native/NativeCompiler.h"
+#include "native/NativeStore.h"
 #include "persist/Crc32.h"
 #include "support/Rng.h"
 #include "vm/VirtualMachine.h"
@@ -359,6 +361,105 @@ TEST(CacheStoreFuzz, VmDegradesWithTypedReasonPerCorruption) {
     EXPECT_EQ(Healed.Stats.get("persist.store_hit"), 1u) << C.Name;
     EXPECT_EQ(Healed.Stats.get("dbt.fragments"), 0u) << C.Name;
   }
+}
+
+TEST(CacheStoreFuzz, StaleNativeObjectPayloadIsRejectedTyped) {
+  if (!native::hostCompiler().found())
+    GTEST_SKIP() << "no host C compiler on this machine";
+
+  std::string Path = tempPath("fuzz-native-stale.tstore");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+  Config.NativeTier = true;
+  Config.NativeThreshold = 8;
+  VmOutcome Cold = runGzip(Config);
+  ASSERT_EQ(Cold.Stats.get("persist.save_ok"), 1u);
+  ASSERT_GT(Cold.Stats.get("native.compiles"), 0u);
+
+  // Re-sign the native slot as if a different toolchain/ABI had written
+  // it: structurally pristine payload, wrong compile-command checksum.
+  const uint64_t Checksum = native::hostCompiler().Checksum;
+  {
+    CacheStore Store;
+    ASSERT_EQ(Store.open(Path), StoreStatus::Ok);
+    uint64_t NativeSlot = 0;
+    std::map<uint64_t, std::vector<uint8_t>> Objects;
+    for (const StoreImage &Img : Store.images()) {
+      const std::vector<uint8_t> *Raw = Store.lookupRaw(Img.Fingerprint);
+      if (Raw && native::decodeObjects(*Raw, Checksum, Objects) ==
+                     native::NativeStoreStatus::Ok) {
+        NativeSlot = Img.Fingerprint;
+        break;
+      }
+    }
+    ASSERT_NE(NativeSlot, 0u) << "no native slot in the saved store";
+    ASSERT_FALSE(Objects.empty());
+    Store.putRaw(NativeSlot, native::encodeObjects(Objects, Checksum ^ 1));
+    ASSERT_TRUE(Store.save(Path));
+  }
+
+  // The stale payload must be rejected with its typed reason BEFORE any
+  // object is decoded or dlopen'd; the fragment import is untouched, the
+  // answer doesn't change, and the tier recompiles from source.
+  VmOutcome Warm = runGzip(Config);
+  EXPECT_EQ(Warm.Stats.get("persist.import_rejected.native_stale"), 1u);
+  EXPECT_EQ(Warm.Stats.get("persist.load_ok"), 1u);
+  EXPECT_EQ(Warm.Stats.get("dbt.fragments"), 0u);
+  EXPECT_EQ(Warm.Stats.get("native.imported_objects"), 0u);
+  EXPECT_GT(Warm.Stats.get("native.compiles"), 0u);
+  EXPECT_EQ(Warm.Checksum, Cold.Checksum);
+
+  // The warm run's exit save re-signed the slot with the live checksum:
+  // the artifact is healed and imports cleanly again.
+  VmOutcome Healed = runGzip(Config);
+  EXPECT_EQ(Healed.Stats.get("persist.import_rejected.native_stale"), 0u);
+  EXPECT_GT(Healed.Stats.get("native.imported_objects"), 0u);
+  EXPECT_EQ(Healed.Checksum, Cold.Checksum);
+}
+
+TEST(CacheStoreFuzz, MalformedNativePayloadIsRejectedTyped) {
+  // A toolchain is required twice over: the cold seed only writes a
+  // native slot when it can compile, and the import path only runs with
+  // a live native service.
+  if (!native::hostCompiler().found())
+    GTEST_SKIP() << "no host C compiler on this machine";
+
+  std::string Path = tempPath("fuzz-native-malformed.tstore");
+  vm::VmConfig Config;
+  Config.PersistPath = Path;
+  Config.NativeTier = true;
+  Config.NativeThreshold = 8;
+  VmOutcome Cold = runGzip(Config);
+  ASSERT_EQ(Cold.Stats.get("persist.save_ok"), 1u);
+
+  const uint64_t Checksum = native::hostCompiler().Checksum;
+  {
+    CacheStore Store;
+    ASSERT_EQ(Store.open(Path), StoreStatus::Ok);
+    uint64_t NativeSlot = 0;
+    std::map<uint64_t, std::vector<uint8_t>> Objects;
+    for (const StoreImage &Img : Store.images()) {
+      const std::vector<uint8_t> *Raw = Store.lookupRaw(Img.Fingerprint);
+      if (Raw && native::decodeObjects(*Raw, Checksum, Objects) ==
+                     native::NativeStoreStatus::Ok) {
+        NativeSlot = Img.Fingerprint;
+        break;
+      }
+    }
+    ASSERT_NE(NativeSlot, 0u);
+    // Truncate the payload mid-object: passes the store's CRC (re-signed
+    // by save), fails native structural decoding.
+    std::vector<uint8_t> Bad = native::encodeObjects(Objects, Checksum);
+    Bad.resize(Bad.size() - 1);
+    Store.putRaw(NativeSlot, std::move(Bad));
+    ASSERT_TRUE(Store.save(Path));
+  }
+
+  VmOutcome Warm = runGzip(Config);
+  EXPECT_EQ(Warm.Stats.get("persist.import_rejected.native_malformed"), 1u);
+  EXPECT_EQ(Warm.Stats.get("persist.load_ok"), 1u);
+  EXPECT_EQ(Warm.Stats.get("native.imported_objects"), 0u);
+  EXPECT_EQ(Warm.Checksum, Cold.Checksum);
 }
 
 TEST(CacheStoreFuzz, VmSurvivesSampledByteFlipSweep) {

@@ -8,17 +8,22 @@
 /// Cross-feature conformance matrix: every workload under every
 /// combination of {synchronous, background translation} x {unbounded,
 /// tiny code-cache budget} x {cold start, warm start from one shared
-/// multi-image store} x {no faults, one armed fault site}. The DBT
-/// features were each proven correct in isolation; this harness proves
-/// they compose — whatever the cell, architected state is bit-identical
-/// to pure interpretation, the chain invariant holds, the byte budget is
-/// never exceeded, and warm starts really warm: the unbounded no-fault
-/// warm cells must report ZERO translation work, sync and async alike,
-/// all twelve images served by a single store artifact.
+/// multi-image store} x {no faults, one armed fault site} x {I-ISA only,
+/// native host tier}. The DBT features were each proven correct in
+/// isolation; this harness proves they compose — whatever the cell,
+/// architected state is bit-identical to pure interpretation, the chain
+/// invariant holds, the byte budget is never exceeded, and warm starts
+/// really warm: the unbounded no-fault warm cells must report ZERO
+/// translation work, sync and async alike, all twelve images served by a
+/// single store artifact. Native cells re-aim the armed fault at the
+/// native compile (cold) or dlopen (warm) site — degrading to the I-ISA
+/// tier, never to a wrong answer — and run unchanged where no host
+/// toolchain exists (the tier simply stays disabled).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/FaultInjector.h"
+#include "native/NativeCompiler.h"
 #include "vm/VirtualMachine.h"
 #include "workloads/Workloads.h"
 
@@ -94,6 +99,7 @@ struct Cell {
   bool Tiny = false;
   bool Warm = false;
   bool Fault = false;
+  bool Native = false;
 };
 
 struct CellOutcome {
@@ -117,11 +123,23 @@ CellOutcome runCell(const std::string &Name, const Cell &C) {
     Config.PersistPath = sharedStorePath();
     Config.PersistSave = false; // Cells must not mutate the shared store.
   }
+  if (C.Native) {
+    Config.NativeTier = true;
+    Config.NativeThreshold = 16;
+  }
   FaultInjector Inj;
   if (C.Fault) {
-    // Warm cells fault the import (degrade to cold); cold cells fault the
-    // first code-generation attempt (degrade to interpret-and-retry).
-    Inj.armCount(C.Warm ? FaultSite::PersistImport : FaultSite::CodeGen, 1);
+    if (C.Native) {
+      // Native cells aim the fault at the native tier itself: cold cells
+      // fail a host compile, warm cells fail a dlopen; both must degrade
+      // to the I-ISA tier with the answer unchanged.
+      Inj.armCount(C.Warm ? FaultSite::NativeLoad : FaultSite::NativeCompile,
+                   1);
+    } else {
+      // Warm cells fault the import (degrade to cold); cold cells fault
+      // the first code-generation attempt (interpret-and-retry).
+      Inj.armCount(C.Warm ? FaultSite::PersistImport : FaultSite::CodeGen, 1);
+    }
     Config.Dbt.Fault = &Inj;
   }
 
@@ -134,15 +152,17 @@ CellOutcome runCell(const std::string &Name, const Cell &C) {
 } // namespace
 
 class VmConformance
-    : public ::testing::TestWithParam<std::tuple<bool, bool, bool, bool>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<bool, bool, bool, bool, bool>> {};
 
 TEST_P(VmConformance, AllWorkloadsMatchInterpreter) {
   Cell C;
-  std::tie(C.Async, C.Tiny, C.Warm, C.Fault) = GetParam();
+  std::tie(C.Async, C.Tiny, C.Warm, C.Fault, C.Native) = GetParam();
   std::string Suffix = std::string(C.Async ? "/async" : "/sync") +
                        (C.Tiny ? "/tiny" : "/unbounded") +
                        (C.Warm ? "/warm" : "/cold") +
-                       (C.Fault ? "/fault" : "");
+                       (C.Fault ? "/fault" : "") +
+                       (C.Native ? "/native" : "");
 
   for (const std::string &W : workloads::workloadNames()) {
     const ArchState &Ref = referenceRun(W);
@@ -158,7 +178,16 @@ TEST_P(VmConformance, AllWorkloadsMatchInterpreter) {
           << Context;
     }
 
-    if (C.Warm && C.Fault) {
+    if (C.Native) {
+      // The tier engages only where a toolchain exists; either way the
+      // architected-state check above is the bar, and every non-native
+      // statistic asserted below is identical to the native-off cell.
+      EXPECT_EQ(Out.Stats.get("native.enabled"),
+                native::hostCompiler().found() ? 1u : 0u)
+          << Context;
+    }
+
+    if (C.Warm && C.Fault && !C.Native) {
       // The armed import fault must degrade to a counted cold start.
       EXPECT_EQ(Out.Stats.get("persist.import_rejected.injected-fault"), 1u)
           << Context;
@@ -188,11 +217,13 @@ TEST_P(VmConformance, AllWorkloadsMatchInterpreter) {
 INSTANTIATE_TEST_SUITE_P(
     Matrix, VmConformance,
     ::testing::Combine(::testing::Bool(), ::testing::Bool(),
-                       ::testing::Bool(), ::testing::Bool()),
-    [](const ::testing::TestParamInfo<std::tuple<bool, bool, bool, bool>>
-           &Info) {
+                       ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<
+        std::tuple<bool, bool, bool, bool, bool>> &Info) {
       return std::string(std::get<0>(Info.param) ? "Async" : "Sync") +
              (std::get<1>(Info.param) ? "Tiny" : "Unbounded") +
              (std::get<2>(Info.param) ? "Warm" : "Cold") +
-             (std::get<3>(Info.param) ? "Fault" : "NoFault");
+             (std::get<3>(Info.param) ? "Fault" : "NoFault") +
+             (std::get<4>(Info.param) ? "Native" : "Iisa");
     });
