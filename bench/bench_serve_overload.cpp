@@ -1,0 +1,524 @@
+//===- bench/bench_serve_overload.cpp - Overload chaos harness ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the fleet service at 10x its measured capacity — sustained
+/// open-loop arrivals with mixed priorities, deadlines on the normal
+/// lane, and one hostile tenant hammering far past its admission quota —
+/// and checks that overload degrades the way DESIGN.md §14 promises:
+///
+///  - interactive-lane p99 sojourn stays bounded by its (shallow) lane
+///    depth and dequeue weight — no shared-queue cliff where interactive
+///    requests rot behind a batch backlog;
+///  - every accepted promise is fulfilled (no broken futures, ever);
+///  - every rejection is typed (queue-full / tenant-quota / deadline),
+///    with RetryAfterMs >= 1 on every tenant-quota rejection;
+///  - every completed response is bit-identical to a standalone cold-VM
+///    run of the same workload — overload never corrupts results.
+///
+/// Phase 1 calibrates capacity with a closed burst through the same fleet
+/// (which also seeds the admission EWMA that prices deadline sheds), then
+/// phase 2 submits the overload schedule pinned to a 10x arrival clock.
+///
+/// Emits BENCH_serve_overload.json next to the binary. --smoke shrinks
+/// the run for sanitizer CI and skips the timing gate (sanitized hosts
+/// cannot make latency promises) while keeping every invariant gate.
+///
+/// Workloads run at scale 1 regardless of ILDP_BENCH_SCALE: this bench
+/// measures scheduling behavior, not guest execution length.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "alpha/AlphaIsa.h"
+#include "serve/ExecutionScheduler.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ildp;
+using namespace ildp::bench;
+using namespace ildp::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+      .count();
+}
+
+/// Traffic classes of the overload schedule. Hostile rides the normal and
+/// batch lanes but is accounted separately — its fate is decided by its
+/// tenant quota, not its lane.
+enum class TrafficClass : uint8_t { Interactive, Normal, Batch, Hostile };
+constexpr unsigned NumClasses = 4;
+
+const char *className(TrafficClass C) {
+  switch (C) {
+  case TrafficClass::Interactive:
+    return "interactive";
+  case TrafficClass::Normal:
+    return "normal";
+  case TrafficClass::Batch:
+    return "batch";
+  case TrafficClass::Hostile:
+    return "hostile";
+  }
+  return "?";
+}
+
+/// One planned arrival of the open-loop schedule.
+struct Arrival {
+  double ArrivalMs = 0;
+  unsigned WorkloadIdx = 0;
+  TrafficClass Class = TrafficClass::Normal;
+};
+
+/// One submitted request and its observed fate.
+struct Item {
+  std::future<ExecResponse> Fut;
+  double SubmitMs = 0;
+  double DoneMs = -1; ///< Stamped by the poller thread.
+  unsigned WorkloadIdx = 0;
+  TrafficClass Class = TrafficClass::Normal;
+};
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t Idx = std::min(V.size() - 1, size_t(P / 100.0 * double(V.size())));
+  return V[Idx];
+}
+
+/// Per-class accounting folded from the finished items.
+struct ClassTally {
+  uint64_t Submitted = 0;
+  std::array<uint64_t, NumExecStatuses> ByStatus{};
+  std::vector<double> OkSojournMs;
+  uint32_t RetryAfterMin = ~uint32_t(0);
+  uint32_t RetryAfterMax = 0;
+};
+
+void writeJson(bool Smoke, const FleetConfig &Config, unsigned Requests,
+               double CapacityReqPerSec, double MeanServiceMs,
+               double TargetReqPerSec, double DurationMs,
+               const std::array<ClassTally, NumClasses> &Classes,
+               const StatisticSet &FleetStats, double P99BoundMs,
+               const std::map<std::string, bool> &Gates) {
+  std::FILE *Out = std::fopen("BENCH_serve_overload.json", "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write BENCH_serve_overload.json\n");
+    std::exit(1);
+  }
+  std::fprintf(Out, "{\n  \"smoke\": %s,\n", Smoke ? "true" : "false");
+  std::fprintf(Out,
+               "  \"workers\": %u,\n  \"lane_depths\": [%zu, %zu, %zu],\n"
+               "  \"lane_weights\": [%u, %u, %u],\n",
+               Config.Workers, Config.LaneDepths[0], Config.LaneDepths[1],
+               Config.LaneDepths[2], Config.LaneWeights[0],
+               Config.LaneWeights[1], Config.LaneWeights[2]);
+  std::fprintf(Out,
+               "  \"calibration\": {\"req_per_sec\": %.1f, "
+               "\"mean_service_ms\": %.3f},\n",
+               CapacityReqPerSec, MeanServiceMs);
+  std::fprintf(Out,
+               "  \"overload\": {\n    \"target_req_per_sec\": %.1f,\n"
+               "    \"submitted\": %u,\n    \"duration_ms\": %.1f,\n"
+               "    \"p99_bound_ms\": %.1f,\n    \"classes\": [\n",
+               TargetReqPerSec, Requests, DurationMs, P99BoundMs);
+  for (unsigned C = 0; C != NumClasses; ++C) {
+    const ClassTally &T = Classes[C];
+    std::fprintf(Out,
+                 "      {\"class\": \"%s\", \"submitted\": %llu",
+                 className(TrafficClass(C)),
+                 (unsigned long long)T.Submitted);
+    for (unsigned S = 0; S != NumExecStatuses; ++S)
+      if (T.ByStatus[S])
+        std::fprintf(Out, ", \"%s\": %llu",
+                     getExecStatusName(ExecStatus(S)),
+                     (unsigned long long)T.ByStatus[S]);
+    std::fprintf(Out, ", \"ok_p50_ms\": %.2f, \"ok_p99_ms\": %.2f",
+                 percentile(T.OkSojournMs, 50),
+                 percentile(T.OkSojournMs, 99));
+    if (T.RetryAfterMax)
+      std::fprintf(Out,
+                   ", \"retry_after_ms_min\": %u, \"retry_after_ms_max\": %u",
+                   T.RetryAfterMin, T.RetryAfterMax);
+    std::fprintf(Out, "}%s\n", C + 1 != NumClasses ? "," : "");
+  }
+  std::fprintf(Out,
+               "    ],\n    \"shed_expired_in_queue\": %llu,\n"
+               "    \"shed_deadline_unmeetable\": %llu\n  },\n",
+               (unsigned long long)FleetStats.get("serve.shed.expired_in_queue"),
+               (unsigned long long)FleetStats.get(
+                   "serve.shed.deadline_unmeetable"));
+  std::fprintf(Out, "  \"gates\": {");
+  bool First = true;
+  for (const auto &[Name, Pass] : Gates) {
+    std::fprintf(Out, "%s\"%s\": %s", First ? "" : ", ", Name.c_str(),
+                 Pass ? "true" : "false");
+    First = false;
+  }
+  std::fprintf(Out, "}\n}\n");
+  std::fclose(Out);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  if (argc == 2 && std::strcmp(argv[1], "--smoke") == 0)
+    Smoke = true;
+  else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+    return 2;
+  }
+
+  printBanner("Fleet overload chaos harness (10x sustained, mixed lanes)",
+              "service extension; DESIGN.md section 14 overload control");
+
+  const std::vector<std::string> &Names = workloads::workloadNames();
+  const unsigned NumW = unsigned(Names.size());
+
+  // Standalone cold-VM references: the bit-identity oracle for every Ok
+  // response the overloaded fleet produces.
+  std::vector<ArchState> Reference(NumW);
+  for (unsigned I = 0; I != NumW; ++I) {
+    GuestMemory Mem;
+    workloads::WorkloadImage Img = workloads::buildWorkload(Names[I], Mem, 1);
+    vm::VirtualMachine Vm(Mem, Img.EntryPc, vm::VmConfig{});
+    if (Vm.run().Reason != vm::StopReason::Halted) {
+      std::fprintf(stderr, "%s: reference run did not halt\n",
+                   Names[I].c_str());
+      return 1;
+    }
+    Reference[I] = Vm.interpreter().state();
+  }
+
+  // One shared warm store, seeded by cold saving runs of every workload,
+  // so the served work is pure execution.
+  std::string StorePath = "bench_serve_overload.tstore";
+  std::remove(StorePath.c_str());
+  for (const std::string &W : Names) {
+    GuestMemory Mem;
+    workloads::WorkloadImage Img = workloads::buildWorkload(W, Mem, 1);
+    vm::VmConfig Config;
+    Config.PersistPath = StorePath;
+    vm::VirtualMachine Vm(Mem, Img.EntryPc, Config);
+    if (Vm.run().Reason != vm::StopReason::Halted) {
+      std::fprintf(stderr, "%s: seeding run did not halt\n", W.c_str());
+      return 1;
+    }
+  }
+
+  // The fleet under attack: shallow interactive lane (tight latency
+  // bound), deeper normal/batch lanes, default 8:3:1 dequeue weights, and
+  // a strict quota on the hostile tenant.
+  FleetConfig Config;
+  Config.Workers = 4;
+  Config.QueueDepth = 64;
+  Config.LaneDepths = {16, 64, 64};
+  Config.StorePath = StorePath;
+  TenantQuota HostileQuota;
+  HostileQuota.TokensPerSec = 20;
+  HostileQuota.Burst = 8;
+  HostileQuota.MaxInFlight = 2;
+  Config.TenantQuotas["hostile"] = HostileQuota;
+
+  ExecutionScheduler Sched(Config);
+  if (!Sched.fleet().storeLoaded()) {
+    std::fprintf(stderr, "store %s did not load\n", StorePath.c_str());
+    return 1;
+  }
+  Sched.fleet().registerWorkloads(/*Scale=*/1);
+
+  // Phase 1: capacity calibration. A closed burst through the same fleet
+  // measures requests/sec and per-workload service time under exactly the
+  // worker/host conditions of the overload run, and seeds the admission
+  // EWMA that prices deadline sheds.
+  const unsigned CalRounds = 3;
+  const unsigned CalN = NumW * CalRounds;
+  std::vector<std::future<ExecResponse>> CalFutures;
+  CalFutures.reserve(CalN);
+  Clock::time_point CalStart = Clock::now();
+  for (unsigned I = 0; I != CalN; ++I) {
+    ExecRequest Req;
+    Req.Workload = Names[I % NumW];
+    CalFutures.push_back(Sched.submit(std::move(Req)));
+  }
+  std::vector<double> WorkloadWallMs(NumW, 0);
+  for (unsigned I = 0; I != CalN; ++I) {
+    ExecResponse Resp = CalFutures[I].get();
+    if (!Resp.ok()) {
+      std::fprintf(stderr, "calibration request %u failed: %s/%s\n", I,
+                   getExecStatusName(Resp.Status), Resp.Detail);
+      return 1;
+    }
+    WorkloadWallMs[I % NumW] += Resp.WallMicros / 1000.0 / CalRounds;
+  }
+  double CalElapsedMs = msSince(CalStart);
+  double CapacityReqPerSec =
+      CalElapsedMs > 0 ? 1000.0 * double(CalN) / CalElapsedMs : 1000.0;
+  double MeanServiceMs = 0;
+  for (double W : WorkloadWallMs)
+    MeanServiceMs += W / double(NumW);
+
+  // Classify workloads by measured service time: the fastest third is the
+  // interactive traffic, the slowest third the batch traffic.
+  std::vector<unsigned> BySpeed(NumW);
+  for (unsigned I = 0; I != NumW; ++I)
+    BySpeed[I] = I;
+  std::sort(BySpeed.begin(), BySpeed.end(), [&](unsigned A, unsigned B) {
+    return WorkloadWallMs[A] < WorkloadWallMs[B];
+  });
+  const unsigned Third = NumW / 3;
+
+  // Phase 2: build the 10x open-loop schedule. Each tick carries one
+  // well-behaved arrival (10 interactive : 7 normal : 3 batch per 20
+  // ticks) and every second tick adds a hostile arrival, so ticks run at
+  // (10x capacity) / 1.5.
+  const double TargetReqPerSec = 10.0 * CapacityReqPerSec;
+  const double TickPerSec = TargetReqPerSec / 1.5;
+  const double DurationSec = Smoke ? 0.4 : 2.0;
+  const unsigned MinN = Smoke ? 100 : 300;
+  const unsigned MaxN = Smoke ? 600 : 6000;
+  const uint64_t NormalDeadlineUs =
+      uint64_t(std::max(1.0, MeanServiceMs * 30.0) * 1000.0);
+
+  std::vector<Arrival> Schedule;
+  for (unsigned Tick = 0; Schedule.size() < MaxN; ++Tick) {
+    double At = 1000.0 * double(Tick) / TickPerSec;
+    if (At > 1000.0 * DurationSec && Schedule.size() >= MinN)
+      break;
+    Arrival A;
+    A.ArrivalMs = At;
+    unsigned Slot = Tick % 20;
+    if (Slot < 10) {
+      A.Class = TrafficClass::Interactive;
+      A.WorkloadIdx = BySpeed[Tick % Third];
+    } else if (Slot < 17) {
+      A.Class = TrafficClass::Normal;
+      A.WorkloadIdx = BySpeed[Third + Tick % Third];
+    } else {
+      A.Class = TrafficClass::Batch;
+      A.WorkloadIdx = BySpeed[NumW - Third + Tick % Third];
+    }
+    Schedule.push_back(A);
+    if (Tick % 2 == 0 && Schedule.size() < MaxN) {
+      Arrival H;
+      H.ArrivalMs = At;
+      H.Class = TrafficClass::Hostile;
+      H.WorkloadIdx = BySpeed[Tick % Third];
+      Schedule.push_back(H);
+    }
+  }
+  const unsigned N = unsigned(Schedule.size());
+
+  std::printf("capacity %.1f req/s (mean service %.2f ms); attacking at "
+              "%.1f req/s: %u arrivals over %.1f ms%s\n\n",
+              CapacityReqPerSec, MeanServiceMs, TargetReqPerSec, N,
+              Schedule.back().ArrivalMs, Smoke ? " [smoke]" : "");
+
+  // Submit on the arrival clock; a poller thread stamps completions.
+  std::vector<Item> Items(N);
+  std::atomic<unsigned> NSubmitted{0};
+  std::atomic<bool> PollerGiveUp{false};
+  Clock::time_point T0 = Clock::now();
+  std::thread Poller([&] {
+    unsigned Done = 0;
+    while (!PollerGiveUp.load(std::memory_order_relaxed)) {
+      unsigned Avail = NSubmitted.load(std::memory_order_acquire);
+      for (unsigned I = 0; I != Avail; ++I) {
+        Item &It = Items[I];
+        if (It.DoneMs >= 0)
+          continue;
+        if (It.Fut.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+          It.DoneMs = msSince(T0);
+          ++Done;
+        }
+      }
+      if (Done == N)
+        return;
+      // Safety valve: a broken future must fail the gate, not hang the
+      // bench. Far beyond any drain time of this schedule.
+      if (msSince(T0) > 180'000)
+        return;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (unsigned I = 0; I != N; ++I) {
+    const Arrival &A = Schedule[I];
+    std::this_thread::sleep_until(
+        T0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::milli>(A.ArrivalMs)));
+    ExecRequest Req;
+    Req.Workload = Names[A.WorkloadIdx];
+    switch (A.Class) {
+    case TrafficClass::Interactive:
+      Req.Lane = Priority::Interactive;
+      break;
+    case TrafficClass::Normal:
+      Req.Lane = Priority::Normal;
+      Req.DeadlineMicros = NormalDeadlineUs;
+      break;
+    case TrafficClass::Batch:
+      Req.Lane = Priority::Batch;
+      break;
+    case TrafficClass::Hostile:
+      Req.Tenant = "hostile";
+      Req.Lane = I % 4 < 2 ? Priority::Normal : Priority::Batch;
+      break;
+    }
+    Items[I].SubmitMs = msSince(T0);
+    Items[I].WorkloadIdx = A.WorkloadIdx;
+    Items[I].Class = A.Class;
+    Items[I].Fut = Sched.submit(std::move(Req));
+    NSubmitted.store(I + 1, std::memory_order_release);
+  }
+
+  // Drain: every queued request executes, every promise is fulfilled.
+  Sched.shutdown(/*FinishQueued=*/true);
+  Poller.join();
+  double DurationMs = msSince(T0);
+
+  // Fold outcomes and check every invariant.
+  std::array<ClassTally, NumClasses> Classes;
+  unsigned Unfulfilled = 0, Mismatched = 0, Untyped = 0, QuotaNoRetry = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    Item &It = Items[I];
+    ClassTally &T = Classes[unsigned(It.Class)];
+    ++T.Submitted;
+    if (It.DoneMs < 0 || It.Fut.wait_for(std::chrono::seconds(0)) !=
+                             std::future_status::ready) {
+      ++Unfulfilled;
+      continue;
+    }
+    ExecResponse Resp = It.Fut.get();
+    ++T.ByStatus[unsigned(Resp.Status)];
+    switch (Resp.Status) {
+    case ExecStatus::Ok: {
+      const ArchState &Ref = Reference[It.WorkloadIdx];
+      bool Same = Resp.Checksum == Ref.readGpr(alpha::RegV0);
+      for (unsigned Reg = 0; Same && Reg != alpha::NumGprs; ++Reg)
+        Same = Resp.Arch.readGpr(Reg) == Ref.readGpr(Reg);
+      if (!Same)
+        ++Mismatched;
+      T.OkSojournMs.push_back(It.DoneMs - It.SubmitMs);
+      break;
+    }
+    case ExecStatus::TenantQuotaExceeded:
+      if (Resp.RetryAfterMs < 1)
+        ++QuotaNoRetry;
+      T.RetryAfterMin = std::min(T.RetryAfterMin, Resp.RetryAfterMs);
+      T.RetryAfterMax = std::max(T.RetryAfterMax, Resp.RetryAfterMs);
+      [[fallthrough]];
+    case ExecStatus::QueueFull:
+    case ExecStatus::DeadlineExceeded:
+      if (Resp.Detail[0] == '\0')
+        ++Untyped;
+      break;
+    default:
+      // Trapped/BadImage/InstBudget/ShutDown cannot legitimately appear
+      // in this schedule: overload produced a wrong status.
+      ++Untyped;
+      break;
+    }
+  }
+
+  // Interactive p99 bound: an admitted interactive request sits behind at
+  // most its full lane, interleaved at TotalWeight/InteractiveWeight by
+  // the deficit dequeue, divided across the workers — plus slack for its
+  // own service and host noise. A shared-FIFO cliff (interactive behind
+  // the whole normal+batch backlog) lands far beyond this.
+  const unsigned TotalWeight =
+      Config.LaneWeights[0] + Config.LaneWeights[1] + Config.LaneWeights[2];
+  const double WorstDequeues =
+      std::ceil(double(Config.LaneDepths[0] * TotalWeight) /
+                double(Config.LaneWeights[0]));
+  const double P99BoundMs =
+      2.0 * (WorstDequeues / double(Config.Workers) + 2.0) * MeanServiceMs +
+      50.0;
+
+  StatisticSet FleetStats = Sched.fleet().stats();
+  const ClassTally &Inter = Classes[unsigned(TrafficClass::Interactive)];
+  const ClassTally &Hostile = Classes[unsigned(TrafficClass::Hostile)];
+  double InterP99 = percentile(Inter.OkSojournMs, 99);
+  uint64_t Rejected = 0;
+  for (const ClassTally &T : Classes)
+    for (unsigned S = 0; S != NumExecStatuses; ++S)
+      if (ExecStatus(S) != ExecStatus::Ok)
+        Rejected += T.ByStatus[S];
+
+  std::map<std::string, bool> Gates;
+  Gates["all_promises_fulfilled"] = Unfulfilled == 0;
+  Gates["responses_bit_identical"] = Mismatched == 0;
+  Gates["rejections_typed"] = Untyped == 0;
+  Gates["quota_retry_after_populated"] = QuotaNoRetry == 0;
+  if (!Smoke) {
+    Gates["overload_realized"] = Rejected > 0;
+    Gates["hostile_quota_enforced"] =
+        Hostile.ByStatus[unsigned(ExecStatus::TenantQuotaExceeded)] > 0;
+    Gates["interactive_p99_bounded"] =
+        Inter.OkSojournMs.size() >= 20 && InterP99 <= P99BoundMs;
+  }
+
+  TablePrinter T({"class", "submitted", "ok", "queue-full", "quota",
+                  "deadline", "p50 ms", "p99 ms"});
+  for (unsigned C = 0; C != NumClasses; ++C) {
+    const ClassTally &Tc = Classes[C];
+    T.beginRow();
+    T.cell(className(TrafficClass(C)));
+    T.cellInt(int64_t(Tc.Submitted));
+    T.cellInt(int64_t(Tc.ByStatus[unsigned(ExecStatus::Ok)]));
+    T.cellInt(int64_t(Tc.ByStatus[unsigned(ExecStatus::QueueFull)]));
+    T.cellInt(
+        int64_t(Tc.ByStatus[unsigned(ExecStatus::TenantQuotaExceeded)]));
+    T.cellInt(int64_t(Tc.ByStatus[unsigned(ExecStatus::DeadlineExceeded)]));
+    T.cellFloat(percentile(Tc.OkSojournMs, 50), 2);
+    T.cellFloat(percentile(Tc.OkSojournMs, 99), 2);
+  }
+  T.print();
+  std::printf("\nsheds: expired_in_queue=%llu deadline_unmeetable=%llu; "
+              "interactive p99 %.2f ms (bound %.1f ms)\n",
+              (unsigned long long)FleetStats.get("serve.shed.expired_in_queue"),
+              (unsigned long long)FleetStats.get(
+                  "serve.shed.deadline_unmeetable"),
+              InterP99, P99BoundMs);
+
+  writeJson(Smoke, Config, N, CapacityReqPerSec, MeanServiceMs,
+            TargetReqPerSec, DurationMs, Classes, FleetStats, P99BoundMs,
+            Gates);
+  std::printf("results written to BENCH_serve_overload.json\n");
+  std::remove(StorePath.c_str());
+
+  bool AllPass = true;
+  for (const auto &[Name, Pass] : Gates) {
+    std::printf("gate %-28s %s\n", Name.c_str(), Pass ? "OK" : "FAILED");
+    AllPass = AllPass && Pass;
+  }
+  if (!AllPass) {
+    std::printf("\nOVERLOAD CHECK FAILED\n");
+    return 1;
+  }
+  std::printf("\noverload check OK: degradation was typed, bounded, and "
+              "bit-exact\n");
+  return 0;
+}

@@ -11,18 +11,27 @@
 /// a TCP socket with --port.
 ///
 ///   serve_demo [--store <path>] [--workers N] [--port P]
+///              [--quota <tenant>=<rate>/<burst>/<inflight>]...
+///              [--default-quota <rate>/<burst>/<inflight>]
 ///   serve_demo --seed <path>        build a warm store, then exit
 ///
 /// Protocol (one request per line, blank-separated fields):
 ///
-///   run <workload> [tenant=<t>] [max_insts=<n>] [deadline_us=<n>]
+///   run <workload> [tenant=<t>] [priority=<interactive|normal|batch>]
+///                  [max_insts=<n>] [deadline_us=<n>] [cache_bytes=<n>]
 ///   stats
 ///   quit
 ///
 /// Responses:
 ///
 ///   ok <checksum-hex> insts=<n> wall_us=<n> worker=<n>
-///   err <status> <detail>
+///   err <status> <detail> [retry_after_ms=<n>]
+///
+/// The TCP path speaks raw file descriptors and survives hostile
+/// clients: reads and writes retry on EINTR, short writes are completed,
+/// SIGPIPE is ignored (a client vanishing mid-response costs that
+/// connection, never the server), over-long lines drop the connection,
+/// and the accept loop outlives every per-connection failure.
 ///
 /// Example session:
 ///
@@ -46,6 +55,8 @@
 
 #ifndef _WIN32
 #include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -73,8 +84,8 @@ std::string serveLine(ExecutionScheduler &Sched, const std::string &Line) {
     return Out.empty() ? "(no stats)" : Out;
   }
   if (Cmd == "help" || Cmd != "run")
-    return "err bad-command usage: run <workload> [tenant=t] [max_insts=n] "
-           "[deadline_us=n] | stats | quit";
+    return "err bad-command usage: run <workload> [tenant=t] [priority=p] "
+           "[max_insts=n] [deadline_us=n] | stats | quit";
 
   ExecRequest Req;
   In >> Req.Workload;
@@ -87,7 +98,11 @@ std::string serveLine(ExecutionScheduler &Sched, const std::string &Line) {
     std::string Val = Eq == std::string::npos ? "" : Opt.substr(Eq + 1);
     if (Key == "tenant")
       Req.Tenant = Val;
-    else if (Key == "max_insts")
+    else if (Key == "priority") {
+      if (!parsePriorityName(Val, Req.Lane))
+        return "err bad-command unknown priority " + Val +
+               " (interactive|normal|batch)";
+    } else if (Key == "max_insts")
       Req.MaxGuestInsts = std::strtoull(Val.c_str(), nullptr, 0);
     else if (Key == "deadline_us")
       Req.DeadlineMicros = std::strtoull(Val.c_str(), nullptr, 0);
@@ -98,9 +113,13 @@ std::string serveLine(ExecutionScheduler &Sched, const std::string &Line) {
   }
 
   ExecResponse Resp = Sched.submit(std::move(Req)).get();
-  if (!Resp.ok())
-    return std::string("err ") + getExecStatusName(Resp.Status) + " " +
-           Resp.Detail;
+  if (!Resp.ok()) {
+    std::string Out = std::string("err ") + getExecStatusName(Resp.Status) +
+                      " " + Resp.Detail;
+    if (Resp.RetryAfterMs)
+      Out += " retry_after_ms=" + std::to_string(Resp.RetryAfterMs);
+    return Out;
+  }
   char Buf[128];
   std::snprintf(Buf, sizeof(Buf), "ok %llx insts=%llu wall_us=%.0f worker=%u",
                 (unsigned long long)Resp.Checksum,
@@ -141,8 +160,109 @@ int seedStore(const std::string &Path) {
   return 0;
 }
 
+/// Parses "<rate>/<burst>/<inflight>" into \p Quota. Returns false on a
+/// malformed spec.
+bool parseQuotaSpec(const std::string &Spec, TenantQuota &Quota) {
+  size_t S1 = Spec.find('/');
+  size_t S2 = S1 == std::string::npos ? S1 : Spec.find('/', S1 + 1);
+  if (S2 == std::string::npos)
+    return false;
+  Quota.TokensPerSec = std::strtod(Spec.substr(0, S1).c_str(), nullptr);
+  Quota.Burst = std::strtod(Spec.substr(S1 + 1, S2 - S1 - 1).c_str(), nullptr);
+  Quota.MaxInFlight =
+      uint32_t(std::strtoul(Spec.substr(S2 + 1).c_str(), nullptr, 0));
+  return true;
+}
+
 #ifndef _WIN32
+
+/// Writes all of \p Len bytes to \p Fd, completing short writes and
+/// retrying EINTR. Returns false when the peer is gone (any other error).
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len != 0) {
+    ssize_t N = write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= size_t(N);
+  }
+  return true;
+}
+
+/// Buffered newline-delimited reader over a raw fd: partial reads and
+/// EINTR are internal details; callers see whole lines.
+class LineReader {
+public:
+  explicit LineReader(int Fd) : Fd(Fd) {}
+
+  enum class Status { Line, Eof, TooLong };
+
+  /// Reads the next line (CR/LF stripped) into \p Line. Eof covers both
+  /// orderly close and read errors — either way the connection is done.
+  Status readLine(std::string &Line) {
+    Line.clear();
+    for (;;) {
+      while (Pos != Len) {
+        char C = Buf[Pos++];
+        if (C == '\n') {
+          while (!Line.empty() && Line.back() == '\r')
+            Line.pop_back();
+          return Status::Line;
+        }
+        if (Line.size() >= MaxLine)
+          return Status::TooLong;
+        Line.push_back(C);
+      }
+      ssize_t N = read(Fd, Buf, sizeof(Buf));
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return Status::Eof;
+      }
+      if (N == 0)
+        return Status::Eof; // Orderly EOF; an unterminated tail is dropped.
+      Pos = 0;
+      Len = size_t(N);
+    }
+  }
+
+private:
+  static constexpr size_t MaxLine = 64 * 1024;
+  int Fd;
+  char Buf[4096];
+  size_t Pos = 0, Len = 0;
+};
+
+/// Serves one TCP client to completion. Any failure here is this
+/// connection's problem only.
+void serveClient(ExecutionScheduler &Sched, int Client) {
+  LineReader Reader(Client);
+  std::string Line;
+  for (;;) {
+    LineReader::Status S = Reader.readLine(Line);
+    if (S == LineReader::Status::Eof)
+      return;
+    if (S == LineReader::Status::TooLong) {
+      const char Err[] = "err bad-command line too long\n";
+      writeAll(Client, Err, sizeof(Err) - 1);
+      return;
+    }
+    std::string Resp = serveLine(Sched, Line);
+    if (Resp.empty())
+      return; // quit
+    Resp += '\n';
+    if (!writeAll(Client, Resp.data(), Resp.size()))
+      return; // Peer went away mid-response.
+  }
+}
+
 int serveTcp(ExecutionScheduler &Sched, unsigned Port) {
+  // A client that disappears mid-write must cost an EPIPE errno, not a
+  // process-killing signal.
+  signal(SIGPIPE, SIG_IGN);
   int Listener = socket(AF_INET, SOCK_STREAM, 0);
   if (Listener < 0) {
     std::perror("socket");
@@ -165,16 +285,14 @@ int serveTcp(ExecutionScheduler &Sched, unsigned Port) {
               Port);
   for (;;) {
     int Client = accept(Listener, nullptr, nullptr);
-    if (Client < 0)
+    if (Client < 0) {
+      if (errno == EINTR)
+        continue;
+      std::perror("accept"); // Transient (ECONNABORTED, EMFILE): keep going.
       continue;
-    FILE *In = fdopen(Client, "r");
-    FILE *Out = fdopen(dup(Client), "w");
-    if (In && Out)
-      serveStream(Sched, In, Out);
-    if (In)
-      fclose(In);
-    if (Out)
-      fclose(Out);
+    }
+    serveClient(Sched, Client);
+    close(Client);
   }
 }
 #endif
@@ -184,6 +302,8 @@ int serveTcp(ExecutionScheduler &Sched, unsigned Port) {
 int main(int argc, char **argv) {
   std::string StorePath, SeedPath;
   unsigned Workers = 2, Port = 0;
+  FleetConfig Config;
+  bool BadArgs = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Next = [&]() -> const char * {
@@ -197,18 +317,38 @@ int main(int argc, char **argv) {
       Workers = unsigned(std::strtoul(argv[I], nullptr, 0));
     else if (Arg == "--port" && Next())
       Port = unsigned(std::strtoul(argv[I], nullptr, 0));
-    else {
-      std::fprintf(stderr,
-                   "usage: %s [--store <path>] [--workers N] [--port P]\n"
-                   "       %s --seed <path>\n",
-                   argv[0], argv[0]);
+    else if (Arg == "--quota" && Next()) {
+      std::string Spec = argv[I];
+      size_t Eq = Spec.find('=');
+      TenantQuota Quota;
+      if (Eq == std::string::npos ||
+          !parseQuotaSpec(Spec.substr(Eq + 1), Quota)) {
+        std::fprintf(stderr, "bad --quota spec %s\n", Spec.c_str());
+        BadArgs = true;
+      } else
+        Config.TenantQuotas[Spec.substr(0, Eq)] = Quota;
+    } else if (Arg == "--default-quota" && Next()) {
+      if (!parseQuotaSpec(argv[I], Config.DefaultQuota)) {
+        std::fprintf(stderr, "bad --default-quota spec %s\n", argv[I]);
+        BadArgs = true;
+      }
+    } else
+      BadArgs = true;
+    if (BadArgs) {
+      std::fprintf(
+          stderr,
+          "usage: %s [--store <path>] [--workers N] [--port P]\n"
+          "       %*s [--quota <tenant>=<rate>/<burst>/<inflight>]...\n"
+          "       %*s [--default-quota <rate>/<burst>/<inflight>]\n"
+          "       %s --seed <path>\n",
+          argv[0], int(std::strlen(argv[0])), "", int(std::strlen(argv[0])),
+          "", argv[0]);
       return 2;
     }
   }
   if (!SeedPath.empty())
     return seedStore(SeedPath);
 
-  FleetConfig Config;
   Config.Workers = Workers;
   Config.StorePath = StorePath;
   ExecutionScheduler Sched(Config);

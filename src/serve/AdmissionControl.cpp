@@ -1,0 +1,109 @@
+//===- serve/AdmissionControl.cpp - Per-tenant admission quotas -----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/AdmissionControl.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ildp;
+using namespace ildp::serve;
+
+AdmissionControl::AdmissionControl(
+    const std::map<std::string, TenantQuota> &Quotas,
+    const TenantQuota &Default)
+    : Quotas(Quotas), Default(Default) {}
+
+AdmissionControl::Bucket &AdmissionControl::bucketFor(
+    const std::string &Tenant) {
+  auto It = Buckets.find(Tenant);
+  if (It != Buckets.end())
+    return It->second;
+  Bucket B;
+  auto Q = Quotas.find(Tenant);
+  B.Quota = Q != Quotas.end() ? Q->second : Default;
+  if (B.Quota.Burst <= 0)
+    B.Quota.Burst = std::max(1.0, B.Quota.TokensPerSec);
+  return Buckets.emplace(Tenant, B).first->second;
+}
+
+AdmissionControl::Decision
+AdmissionControl::tryAdmit(const std::string &Tenant, Clock::time_point Now) {
+  std::lock_guard<std::mutex> Lock(M);
+  Bucket &B = bucketFor(Tenant);
+
+  if (B.Quota.TokensPerSec > 0) {
+    if (!B.Primed) {
+      // A fresh bucket starts full: a tenant's first burst is admitted up
+      // to its Burst, then the rate takes over.
+      B.Tokens = B.Quota.Burst;
+      B.Primed = true;
+    } else {
+      double Dt = std::chrono::duration<double>(Now - B.LastRefill).count();
+      if (Dt > 0)
+        B.Tokens = std::min(B.Quota.Burst,
+                            B.Tokens + Dt * B.Quota.TokensPerSec);
+    }
+    B.LastRefill = Now;
+    if (B.Tokens < 1.0) {
+      // RetryAfter = time until one whole token accrues, rounded up so the
+      // hint is never an under-estimate (a retry at the hinted time must
+      // find a token).
+      double Ms = (1.0 - B.Tokens) / B.Quota.TokensPerSec * 1000.0;
+      Decision D;
+      D.Admitted = false;
+      D.Reason = "tenant-rate";
+      D.RetryAfterMs = uint32_t(std::max(1.0, std::ceil(Ms)));
+      return D;
+    }
+    B.Tokens -= 1.0;
+  }
+
+  if (B.Quota.MaxInFlight != 0 && B.InFlight >= B.Quota.MaxInFlight) {
+    // Refund the rate token: this request was never admitted, so it must
+    // not count against the tenant's rate either.
+    if (B.Quota.TokensPerSec > 0)
+      B.Tokens = std::min(B.Quota.Burst, B.Tokens + 1.0);
+    Decision D;
+    D.Admitted = false;
+    D.Reason = "tenant-inflight";
+    // A slot frees when one of the tenant's requests finishes: one mean
+    // service time is the natural backoff (1ms floor before any sample).
+    D.RetryAfterMs = uint32_t(std::max<uint64_t>(1, EwmaMicros / 1000));
+    return D;
+  }
+
+  ++B.InFlight;
+  return Decision{};
+}
+
+void AdmissionControl::release(const std::string &Tenant) {
+  std::lock_guard<std::mutex> Lock(M);
+  Bucket &B = bucketFor(Tenant);
+  if (B.InFlight > 0)
+    --B.InFlight;
+}
+
+void AdmissionControl::noteCompleted(const std::string &Tenant,
+                                     double WallMicros) {
+  std::lock_guard<std::mutex> Lock(M);
+  Bucket &B = bucketFor(Tenant);
+  if (B.InFlight > 0)
+    --B.InFlight;
+  uint64_t Wall = uint64_t(std::max(0.0, WallMicros));
+  EwmaMicros = EwmaMicros == 0 ? Wall : (7 * EwmaMicros + Wall) / 8;
+}
+
+uint64_t AdmissionControl::ewmaServiceMicros() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return EwmaMicros;
+}
+
+uint32_t AdmissionControl::inFlight(const std::string &Tenant) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Buckets.find(Tenant);
+  return It != Buckets.end() ? It->second.InFlight : 0;
+}

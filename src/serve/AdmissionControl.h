@@ -1,0 +1,113 @@
+//===- serve/AdmissionControl.h - Per-tenant admission quotas -------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-tenant admission control for the fleet scheduler (DESIGN.md §14):
+/// a token-bucket rate limiter plus a max-in-flight cap per tenant. Both
+/// continue the report-and-degrade discipline — an over-quota submit is
+/// an immediate typed ExecStatus::TenantQuotaExceeded carrying a computed
+/// RetryAfterMs backoff hint, never a block and never a silent drop — so
+/// one misbehaving tenant degrades only its own service, not the fleet's.
+///
+/// The controller also tracks a fleet-wide EWMA of request service time,
+/// which prices the two hints a rejected tenant receives (how long until
+/// a token accrues; how long one in-flight slot typically stays busy) and
+/// lets the scheduler estimate queue wait for deadline-aware shedding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SERVE_ADMISSIONCONTROL_H
+#define ILDP_SERVE_ADMISSIONCONTROL_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ildp {
+namespace serve {
+
+/// Admission quota of one tenant. The zero-initialized quota is fully
+/// permissive (no rate limit, no in-flight cap), so quotas are opt-in.
+struct TenantQuota {
+  /// Steady-state admission rate in requests/second (0 = unlimited).
+  double TokensPerSec = 0;
+  /// Token-bucket capacity: how many requests may arrive back to back
+  /// before the rate gates them (0 = max(1, TokensPerSec)).
+  double Burst = 0;
+  /// Maximum admitted-but-unfinished requests (queued + executing;
+  /// 0 = unlimited).
+  uint32_t MaxInFlight = 0;
+
+  bool unlimited() const { return TokensPerSec <= 0 && MaxInFlight == 0; }
+};
+
+/// Thread-safe per-tenant token buckets + in-flight counts.
+class AdmissionControl {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// \p Quotas maps tenant ids to their quotas; tenants not listed use
+  /// \p Default (itself fully permissive unless configured otherwise).
+  AdmissionControl(const std::map<std::string, TenantQuota> &Quotas,
+                   const TenantQuota &Default);
+
+  /// Outcome of one admission attempt.
+  struct Decision {
+    bool Admitted = true;
+    /// Static rejection detail ("tenant-rate" / "tenant-inflight").
+    const char *Reason = "";
+    /// Computed backoff hint (>= 1ms on rejection).
+    uint32_t RetryAfterMs = 0;
+  };
+
+  /// Tries to admit one request for \p Tenant at \p Now. On success the
+  /// tenant's in-flight count is incremented; the caller MUST pair every
+  /// admitted request with exactly one release() / noteCompleted().
+  Decision tryAdmit(const std::string &Tenant, Clock::time_point Now);
+  Decision tryAdmit(const std::string &Tenant) {
+    return tryAdmit(Tenant, Clock::now());
+  }
+
+  /// Releases an admitted request without a service-time sample (shed
+  /// while queued, cancelled at shutdown).
+  void release(const std::string &Tenant);
+
+  /// Releases an admitted request that actually executed, folding its
+  /// wall time into the service-time EWMA.
+  void noteCompleted(const std::string &Tenant, double WallMicros);
+
+  /// Fleet-wide EWMA of executed-request wall time, in microseconds
+  /// (0 until the first completion).
+  uint64_t ewmaServiceMicros() const;
+
+  /// Current admitted-but-unfinished count for \p Tenant.
+  uint32_t inFlight(const std::string &Tenant) const;
+
+private:
+  struct Bucket {
+    TenantQuota Quota;
+    double Tokens = 0;
+    Clock::time_point LastRefill{};
+    uint32_t InFlight = 0;
+    bool Primed = false; ///< Tokens start at Burst on first touch.
+  };
+
+  Bucket &bucketFor(const std::string &Tenant); // Lock held.
+
+  const std::map<std::string, TenantQuota> Quotas;
+  const TenantQuota Default;
+
+  mutable std::mutex M;
+  std::map<std::string, Bucket> Buckets;
+  uint64_t EwmaMicros = 0;
+};
+
+} // namespace serve
+} // namespace ildp
+
+#endif // ILDP_SERVE_ADMISSIONCONTROL_H

@@ -27,8 +27,31 @@ const char *serve::getExecStatusName(ExecStatus Status) {
     return "inst-budget";
   case ExecStatus::ShutDown:
     return "shutdown";
+  case ExecStatus::TenantQuotaExceeded:
+    return "tenant-quota";
   }
   return "unknown";
+}
+
+const char *serve::getPriorityName(Priority P) {
+  switch (P) {
+  case Priority::Interactive:
+    return "interactive";
+  case Priority::Normal:
+    return "normal";
+  case Priority::Batch:
+    return "batch";
+  }
+  return "unknown";
+}
+
+bool serve::parsePriorityName(const std::string &Name, Priority &P) {
+  for (unsigned I = 0; I != NumPriorities; ++I)
+    if (Name == getPriorityName(Priority(I))) {
+      P = Priority(I);
+      return true;
+    }
+  return false;
 }
 
 GuestImage serve::imageFromWorkload(const std::string &Name, unsigned Scale) {

@@ -50,13 +50,36 @@ enum class ExecStatus : uint8_t {
   ShutDown,           ///< The scheduler was draining or stopped: the
                       ///< request was cancelled while still queued (or
                       ///< refused at submit time).
+  TenantQuotaExceeded, ///< Admission control: the tenant exhausted its
+                       ///< token-bucket rate or max-in-flight quota.
+                       ///< ExecResponse::RetryAfterMs says when to retry.
 };
 
-constexpr unsigned NumExecStatuses = 7;
+constexpr unsigned NumExecStatuses = 8;
 
 /// Stable lowercase status name ("ok", "queue-full", ...), used for the
 /// "serve.rejected.<reason>" statistics and the demo front end.
 const char *getExecStatusName(ExecStatus Status);
+
+/// Priority lane of a request. The scheduler keeps one independently
+/// bounded queue per lane and drains them by weighted-deficit dequeue
+/// (FleetConfig::LaneWeights), so a tiny Interactive request is served
+/// ahead of — but never starves — a Batch backlog.
+enum class Priority : uint8_t {
+  Interactive, ///< Latency-sensitive; largest dequeue weight.
+  Normal,      ///< The default.
+  Batch,       ///< Throughput work; smallest dequeue weight.
+};
+
+constexpr unsigned NumPriorities = 3;
+
+/// Stable lowercase lane name ("interactive", "normal", "batch"), used
+/// for the "serve.lane.<name>.*" statistics and the demo front end.
+const char *getPriorityName(Priority P);
+
+/// Parses a lane name as printed by getPriorityName(). Returns false and
+/// leaves \p P untouched on an unknown name.
+bool parsePriorityName(const std::string &Name, Priority &P);
 
 /// One contiguous run of initialized guest bytes.
 struct ImageSegment {
@@ -104,8 +127,11 @@ struct ExecRequest {
   std::string Workload;
 
   /// Tenant identity; selects the per-tenant code-cache budget
-  /// (FleetConfig::TenantCacheBytes). Empty = the fleet default.
+  /// (FleetConfig::TenantCacheBytes) and admission quota
+  /// (FleetConfig::TenantQuotas). Empty = the fleet defaults.
   std::string Tenant;
+  /// Priority lane (scheduler path only; VmFleet::execute ignores it).
+  Priority Lane = Priority::Normal;
   /// Per-request guest-instruction ceiling (0 = fleet default). Reaching
   /// it yields ExecStatus::InstBudgetExceeded.
   uint64_t MaxGuestInsts = 0;
@@ -122,6 +148,12 @@ struct ExecRequest {
 struct ExecResponse {
   ExecStatus Status = ExecStatus::Ok;
   const char *Detail = ""; ///< Static string; never owned.
+  /// Backoff hint for load-shed rejections, in milliseconds. Populated
+  /// (>= 1) for every TenantQuotaExceeded response — the time until a
+  /// rate token accrues, or one observed mean service time for an
+  /// in-flight-cap rejection — and best-effort for QueueFull (estimated
+  /// lane drain time). Zero for all other statuses.
+  uint32_t RetryAfterMs = 0;
 
   /// Final architected state: the HALT state (Ok), the precisely
   /// recovered trap state (Trapped), or the state at the abandonment

@@ -1,4 +1,4 @@
-//===- serve/ExecutionScheduler.cpp - Bounded request scheduler -----------===//
+//===- serve/ExecutionScheduler.cpp - Overload-hardened request scheduler -===//
 //
 // Part of the ILDP-DBT project (CGO 2003 reproduction).
 //
@@ -6,12 +6,35 @@
 
 #include "serve/ExecutionScheduler.h"
 
+#include <algorithm>
+
 using namespace ildp;
 using namespace ildp::serve;
 
+namespace {
+
+std::vector<size_t> laneCapacities(const FleetConfig &Config) {
+  std::vector<size_t> Caps(NumPriorities);
+  for (unsigned I = 0; I != NumPriorities; ++I)
+    Caps[I] = Config.LaneDepths[I] ? Config.LaneDepths[I]
+                                   : (Config.QueueDepth ? Config.QueueDepth
+                                                        : 1);
+  return Caps;
+}
+
+std::vector<unsigned> laneWeights(const FleetConfig &Config) {
+  return std::vector<unsigned>(Config.LaneWeights.begin(),
+                               Config.LaneWeights.end());
+}
+
+} // namespace
+
 ExecutionScheduler::ExecutionScheduler(const FleetConfig &Config)
-    : Fleet(Config), Queue(Config.QueueDepth ? Config.QueueDepth : 1) {
-  unsigned N = Fleet.config().Workers;
+    : Fleet(Config),
+      Admission(Config.TenantQuotas, Config.DefaultQuota),
+      Queue(laneCapacities(Fleet.config()), laneWeights(Fleet.config())),
+      NumWorkers(Fleet.config().Workers) {
+  unsigned N = NumWorkers;
   Workers.reserve(N);
   for (unsigned Id = 0; Id != N; ++Id)
     Workers.emplace_back([this, Id] { workerMain(Id); });
@@ -20,11 +43,36 @@ ExecutionScheduler::ExecutionScheduler(const FleetConfig &Config)
 ExecutionScheduler::~ExecutionScheduler() { shutdown(/*FinishQueued=*/false); }
 
 ExecResponse ExecutionScheduler::makeReject(ExecStatus Status,
-                                            const char *Detail) {
+                                            const char *Detail,
+                                            uint32_t RetryAfterMs) {
   ExecResponse Resp;
   Resp.Status = Status;
   Resp.Detail = Detail;
+  Resp.RetryAfterMs = RetryAfterMs;
   return Resp;
+}
+
+uint64_t ExecutionScheduler::estimateQueueWaitMicros(Priority Lane) const {
+  uint64_t Ewma = Admission.ewmaServiceMicros();
+  if (Ewma == 0)
+    return 0; // No sample yet: never shed on a guess of zero knowledge.
+  unsigned L = unsigned(Lane);
+  size_t Self = Queue.laneSize(L);
+  // The weighted-deficit dequeue interleaves other lanes' items with this
+  // lane's: while this request's (Self + 1) predecessors-in-lane drain,
+  // lane M contributes up to Weight(M)/Weight(L) items per lane-L item —
+  // but never more than it has queued.
+  uint64_t Ahead = Self;
+  uint64_t SelfWeight = std::max(1u, Queue.laneWeight(L));
+  for (unsigned M = 0; M != Queue.laneCount(); ++M) {
+    if (M == L)
+      continue;
+    uint64_t Interleaved =
+        ((Self + 1) * Queue.laneWeight(M) + SelfWeight - 1) / SelfWeight;
+    Ahead += std::min<uint64_t>(Queue.laneSize(M), Interleaved);
+  }
+  unsigned W = std::max(1u, NumWorkers);
+  return Ahead * Ewma / W;
 }
 
 std::future<ExecResponse> ExecutionScheduler::submit(ExecRequest Request) {
@@ -32,20 +80,64 @@ std::future<ExecResponse> ExecutionScheduler::submit(ExecRequest Request) {
   J.Request = std::move(Request);
   std::future<ExecResponse> Future = J.Promise.get_future();
   if (Stopped.load(std::memory_order_acquire)) {
-    Fleet.countRejected(ExecStatus::ShutDown);
+    Fleet.countRejected(ExecStatus::ShutDown, J.Request.Tenant);
     J.Promise.set_value(makeReject(ExecStatus::ShutDown, "scheduler-stopped"));
     return Future;
   }
-  if (!Queue.tryPush(J)) {
+
+  // Per-tenant admission: rate token + in-flight slot, or an immediate
+  // typed rejection with a computed backoff hint. Reserved before the
+  // queue push so concurrent submitters cannot overshoot the cap; every
+  // path below that fails to enqueue must release the reservation.
+  AdmissionControl::Decision D = Admission.tryAdmit(J.Request.Tenant);
+  if (!D.Admitted) {
+    Fleet.countRejected(ExecStatus::TenantQuotaExceeded, J.Request.Tenant);
+    J.Promise.set_value(makeReject(ExecStatus::TenantQuotaExceeded, D.Reason,
+                                   D.RetryAfterMs));
+    return Future;
+  }
+
+  Clock::time_point Now = Clock::now();
+  if (J.Request.DeadlineMicros != 0) {
+    J.HasDeadline = true;
+    J.Deadline = Now + std::chrono::microseconds(J.Request.DeadlineMicros);
+    // Deadline-aware shedding, admission side: a request that would
+    // already be past its deadline by the time a worker reached it is
+    // doomed — reject it now, while the tenant can still retry elsewhere,
+    // instead of letting it occupy a lane slot and die at dequeue.
+    uint64_t WaitMicros = estimateQueueWaitMicros(J.Request.Lane);
+    if (WaitMicros > J.Request.DeadlineMicros) {
+      Admission.release(J.Request.Tenant);
+      Fleet.countShed("deadline_unmeetable", ExecStatus::DeadlineExceeded,
+                      J.Request.Tenant);
+      J.Promise.set_value(
+          makeReject(ExecStatus::DeadlineExceeded, "deadline-unmeetable"));
+      return Future;
+    }
+  }
+
+  unsigned Lane = unsigned(J.Request.Lane);
+  std::string Tenant = J.Request.Tenant; // J may be consumed by tryPush.
+  if (!Queue.tryPush(Lane, J)) {
+    Admission.release(Tenant);
     // A closed queue means shutdown raced ahead of the Stopped check; a
-    // full one is plain admission control. Either way the caller gets an
+    // full lane is plain admission control. Either way the caller gets an
     // immediate typed answer instead of blocking on a saturated fleet.
     bool WasClosed = Queue.closed();
     ExecStatus Status =
         WasClosed ? ExecStatus::ShutDown : ExecStatus::QueueFull;
-    Fleet.countRejected(Status);
+    Fleet.countRejected(Status, Tenant);
+    uint32_t RetryMs = 0;
+    if (!WasClosed) {
+      // Best-effort drain estimate for the full lane (1ms floor so the
+      // hint is always actionable).
+      uint64_t Ewma = Admission.ewmaServiceMicros();
+      unsigned W = std::max(1u, NumWorkers);
+      RetryMs = uint32_t(std::max<uint64_t>(
+          1, Queue.laneCapacity(Lane) * Ewma / W / 1000));
+    }
     J.Promise.set_value(makeReject(
-        Status, WasClosed ? "scheduler-stopped" : "queue-full"));
+        Status, WasClosed ? "scheduler-stopped" : "queue-full", RetryMs));
     return Future;
   }
   Submitted.fetch_add(1, std::memory_order_relaxed);
@@ -53,15 +145,34 @@ std::future<ExecResponse> ExecutionScheduler::submit(ExecRequest Request) {
 }
 
 void ExecutionScheduler::workerMain(unsigned Id) {
-  while (std::optional<Job> J = Queue.pop()) {
+  while (std::optional<MultiLaneQueue<Job>::Popped> P = Queue.pop()) {
+    Job &J = P->Item;
     if (CancelQueued.load(std::memory_order_acquire)) {
-      Fleet.countRejected(ExecStatus::ShutDown);
+      Admission.release(J.Request.Tenant);
+      Fleet.countRejected(ExecStatus::ShutDown, J.Request.Tenant);
       Cancelled.fetch_add(1, std::memory_order_relaxed);
-      J->Promise.set_value(
+      J.Promise.set_value(
           makeReject(ExecStatus::ShutDown, "cancelled-queued"));
       continue;
     }
-    J->Promise.set_value(Fleet.execute(J->Request, Id));
+    // Deadline-aware shedding, dequeue side: the deadline may have passed
+    // while the request sat in the queue. Reject typed before touching a
+    // VM or a budget slice — a doomed request must not consume the very
+    // capacity the fleet is short of.
+    if (J.HasDeadline && Clock::now() >= J.Deadline) {
+      Admission.release(J.Request.Tenant);
+      Fleet.countShed("expired_in_queue", ExecStatus::DeadlineExceeded,
+                      J.Request.Tenant);
+      J.Promise.set_value(
+          makeReject(ExecStatus::DeadlineExceeded, "wall-deadline"));
+      continue;
+    }
+    Fleet.countLaneServed(Priority(P->Lane));
+    ExecResponse Resp =
+        J.HasDeadline ? Fleet.executeUntil(J.Request, Id, J.Deadline)
+                      : Fleet.execute(J.Request, Id);
+    Admission.noteCompleted(J.Request.Tenant, Resp.WallMicros);
+    J.Promise.set_value(std::move(Resp));
   }
 }
 
@@ -72,7 +183,7 @@ size_t ExecutionScheduler::shutdown(bool FinishQueued) {
     return 0; // Someone else already shut us down.
   if (!FinishQueued)
     CancelQueued.store(true, std::memory_order_release);
-  // close(), not closeAndClear(): queued Jobs carry promises that must be
+  // close(), not a clearing close: queued Jobs carry promises that must be
   // fulfilled, so the workers drain them — executing (drain) or typed-
   // rejecting (cancel) — and exit on queue exhaustion.
   Queue.close();

@@ -1,16 +1,28 @@
-//===- serve/ExecutionScheduler.h - Bounded request scheduler -------------===//
+//===- serve/ExecutionScheduler.h - Overload-hardened request scheduler ---===//
 //
 // Part of the ILDP-DBT project (CGO 2003 reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The service layer over VmFleet (DESIGN.md §12): a bounded request
-/// queue (the PR-2 WorkQueue, generalized with non-blocking admission)
-/// feeding a pool of execution worker threads. submit() never blocks —
-/// admission control turns a full queue into an immediate typed
-/// ExecStatus::QueueFull response, so an overloaded fleet degrades
-/// instead of wedging its tenants.
+/// The service layer over VmFleet (DESIGN.md §12/§14): per-tenant
+/// admission control, priority lanes, and deadline-aware load shedding in
+/// front of a pool of execution worker threads. submit() never blocks —
+/// every overload condition turns into an immediate typed response:
+///
+///  - a tenant over its token-bucket rate or in-flight cap gets
+///    TenantQuotaExceeded with a computed RetryAfterMs backoff hint;
+///  - a request whose estimated queue wait already exceeds its wall
+///    deadline is shed at admission ("deadline-unmeetable") instead of
+///    rotting in the queue;
+///  - a full priority lane gets QueueFull (per-lane depth bounds — a
+///    batch flood fills the batch lane, not the interactive one).
+///
+/// Queued requests are drained by weighted-deficit dequeue across the
+/// Interactive/Normal/Batch lanes (FleetConfig::LaneWeights), and a
+/// request whose deadline expired while it sat in the queue is rejected
+/// typed at dequeue ("wall-deadline") without consuming a VM or a worker
+/// slice.
 ///
 /// Shutdown mirrors TranslationService semantics: shutdown(true) drains —
 /// queued requests all execute before the workers exit; shutdown(false)
@@ -24,10 +36,12 @@
 #ifndef ILDP_SERVE_EXECUTIONSCHEDULER_H
 #define ILDP_SERVE_EXECUTIONSCHEDULER_H
 
+#include "serve/AdmissionControl.h"
 #include "serve/VmFleet.h"
 #include "support/WorkQueue.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
@@ -46,10 +60,13 @@ public:
   ExecutionScheduler(const ExecutionScheduler &) = delete;
   ExecutionScheduler &operator=(const ExecutionScheduler &) = delete;
 
-  /// Enqueues \p Request and returns the future response. Never blocks:
-  /// a full queue or a stopped scheduler fulfills the future immediately
-  /// with a typed rejection (QueueFull / ShutDown). Every returned
-  /// future is eventually fulfilled.
+  /// Enqueues \p Request into its priority lane and returns the future
+  /// response. Never blocks: a stopped scheduler, an exhausted tenant
+  /// quota, an unmeetable deadline, or a full lane fulfills the future
+  /// immediately with a typed rejection (ShutDown / TenantQuotaExceeded /
+  /// DeadlineExceeded / QueueFull). Every returned future is eventually
+  /// fulfilled. DeadlineMicros is measured from this call — queueing time
+  /// counts against the deadline.
   std::future<ExecResponse> submit(ExecRequest Request);
 
   /// Stops the service. With \p FinishQueued, workers complete every
@@ -63,24 +80,43 @@ public:
 
   VmFleet &fleet() { return Fleet; }
   const VmFleet &fleet() const { return Fleet; }
-  unsigned workerCount() const { return unsigned(Workers.size()); }
+  unsigned workerCount() const { return NumWorkers; }
 
   /// Requests accepted into the queue so far.
   uint64_t submittedCount() const {
     return Submitted.load(std::memory_order_relaxed);
   }
 
+  /// Admission-control state (quotas, in-flight counts, service EWMA).
+  const AdmissionControl &admission() const { return Admission; }
+
+  /// Estimated queue wait for a request entering \p Lane right now, in
+  /// microseconds: the requests the weighted-deficit dequeue would serve
+  /// first, priced at the observed mean service time and divided across
+  /// the workers. Zero until the first completion (no sample, no shed).
+  uint64_t estimateQueueWaitMicros(Priority Lane) const;
+
 private:
+  using Clock = std::chrono::steady_clock;
+
   struct Job {
     ExecRequest Request;
     std::promise<ExecResponse> Promise;
+    Clock::time_point Deadline{};
+    bool HasDeadline = false;
   };
 
   void workerMain(unsigned Id);
-  static ExecResponse makeReject(ExecStatus Status, const char *Detail);
+  static ExecResponse makeReject(ExecStatus Status, const char *Detail,
+                                 uint32_t RetryAfterMs = 0);
 
   VmFleet Fleet;
-  WorkQueue<Job> Queue;
+  AdmissionControl Admission;
+  MultiLaneQueue<Job> Queue;
+  /// Fixed at construction. submit() prices retry hints by it while
+  /// shutdown() may be tearing Workers down — it must not read the
+  /// vector.
+  unsigned NumWorkers = 0;
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopped{false};
   /// Set by a cancelling shutdown: workers reject (rather than execute)

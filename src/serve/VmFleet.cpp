@@ -90,12 +90,47 @@ uint64_t VmFleet::resolveCacheBudget(const ExecRequest &Request) const {
   return Config.DefaultCacheBytes;
 }
 
-void VmFleet::countRejected(ExecStatus Status) {
+void VmFleet::countTenantRejected(const std::string &Tenant,
+                                  ExecStatus Status) {
+  std::lock_guard<std::mutex> Lock(RejectMutex);
+  TenantRejected[Tenant][size_t(Status)] += 1;
+}
+
+void VmFleet::countRejected(ExecStatus Status, const std::string &Tenant) {
   Count.Requests.fetch_add(1, std::memory_order_relaxed);
   Count.ByStatus[size_t(Status)].fetch_add(1, std::memory_order_relaxed);
+  countTenantRejected(Tenant, Status);
+}
+
+void VmFleet::countShed(const char *Kind, ExecStatus Status,
+                        const std::string &Tenant) {
+  countRejected(Status, Tenant);
+  std::lock_guard<std::mutex> Lock(RejectMutex);
+  ShedCounts[Kind] += 1;
+}
+
+void VmFleet::countLaneServed(Priority P) {
+  Count.LaneServed[size_t(P)].fetch_add(1, std::memory_order_relaxed);
 }
 
 ExecResponse VmFleet::execute(const ExecRequest &Request, unsigned Worker) {
+  using Clock = std::chrono::steady_clock;
+  bool HasDeadline = Request.DeadlineMicros != 0;
+  return executeImpl(Request, Worker, HasDeadline,
+                     Clock::now() +
+                         std::chrono::microseconds(Request.DeadlineMicros));
+}
+
+ExecResponse
+VmFleet::executeUntil(const ExecRequest &Request, unsigned Worker,
+                      std::chrono::steady_clock::time_point Deadline) {
+  return executeImpl(Request, Worker, /*HasDeadline=*/true, Deadline);
+}
+
+ExecResponse
+VmFleet::executeImpl(const ExecRequest &Request, unsigned Worker,
+                     bool HasDeadline,
+                     std::chrono::steady_clock::time_point Deadline) {
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start = Clock::now();
 
@@ -123,8 +158,17 @@ ExecResponse VmFleet::execute(const ExecRequest &Request, unsigned Worker) {
                               std::memory_order_relaxed);
     Count.StoreMisses.fetch_add(Resp.Stats.get("persist.store_miss"),
                                 std::memory_order_relaxed);
+    if (Status != ExecStatus::Ok && Status != ExecStatus::Trapped)
+      countTenantRejected(Request.Tenant, Status);
     return Resp;
   };
+
+  // Belt-and-braces deadline re-check: a request whose deadline already
+  // passed (it expired between the scheduler's dequeue check and here, or
+  // the caller handed in a stale deadline) must not consume a VM or a
+  // budget slice — reject typed before any work.
+  if (HasDeadline && Start >= Deadline)
+    return Finish(ExecStatus::DeadlineExceeded, "wall-deadline");
 
   GuestMemory Mem;
   uint64_t EntryPc = 0;
@@ -138,9 +182,6 @@ ExecResponse VmFleet::execute(const ExecRequest &Request, unsigned Worker) {
 
   uint64_t Ceiling = Request.MaxGuestInsts ? Request.MaxGuestInsts
                                            : Config.DefaultMaxGuestInsts;
-  bool HasDeadline = Request.DeadlineMicros != 0;
-  Clock::time_point Deadline =
-      Start + std::chrono::microseconds(Request.DeadlineMicros);
   uint64_t Slice =
       Config.DeadlineSliceInsts ? Config.DeadlineSliceInsts : 1'000'000;
   // With a deadline the VM runs in budget slices so the wall clock is
@@ -203,6 +244,26 @@ StatisticSet VmFleet::stats() const {
       S.set(std::string("serve.rejected.") +
                 getExecStatusName(ExecStatus(I)),
             N);
+  }
+  for (unsigned I = 0; I != NumPriorities; ++I) {
+    uint64_t N = Count.LaneServed[I].load(std::memory_order_relaxed);
+    if (N)
+      S.set(std::string("serve.lane.") + getPriorityName(Priority(I)) +
+                ".served",
+            N);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(RejectMutex);
+    for (const auto &[Tenant, ByStatus] : TenantRejected) {
+      std::string Prefix = "serve.tenant." +
+                           (Tenant.empty() ? std::string("default") : Tenant) +
+                           ".rejected.";
+      for (unsigned I = 0; I != NumExecStatuses; ++I)
+        if (ByStatus[I])
+          S.set(Prefix + getExecStatusName(ExecStatus(I)), ByStatus[I]);
+    }
+    for (const auto &[Kind, N] : ShedCounts)
+      S.set(std::string("serve.shed.") + Kind, N);
   }
   S.set("serve.guest_insts", Count.GuestInsts.load(std::memory_order_relaxed));
   S.set("serve.translation_units",

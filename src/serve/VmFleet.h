@@ -27,13 +27,16 @@
 #define ILDP_SERVE_VMFLEET_H
 
 #include "persist/CacheStore.h"
+#include "serve/AdmissionControl.h"
 #include "serve/ExecRequest.h"
 #include "vm/VirtualMachine.h"
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,8 +49,23 @@ struct FleetConfig {
   /// Execution worker slots (ExecutionScheduler threads; VmFleet::execute
   /// itself is callable from any of them concurrently).
   unsigned Workers = 1;
-  /// Bound of the request queue; a full queue rejects QueueFull.
+  /// Default per-lane bound of the request queue; a full lane rejects
+  /// QueueFull. Lanes may be bounded individually via LaneDepths.
   size_t QueueDepth = 64;
+  /// Per-lane depth bounds, indexed by Priority (0 = use QueueDepth).
+  std::array<size_t, NumPriorities> LaneDepths{{0, 0, 0}};
+  /// Weighted-deficit dequeue grants per round, indexed by Priority: the
+  /// long-run served mix under sustained pressure on every lane. The
+  /// default serves 8 interactive : 3 normal : 1 batch, so interactive
+  /// latency stays bounded under a batch backlog while batch never
+  /// starves (0 entries are clamped to 1).
+  std::array<unsigned, NumPriorities> LaneWeights{{8, 3, 1}};
+  /// Per-tenant admission quotas (token-bucket rate + max in-flight).
+  /// Tenants not listed use DefaultQuota.
+  std::map<std::string, TenantQuota> TenantQuotas;
+  /// Quota for tenants without an entry. Fully permissive by default, so
+  /// admission control is opt-in.
+  TenantQuota DefaultQuota;
   /// Template VM configuration for every request. PersistPath/PersistSave
   /// are ignored (fleet VMs never write a store); the DbtConfig half
   /// participates in image fingerprints, so it must match the
@@ -91,11 +109,34 @@ public:
   /// its typed response. Thread-safe: any number of workers may execute
   /// concurrently (each request gets a fresh VM; the shared store is
   /// read-only). \p Worker tags the response with the executing slot.
+  /// Request.DeadlineMicros is measured from this call.
   ExecResponse execute(const ExecRequest &Request, unsigned Worker = 0);
 
-  /// Counts a scheduler-level rejection (queue-full / shutdown) in the
-  /// fleet statistics, so serve.* totals cover every submitted request.
-  void countRejected(ExecStatus Status);
+  /// As execute(), but against an absolute wall deadline established at
+  /// admission time — the scheduler path, where queueing time counts
+  /// against the deadline. An already-expired deadline rejects typed
+  /// ("wall-deadline") before a VM is constructed.
+  ExecResponse
+  executeUntil(const ExecRequest &Request, unsigned Worker,
+               std::chrono::steady_clock::time_point Deadline);
+
+  /// Counts a scheduler-level rejection (queue-full / quota / shutdown /
+  /// shed) in the fleet statistics, so serve.* totals cover every
+  /// submitted request. \p Tenant additionally attributes the rejection
+  /// to "serve.tenant.<id>.rejected.<reason>" for quota tuning.
+  void countRejected(ExecStatus Status, const std::string &Tenant);
+  void countRejected(ExecStatus Status) {
+    countRejected(Status, std::string());
+  }
+
+  /// Counts a deadline-aware load shed under "serve.shed.<kind>" on top
+  /// of its typed rejection: \p Kind is "expired_in_queue" (dequeue-time
+  /// re-check) or "deadline_unmeetable" (admission-time estimate).
+  void countShed(const char *Kind, ExecStatus Status,
+                 const std::string &Tenant);
+
+  /// Counts one request served from lane \p P ("serve.lane.<name>.served").
+  void countLaneServed(Priority P);
 
   /// The shared warm store (empty when StorePath was empty or bad).
   const persist::CacheStore &store() const { return Store; }
@@ -116,6 +157,10 @@ private:
   const char *materialize(const ExecRequest &Request, GuestMemory &Mem,
                           uint64_t &EntryPc) const;
   uint64_t resolveCacheBudget(const ExecRequest &Request) const;
+  ExecResponse executeImpl(const ExecRequest &Request, unsigned Worker,
+                           bool HasDeadline,
+                           std::chrono::steady_clock::time_point Deadline);
+  void countTenantRejected(const std::string &Tenant, ExecStatus Status);
 
   FleetConfig Config;
   persist::CacheStore Store;
@@ -138,8 +183,19 @@ private:
     std::atomic<uint64_t> StoreHits{0};
     std::atomic<uint64_t> StoreMisses{0};
     std::atomic<uint64_t> WallMicros{0};
+    std::array<std::atomic<uint64_t>, NumPriorities> LaneServed{};
   };
   Counters Count;
+
+  /// Per-tenant rejection counts by reason and shed counts by kind
+  /// ("serve.tenant.<id>.rejected.<reason>", "serve.shed.<kind>").
+  /// Rejections are rare relative to execution, so a mutex-guarded map is
+  /// the right tool — the hot path (Finish on an Ok response) never takes
+  /// it.
+  mutable std::mutex RejectMutex;
+  std::map<std::string, std::array<uint64_t, NumExecStatuses>>
+      TenantRejected;
+  std::map<std::string, uint64_t> ShedCounts;
 };
 
 } // namespace serve

@@ -169,7 +169,10 @@ TEST(ExecutionScheduler, DeadlineExceededIsTyped) {
   EXPECT_EQ(Resp.Status, ExecStatus::DeadlineExceeded);
   EXPECT_STREQ(Resp.Detail, "wall-deadline");
   EXPECT_GT(Resp.GuestInsts, 0u);
-  EXPECT_GE(Resp.WallMicros, 50'000.0);
+  // The deadline is measured from submit (queueing counts against it), so
+  // the dispatch-to-abandonment wall time may fall marginally short of
+  // the full 50ms by the submit-to-dispatch latency.
+  EXPECT_GE(Resp.WallMicros, 40'000.0);
 }
 
 TEST(ExecutionScheduler, InstructionCeilingIsTyped) {

@@ -1,0 +1,421 @@
+//===- tests/serve/FleetOverloadTest.cpp ----------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The overload-control contract of the fleet scheduler (DESIGN.md §14):
+/// per-tenant token-bucket rates and in-flight caps reject typed with a
+/// computed RetryAfterMs and recover once the quota refills; priority
+/// lanes serve a tiny interactive request ahead of a batch backlog;
+/// deadline-aware shedding rejects doomed requests typed — at dequeue
+/// when the deadline expired in the queue (without consuming a VM), and
+/// at admission when the estimated queue wait already exceeds it; and a
+/// drain shutdown in the middle of a sustained mixed-priority burst
+/// fulfils every accepted promise and typed-rejects every shed request,
+/// leaking nothing. The burst test runs under TSan in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alpha/Assembler.h"
+#include "serve/ExecutionScheduler.h"
+#include "workloads/Workloads.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+using namespace ildp;
+using namespace ildp::serve;
+
+namespace {
+
+GuestImage imageFromWords(const std::string &Name,
+                          const std::vector<uint32_t> &Words, uint64_t Entry) {
+  GuestImage Img;
+  Img.Name = Name;
+  Img.EntryPc = Entry;
+  ImageSegment Seg;
+  Seg.Base = Entry;
+  for (uint32_t W : Words)
+    for (unsigned B = 0; B != 4; ++B)
+      Seg.Bytes.push_back(uint8_t(W >> (B * 8)));
+  Img.Segments.push_back(std::move(Seg));
+  return Img;
+}
+
+/// A guest that never halts; only a ceiling or a deadline ends it.
+GuestImage spinImage() {
+  alpha::Assembler Asm(0x10000);
+  Asm.loadImm(1, 1);
+  auto Loop = Asm.createLabel("loop");
+  Asm.bind(Loop);
+  Asm.operate(alpha::Opcode::ADDQ, 2, 1, 2);
+  Asm.condBr(alpha::Opcode::BNE, 1, Loop);
+  return imageFromWords("spin", Asm.finalize(), 0x10000);
+}
+
+/// A request that occupies a worker for \p Micros of wall time.
+ExecRequest busyFor(uint64_t Micros) {
+  ExecRequest Req;
+  Req.Image = spinImage();
+  Req.DeadlineMicros = Micros;
+  return Req;
+}
+
+/// A short bounded spin (ends by instruction ceiling, InstBudgetExceeded).
+ExecRequest boundedSpin(uint64_t MaxInsts) {
+  ExecRequest Req;
+  Req.Image = spinImage();
+  Req.MaxGuestInsts = MaxInsts;
+  return Req;
+}
+
+} // namespace
+
+TEST(FleetOverload, TokenBucketRateRejectsTypedWithRetryAfter) {
+  FleetConfig Config;
+  Config.Workers = 2;
+  Config.QueueDepth = 32;
+  TenantQuota Q;
+  Q.TokensPerSec = 10; // One token per 100ms once the burst is spent.
+  Q.Burst = 2;
+  Config.TenantQuotas["metered"] = Q;
+  ExecutionScheduler Sched(Config);
+
+  // The burst admits exactly two back-to-back requests...
+  std::vector<std::future<ExecResponse>> Admitted;
+  for (unsigned I = 0; I != 2; ++I) {
+    ExecRequest Req = boundedSpin(10'000);
+    Req.Tenant = "metered";
+    Admitted.push_back(Sched.submit(Req));
+  }
+  // ...and the third rejects immediately, typed, with a sub-token-period
+  // backoff hint.
+  ExecRequest Third = boundedSpin(10'000);
+  Third.Tenant = "metered";
+  std::future<ExecResponse> ThirdF = Sched.submit(Third);
+  ASSERT_EQ(ThirdF.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ExecResponse Rej = ThirdF.get();
+  EXPECT_EQ(Rej.Status, ExecStatus::TenantQuotaExceeded);
+  EXPECT_STREQ(Rej.Detail, "tenant-rate");
+  EXPECT_GE(Rej.RetryAfterMs, 1u);
+  EXPECT_LE(Rej.RetryAfterMs, 101u); // ceil(one token / 10 per sec).
+
+  // An unmetered tenant is untouched by the noisy neighbour's quota.
+  ExecRequest Other = boundedSpin(10'000);
+  Other.Tenant = "quiet";
+  EXPECT_EQ(Sched.submit(Other).get().Status,
+            ExecStatus::InstBudgetExceeded);
+
+  // Waiting out the hint refills a token: the retry is admitted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(Rej.RetryAfterMs + 5));
+  ExecRequest Retry = boundedSpin(10'000);
+  Retry.Tenant = "metered";
+  EXPECT_EQ(Sched.submit(Retry).get().Status,
+            ExecStatus::InstBudgetExceeded);
+
+  for (std::future<ExecResponse> &F : Admitted)
+    EXPECT_EQ(F.get().Status, ExecStatus::InstBudgetExceeded);
+
+  StatisticSet S = Sched.fleet().stats();
+  EXPECT_EQ(S.get("serve.rejected.tenant-quota"), 1u);
+  EXPECT_EQ(S.get("serve.tenant.metered.rejected.tenant-quota"), 1u);
+  EXPECT_EQ(S.get("serve.tenant.quiet.rejected.tenant-quota"), 0u);
+}
+
+TEST(FleetOverload, InFlightCapRejectsAndReleasesOnCompletion) {
+  FleetConfig Config;
+  Config.Workers = 1;
+  Config.QueueDepth = 8;
+  TenantQuota Q;
+  Q.MaxInFlight = 1;
+  Config.TenantQuotas["capped"] = Q;
+  ExecutionScheduler Sched(Config);
+
+  ExecRequest Busy = busyFor(300'000);
+  Busy.Tenant = "capped";
+  std::future<ExecResponse> BusyF = Sched.submit(Busy);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(Sched.admission().inFlight("capped"), 1u);
+
+  // Queued-or-executing counts against the cap: the second submit rejects
+  // typed while the first is still in flight.
+  ExecRequest Second = boundedSpin(10'000);
+  Second.Tenant = "capped";
+  ExecResponse Rej = Sched.submit(Second).get();
+  EXPECT_EQ(Rej.Status, ExecStatus::TenantQuotaExceeded);
+  EXPECT_STREQ(Rej.Detail, "tenant-inflight");
+  EXPECT_GE(Rej.RetryAfterMs, 1u);
+
+  // Another tenant is not capped by it.
+  ExecRequest Other = boundedSpin(10'000);
+  Other.Tenant = "neighbour";
+  std::future<ExecResponse> OtherF = Sched.submit(Other);
+
+  // Once the busy request finishes, the slot frees and the tenant is
+  // admitted again.
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  EXPECT_EQ(OtherF.get().Status, ExecStatus::InstBudgetExceeded);
+  EXPECT_EQ(Sched.admission().inFlight("capped"), 0u);
+  ExecRequest Retry = boundedSpin(10'000);
+  Retry.Tenant = "capped";
+  EXPECT_EQ(Sched.submit(Retry).get().Status,
+            ExecStatus::InstBudgetExceeded);
+}
+
+TEST(FleetOverload, InteractiveLaneJumpsBatchBacklog) {
+  FleetConfig Config;
+  Config.Workers = 1;
+  Config.QueueDepth = 32;
+  ExecutionScheduler Sched(Config);
+
+  // Occupy the one worker, then queue a batch backlog followed by one
+  // interactive request.
+  std::future<ExecResponse> BusyF = Sched.submit(busyFor(250'000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::vector<std::future<ExecResponse>> Batch;
+  for (unsigned I = 0; I != 5; ++I) {
+    ExecRequest Req = boundedSpin(5'000'000); // Substantial work each.
+    Req.Lane = Priority::Batch;
+    Batch.push_back(Sched.submit(Req));
+  }
+  ExecRequest Tiny = boundedSpin(1'000); // Trivial work.
+  Tiny.Lane = Priority::Interactive;
+  std::future<ExecResponse> TinyF = Sched.submit(Tiny);
+
+  // Weighted-deficit dequeue: when the worker frees, the interactive lane
+  // has round credit, so the tiny request is served before the batch
+  // backlog — despite arriving last.
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  EXPECT_EQ(TinyF.get().Status, ExecStatus::InstBudgetExceeded);
+  unsigned BatchStillPending = 0;
+  for (std::future<ExecResponse> &F : Batch)
+    if (F.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+      ++BatchStillPending;
+  // At the moment the interactive response lands, at most one batch
+  // request can have been served (scheduling noise margin); with FIFO it
+  // would have waited behind all five.
+  EXPECT_GE(BatchStillPending, 4u);
+
+  for (std::future<ExecResponse> &F : Batch)
+    EXPECT_EQ(F.get().Status, ExecStatus::InstBudgetExceeded);
+  StatisticSet S = Sched.fleet().stats();
+  EXPECT_EQ(S.get("serve.lane.interactive.served"), 1u);
+  EXPECT_EQ(S.get("serve.lane.batch.served"), 5u);
+}
+
+TEST(FleetOverload, PerLaneDepthBoundsIsolateFloods) {
+  FleetConfig Config;
+  Config.Workers = 1;
+  Config.LaneDepths = {4, 2, 2}; // Interactive, Normal, Batch.
+  ExecutionScheduler Sched(Config);
+
+  std::future<ExecResponse> BusyF = Sched.submit(busyFor(250'000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Flood the batch lane: its two slots fill, the rest reject queue-full.
+  std::vector<std::future<ExecResponse>> Flood;
+  for (unsigned I = 0; I != 6; ++I) {
+    ExecRequest Req = boundedSpin(1'000);
+    Req.Lane = Priority::Batch;
+    Flood.push_back(Sched.submit(Req));
+  }
+  unsigned Full = 0;
+  for (std::future<ExecResponse> &F : Flood) {
+    if (F.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      ExecResponse Resp = F.get();
+      EXPECT_EQ(Resp.Status, ExecStatus::QueueFull);
+      EXPECT_GE(Resp.RetryAfterMs, 1u);
+      ++Full;
+    }
+  }
+  EXPECT_EQ(Full, 4u); // 6 submitted, 2 batch slots.
+
+  // The flooded batch lane does not consume interactive capacity.
+  ExecRequest Tiny = boundedSpin(1'000);
+  Tiny.Lane = Priority::Interactive;
+  std::future<ExecResponse> TinyF = Sched.submit(Tiny);
+  ASSERT_NE(TinyF.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready); // Queued, not rejected.
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  EXPECT_EQ(TinyF.get().Status, ExecStatus::InstBudgetExceeded);
+  EXPECT_EQ(Sched.shutdown(/*FinishQueued=*/true), 0u);
+}
+
+TEST(FleetOverload, DeadlineExpiredInQueueShedsWithoutTouchingVm) {
+  FleetConfig Config;
+  Config.Workers = 1;
+  Config.QueueDepth = 8;
+  ExecutionScheduler Sched(Config);
+
+  // Hold the one worker well past the victim's deadline.
+  std::future<ExecResponse> BusyF = Sched.submit(busyFor(250'000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ExecRequest Victim = boundedSpin(1'000'000);
+  Victim.DeadlineMicros = 50'000; // Expires while queued.
+  std::future<ExecResponse> VictimF = Sched.submit(Victim);
+
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  ExecResponse Resp = VictimF.get();
+  EXPECT_EQ(Resp.Status, ExecStatus::DeadlineExceeded);
+  EXPECT_STREQ(Resp.Detail, "wall-deadline");
+  // Shed at dequeue: no VM was built, no guest instruction ran, no
+  // statistics moved — the whole point of shedding a doomed request.
+  EXPECT_EQ(Resp.GuestInsts, 0u);
+  EXPECT_EQ(Resp.WallMicros, 0.0);
+  EXPECT_EQ(Resp.Stats.get("dbt.cost.total"), 0u);
+  EXPECT_EQ(Resp.Stats.get("interp.insts"), 0u);
+
+  StatisticSet S = Sched.fleet().stats();
+  EXPECT_EQ(S.get("serve.shed.expired_in_queue"), 1u);
+  // Two deadline rejections total: the busy spin (ran out mid-flight) and
+  // the shed victim; only the victim counts as a shed.
+  EXPECT_EQ(S.get("serve.rejected.deadline"), 2u);
+}
+
+TEST(FleetOverload, DoomedDeadlineShedsAtAdmission) {
+  FleetConfig Config;
+  Config.Workers = 1;
+  Config.QueueDepth = 16;
+  ExecutionScheduler Sched(Config);
+
+  // Seed the service-time EWMA with one real completion (the estimator
+  // never sheds before its first sample).
+  EXPECT_EQ(Sched.submit(boundedSpin(2'000'000)).get().Status,
+            ExecStatus::InstBudgetExceeded);
+  ASSERT_GT(Sched.admission().ewmaServiceMicros(), 0u);
+
+  // Occupy the worker and build a backlog in the normal lane.
+  std::future<ExecResponse> BusyF = Sched.submit(busyFor(250'000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::vector<std::future<ExecResponse>> Backlog;
+  for (unsigned I = 0; I != 8; ++I)
+    Backlog.push_back(Sched.submit(boundedSpin(2'000'000)));
+
+  // A 1ms deadline behind an 8-deep backlog is unmeetable: admission
+  // sheds it immediately, typed, before it wastes a lane slot.
+  ExecRequest Doomed = boundedSpin(1'000'000);
+  Doomed.DeadlineMicros = 1'000;
+  std::future<ExecResponse> DoomedF = Sched.submit(Doomed);
+  ASSERT_EQ(DoomedF.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ExecResponse Resp = DoomedF.get();
+  EXPECT_EQ(Resp.Status, ExecStatus::DeadlineExceeded);
+  EXPECT_STREQ(Resp.Detail, "deadline-unmeetable");
+  EXPECT_EQ(Resp.GuestInsts, 0u);
+
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  for (std::future<ExecResponse> &F : Backlog)
+    EXPECT_EQ(F.get().Status, ExecStatus::InstBudgetExceeded);
+  EXPECT_EQ(Sched.fleet().stats().get("serve.shed.deadline_unmeetable"), 1u);
+}
+
+TEST(FleetOverload, QuotaReservationRefundedOnQueueFull) {
+  // A request admitted by quota but rejected by a full lane must hand its
+  // in-flight slot back — otherwise the tenant's cap leaks shut.
+  FleetConfig Config;
+  Config.Workers = 1;
+  Config.LaneDepths = {1, 1, 1};
+  TenantQuota Q;
+  Q.MaxInFlight = 3;
+  Config.TenantQuotas["t"] = Q;
+  ExecutionScheduler Sched(Config);
+
+  ExecRequest Busy = busyFor(250'000);
+  Busy.Tenant = "t";
+  std::future<ExecResponse> BusyF = Sched.submit(Busy);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ExecRequest Req = boundedSpin(1'000);
+  Req.Tenant = "t";
+  std::future<ExecResponse> QueuedF = Sched.submit(Req); // Fills the lane.
+  for (unsigned I = 0; I != 3; ++I) {
+    ExecRequest R = Req;
+    ExecResponse Resp = Sched.submit(R).get();
+    EXPECT_EQ(Resp.Status, ExecStatus::QueueFull); // Not tenant-quota:
+  }                                                // slots were refunded.
+  EXPECT_EQ(Sched.admission().inFlight("t"), 2u); // Busy + queued only.
+  EXPECT_EQ(BusyF.get().Status, ExecStatus::DeadlineExceeded);
+  EXPECT_EQ(QueuedF.get().Status, ExecStatus::InstBudgetExceeded);
+  EXPECT_EQ(Sched.admission().inFlight("t"), 0u);
+}
+
+TEST(FleetOverload, DrainShutdownDuringMixedBurstLeaksNothing) {
+  // Satellite contract: shutdown(FinishQueued) in the middle of a
+  // sustained mixed-priority burst with a quota-limited hostile tenant.
+  // Every accepted promise is fulfilled (drained requests execute, and a
+  // queued request whose deadline lapsed before its turn sheds typed);
+  // every rejection is typed; nothing is left unfulfilled.
+  FleetConfig Config;
+  Config.Workers = 2;
+  Config.LaneDepths = {8, 8, 8};
+  TenantQuota Hostile;
+  Hostile.TokensPerSec = 200;
+  Hostile.Burst = 4;
+  Hostile.MaxInFlight = 4;
+  Config.TenantQuotas["hostile"] = Hostile;
+  ExecutionScheduler Sched(Config);
+
+  constexpr unsigned Submitters = 3;
+  constexpr unsigned Each = 40;
+  std::vector<std::vector<std::future<ExecResponse>>> Futures(Submitters);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != Submitters; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != Each; ++I) {
+        ExecRequest Req = boundedSpin(200'000);
+        Req.Lane = Priority(T % NumPriorities);
+        Req.Tenant = T == 2 ? "hostile" : "good";
+        if (I % 4 == 0)
+          Req.DeadlineMicros = 2'000; // Some will lapse while queued.
+        Futures[T].push_back(Sched.submit(Req));
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+
+  // Shut down mid-burst, draining what was accepted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  Sched.shutdown(/*FinishQueued=*/true);
+  for (std::thread &T : Threads)
+    T.join();
+
+  unsigned Fulfilled = 0;
+  for (std::vector<std::future<ExecResponse>> &PerThread : Futures)
+    for (std::future<ExecResponse> &F : PerThread) {
+      // No promise leaked: every future is ready once shutdown returned
+      // and the submitters joined.
+      ASSERT_EQ(F.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      ExecResponse Resp = F.get();
+      ++Fulfilled;
+      switch (Resp.Status) {
+      case ExecStatus::Ok:
+      case ExecStatus::InstBudgetExceeded:
+      case ExecStatus::DeadlineExceeded: // Ran out, or shed typed.
+        break;
+      case ExecStatus::QueueFull:
+      case ExecStatus::ShutDown:
+        break;
+      case ExecStatus::TenantQuotaExceeded:
+        EXPECT_GE(Resp.RetryAfterMs, 1u); // Quota rejections carry a hint.
+        break;
+      default:
+        ADD_FAILURE() << "untyped response: "
+                      << getExecStatusName(Resp.Status) << " "
+                      << Resp.Detail;
+      }
+    }
+  EXPECT_EQ(Fulfilled, Submitters * Each);
+
+  // Fleet accounting covers every submission exactly once.
+  StatisticSet S = Sched.fleet().stats();
+  EXPECT_EQ(S.get("serve.requests"), Submitters * Each);
+}
