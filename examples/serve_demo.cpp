@@ -46,6 +46,8 @@
 #include "serve/ExecutionScheduler.h"
 #include "workloads/Workloads.h"
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,8 +57,6 @@
 
 #ifndef _WIN32
 #include <arpa/inet.h>
-#include <cerrno>
-#include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -66,6 +66,11 @@ using namespace ildp;
 using namespace ildp::serve;
 
 namespace {
+
+/// Set by SIGTERM/SIGINT: finish what was accepted, then leave. The
+/// handlers are installed without SA_RESTART so blocking reads and
+/// accepts return EINTR and the serving loops can see the flag.
+volatile std::sig_atomic_t ShutdownRequested = 0;
 
 /// Serves one parsed line; returns the response line (without newline),
 /// or an empty string for "quit".
@@ -130,7 +135,17 @@ std::string serveLine(ExecutionScheduler &Sched, const std::string &Line) {
 
 void serveStream(ExecutionScheduler &Sched, FILE *In, FILE *Out) {
   char LineBuf[4096];
-  while (std::fgets(LineBuf, sizeof(LineBuf), In)) {
+  for (;;) {
+    if (!std::fgets(LineBuf, sizeof(LineBuf), In)) {
+      // A signal interrupting the read (EINTR, SA_RESTART off) is the
+      // graceful-shutdown path; a true EOF or error ends the session
+      // either way.
+      if (!ShutdownRequested && std::ferror(In) && errno == EINTR) {
+        std::clearerr(In);
+        continue;
+      }
+      break;
+    }
     std::string Line(LineBuf);
     while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
       Line.pop_back();
@@ -218,8 +233,11 @@ public:
       }
       ssize_t N = read(Fd, Buf, sizeof(Buf));
       if (N < 0) {
-        if (errno == EINTR)
+        if (errno == EINTR) {
+          if (ShutdownRequested)
+            return Status::Eof; // Graceful stop: end this session.
           continue;
+        }
         return Status::Eof;
       }
       if (N == 0)
@@ -283,17 +301,33 @@ int serveTcp(ExecutionScheduler &Sched, unsigned Port) {
   std::printf("serving on 127.0.0.1:%u (one client at a time; "
               "\"quit\" ends a session, Ctrl-C the server)\n",
               Port);
-  for (;;) {
+  while (!ShutdownRequested) {
     int Client = accept(Listener, nullptr, nullptr);
     if (Client < 0) {
       if (errno == EINTR)
-        continue;
+        continue; // Signal: the loop condition decides (graceful stop).
       std::perror("accept"); // Transient (ECONNABORTED, EMFILE): keep going.
       continue;
     }
     serveClient(Sched, Client);
     close(Client);
   }
+  close(Listener);
+  return 0;
+}
+
+/// SIGTERM/SIGINT request a graceful stop: stop accepting work, drain
+/// what was admitted (shutdown(FinishQueued)), then exit — a fleet host
+/// must never drop accepted requests on the floor when the platform
+/// recycles it. Installed without SA_RESTART so the blocking accept/read
+/// loops observe the flag.
+void installShutdownHandlers() {
+  struct sigaction Action {};
+  Action.sa_handler = [](int) { ShutdownRequested = 1; };
+  sigemptyset(&Action.sa_mask);
+  Action.sa_flags = 0; // No SA_RESTART: blocking calls must EINTR.
+  sigaction(SIGTERM, &Action, nullptr);
+  sigaction(SIGINT, &Action, nullptr);
 }
 #endif
 
@@ -360,10 +394,19 @@ int main(int argc, char **argv) {
                    ? (StorePath + " (warm)").c_str()
                    : (StorePath + " (FAILED TO LOAD, serving cold)").c_str());
 
+  int Rc = 0;
 #ifndef _WIN32
+  installShutdownHandlers();
   if (Port)
-    return serveTcp(Sched, Port);
+    Rc = serveTcp(Sched, Port);
+  else
 #endif
-  serveStream(Sched, stdin, stdout);
-  return 0;
+    serveStream(Sched, stdin, stdout);
+
+  // Graceful exit, signal or EOF alike: every admitted request executes
+  // before the process goes away (FinishQueued drain).
+  Sched.shutdown(/*FinishQueued=*/true);
+  if (ShutdownRequested)
+    std::fprintf(stderr, "signal: drained queued requests, exiting\n");
+  return Rc;
 }

@@ -10,13 +10,13 @@
 #include "persist/CacheFile.h"
 #include "persist/Crc32.h"
 #include "persist/FragmentCodec.h"
+#include "persist/StoreLock.h"
+#include "support/CrashInjector.h"
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <thread>
 #include <unordered_set>
 
 #ifndef _WIN32
@@ -27,49 +27,13 @@
 using namespace ildp;
 using namespace ildp::persist;
 using namespace ildp::dbt;
+using support::CrashPoint;
+using support::crashPoint;
 
 namespace {
 
 constexpr size_t HeaderBytes = 8 + 4 + 4 + 4;
 constexpr size_t IndexEntryBytes = 8 + 8 + 8 + 4 + 4 + 8 + 4 + 8;
-
-/// Best-effort advisory lock: create "<path>.lock" exclusively, waiting a
-/// bounded time for a concurrent holder. A crashed holder must not wedge
-/// every later writer, so after the wait the caller proceeds unlocked
-/// (read-merge-write still adopts whatever is on disk; only the
-/// lost-update window between read and rename remains).
-class ScopedLockFile {
-public:
-  explicit ScopedLockFile(std::string LockPath) : Path(std::move(LockPath)) {
-#ifndef _WIN32
-    for (unsigned Try = 0; Try != 250; ++Try) {
-      Fd = ::open(Path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-      if (Fd >= 0)
-        return;
-      if (errno != EEXIST)
-        return; // Unwritable directory etc.; locking is best-effort.
-      Contended = true;
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-#endif
-  }
-  ScopedLockFile(const ScopedLockFile &) = delete;
-  ScopedLockFile &operator=(const ScopedLockFile &) = delete;
-  ~ScopedLockFile() {
-#ifndef _WIN32
-    if (Fd >= 0) {
-      ::close(Fd);
-      std::remove(Path.c_str());
-    }
-#endif
-  }
-  bool contended() const { return Contended; }
-
-private:
-  std::string Path;
-  int Fd = -1;
-  bool Contended = false;
-};
 
 /// Unique staging-file name: pid + a process-wide counter, so even two
 /// unlocked writers (lock timeout) never scribble on each other's temp.
@@ -344,8 +308,73 @@ bool CacheStore::save(const std::string &Path) const {
 
   // Stage and rename so a crash mid-write cannot corrupt an existing
   // store; the staging name is unique so unlocked concurrent savers never
-  // truncate each other's in-progress temp.
+  // truncate each other's in-progress temp. The temp is fsynced before
+  // the rename and the containing directory after it, so "save succeeded"
+  // is durable against power loss, not merely against process death —
+  // without the ordering fsync, a crash after the rename could leave the
+  // *name* pointing at unwritten blocks.
   std::string TmpPath = uniqueTmpPath(Path);
+#ifndef _WIN32
+  {
+    int Fd = ::open(TmpPath.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (Fd < 0)
+      return false;
+    const uint8_t *Data = W.bytes().data();
+    size_t Len = W.size();
+    auto WriteAll = [&](size_t From, size_t To) {
+      while (From != To) {
+        ssize_t N = ::write(Fd, Data + From, To - From);
+        if (N < 0) {
+          if (errno == EINTR)
+            continue;
+          return false;
+        }
+        From += size_t(N);
+      }
+      return true;
+    };
+    // Two halves with the crash point between them: an injected death
+    // leaves the staging file holding only a prefix of the image. The
+    // store name still points at the old artifact — a reopen must see
+    // old, never a torn half-write.
+    size_t Half = Len / 2;
+    bool Ok = WriteAll(0, Half);
+    if (Ok)
+      crashPoint(CrashPoint::MidTmpWrite);
+    if (Ok)
+      Ok = WriteAll(Half, Len);
+    if (!Ok) {
+      ::close(Fd);
+      std::remove(TmpPath.c_str());
+      return false;
+    }
+    if (::fsync(Fd) != 0) {
+      ::close(Fd);
+      std::remove(TmpPath.c_str());
+      return false;
+    }
+    ::close(Fd);
+  }
+  // Crash point: the staging file is complete and durable, but the store
+  // name was never switched — a reopen must see the old image set intact.
+  crashPoint(CrashPoint::PostTmpPreRename);
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return false;
+  }
+  // Durability of the rename itself: fsync the containing directory so
+  // the new directory entry survives power loss (best-effort — a store in
+  // an unfsyncable location still saved correctly for process death).
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
+  }
+#else
   {
     std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
     if (!Out)
@@ -359,6 +388,7 @@ bool CacheStore::save(const std::string &Path) const {
     std::remove(TmpPath.c_str());
     return false;
   }
+#endif
   return true;
 }
 
@@ -370,8 +400,16 @@ SaveMergeResult CacheStore::saveMerged(const std::string &Path,
   // delay) a concurrent writer's lock acquisition.
   if (ReadOnlyMode)
     return Result;
-  ScopedLockFile Lock(Path + ".lock");
+  // The crash-recoverable lock (StoreLock.h): a holder that dies at ANY
+  // point below leaves a lock file naming a dead PID, which the next
+  // writer detects and breaks instead of waiting out a timeout — and a
+  // *live* holder is waited for rather than raced (the PR-5 version fell
+  // through to unlocked read-merge-write after 500ms, reopening the
+  // lost-update window it existed to close).
+  StoreLock Lock(Path + ".lock");
   Result.LockContended = Lock.contended();
+  Result.LockBroken = Lock.broken();
+  Result.LockTimedOut = Lock.timedOut();
 
   // Adopt slots written since this store was opened (or that a
   // load-disabled VM never read): concurrent writers of *different*
@@ -379,7 +417,12 @@ SaveMergeResult CacheStore::saveMerged(const std::string &Path,
   // last writer wins per image, never per store. A legacy or corrupt
   // on-disk file contributes nothing and is rewritten in store format.
   CacheStore Disk;
-  if (Disk.open(Path) == StoreStatus::Ok) {
+  StoreStatus DiskState = Disk.open(Path);
+  // Crash point: the on-disk store has been read, nothing written, and
+  // this process holds "<path>.lock". Dying here must leave the old
+  // artifact intact and a breakable (dead-PID) lock behind.
+  crashPoint(CrashPoint::MidMergeRead);
+  if (DiskState == StoreStatus::Ok) {
     // Keep adopted slots older than everything this store wrote itself.
     size_t InsertAt = 0;
     for (StoreImage &Img : Disk.Images)
@@ -391,5 +434,9 @@ SaveMergeResult CacheStore::saveMerged(const std::string &Path,
 
   Result.Compacted = compact(MaxImages);
   Result.Saved = save(Path);
+  // Crash point: the new store is durably in place but the lock file
+  // still names this process. Readers see new; the next writer must
+  // break the dead lock within one takeover, not wait out a timeout.
+  crashPoint(CrashPoint::PostRenamePreUnlock);
   return Result;
 }

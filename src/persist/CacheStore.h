@@ -31,15 +31,20 @@
 /// under persist.import_rejected.<reason> and runs cold. Loading NEVER
 /// crashes on a bad file.
 ///
-/// Saves stage through a unique "<path>.tmp.*" file and rename into place,
-/// so a crashed save never corrupts a good store. saveMerged() additionally
-/// serializes concurrent writers through a best-effort "<path>.lock" file
-/// and re-reads the on-disk store under the lock, adopting image slots
-/// written by other processes since this store was opened: two VMs saving
-/// different images into one store both survive. If the lock cannot be
-/// acquired (bounded wait; a crashed holder must not wedge every writer),
-/// the save degrades to read-merge-write without it — last writer wins on
-/// the file, but each writer still merges every slot it can see.
+/// Saves stage through a unique "<path>.tmp.*" file — fsynced, renamed
+/// into place, directory fsynced — so a crashed save never corrupts a
+/// good store and a completed save survives power loss. saveMerged()
+/// additionally serializes concurrent writers through a crash-recoverable
+/// "<path>.lock" file (StoreLock.h: holder PID recorded, dead holders
+/// detected and broken within one takeover) and re-reads the on-disk
+/// store under the lock, adopting image slots written by other processes
+/// since this store was opened: two VMs saving different images into one
+/// store both survive. A live-but-wedged holder is waited for up to a
+/// generous bound before the save degrades to unlocked read-merge-write
+/// (reported via SaveMergeResult::LockTimedOut) — last writer wins on the
+/// file, but each writer still merges every slot it can see. The §15
+/// crash model is chaos-tested by ildp-crashtest at named crash points
+/// (support/CrashInjector.h) covering every instant of this protocol.
 ///
 /// Legacy single-image cache files (CacheFile format, PR 1) are detected
 /// by magic: open() returns StoreStatus::LegacyFile and the caller imports
@@ -110,6 +115,13 @@ struct SaveMergeResult {
   size_t Adopted = 0;     ///< Slots adopted from concurrent writers.
   size_t Compacted = 0;   ///< Oldest slots dropped by the image bound.
   bool LockContended = false; ///< The lock file was busy at least once.
+  /// Dead-holder locks broken during acquisition (StoreLock takeover;
+  /// counted by the VM under persist.store_lock_broken).
+  unsigned LockBroken = 0;
+  /// A LIVE holder outlasted the wait bound and this save proceeded
+  /// unlocked — the last remaining lost-update path, reported so callers
+  /// can count it (persist.store_lock_timeout) instead of racing silently.
+  bool LockTimedOut = false;
 };
 
 /// An in-memory multi-image store. Slot order is write order (put() moves

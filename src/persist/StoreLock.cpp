@@ -1,0 +1,207 @@
+//===- persist/StoreLock.cpp - Crash-recoverable store lock file ----------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/StoreLock.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+using namespace ildp;
+using namespace ildp::persist;
+
+#ifndef _WIN32
+
+namespace {
+
+/// Creates \p Path O_CREAT|O_EXCL and writes "<pid>\n" into it. Returns
+/// true on acquisition. EEXIST means held; any other error means the
+/// directory refuses lock files (best-effort: caller degrades).
+bool createPidFile(const std::string &Path, bool &Unsupported) {
+  int Fd = ::open(Path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (Fd < 0) {
+    Unsupported = errno != EEXIST;
+    return false;
+  }
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%ld\n", long(::getpid()));
+  const char *P = Buf;
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, P, size_t(Len));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // Unwritable fd: the empty-grace path will reap the file.
+    }
+    P += N;
+    Len -= int(N);
+  }
+  ::close(Fd);
+  return true;
+}
+
+/// True when \p Pid names no live process (ESRCH). EPERM — a live process
+/// we may not signal — counts as alive.
+bool pidDead(long Pid) {
+  return ::kill(pid_t(Pid), 0) != 0 && errno == ESRCH;
+}
+
+} // namespace
+
+long StoreLock::readHolderPid(const std::string &LockPath) {
+  int Fd = ::open(LockPath.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return -1;
+  char Buf[32];
+  ssize_t N;
+  do
+    N = ::read(Fd, Buf, sizeof(Buf) - 1);
+  while (N < 0 && errno == EINTR);
+  ::close(Fd);
+  if (N <= 0)
+    return -1;
+  Buf[N] = '\0';
+  char *End = nullptr;
+  long Pid = std::strtol(Buf, &End, 10);
+  if (End == Buf || Pid <= 0)
+    return -1;
+  return Pid;
+}
+
+bool StoreLock::tryCreate() {
+  bool Unsupported = false;
+  if (createPidFile(Path, Unsupported)) {
+    Held = true;
+    return true;
+  }
+  if (Unsupported) {
+    // Locking is best-effort: an unwritable directory must not fail the
+    // save. Report as a (non-)acquisition with no holder to wait for.
+    TimedOut = true;
+    return true;
+  }
+  return false;
+}
+
+/// Serialized takeover of a dead holder's lock. The break lock is held
+/// only across a re-verify + unlink (microseconds), so its own staleness
+/// handling can be blunt: a break file naming a dead PID is unlinked on
+/// sight. Returns true when the main lock was (or turned out to already
+/// be) cleared.
+bool StoreLock::breakLock(long ExpectDeadPid) {
+  std::string BreakPath = Path + ".break";
+  bool Unsupported = false;
+  if (!createPidFile(BreakPath, Unsupported)) {
+    if (Unsupported)
+      return false; // Cannot break; outer loop keeps polling.
+    long BreakerPid = readHolderPid(BreakPath);
+    // A breaker that died inside its microseconds-wide critical section:
+    // clear its break file and let the outer loop retry. -1 (empty file)
+    // gets the same treatment — the window between create and write is a
+    // few instructions, so an empty break file is overwhelmingly a dead
+    // one, and the worst false positive re-runs a re-verified takeover.
+    if (BreakerPid < 0 || pidDead(BreakerPid))
+      std::remove(BreakPath.c_str());
+    return false; // Someone is (or was) breaking; retry the outer loop.
+  }
+  // Under the break lock: re-verify before unlinking. The main lock may
+  // have been broken and re-acquired by a live writer since we read the
+  // dead PID — unlinking *that* would hand two writers the same lock.
+  long Now = readHolderPid(Path);
+  bool Cleared = false;
+  if (Now == ExpectDeadPid || (Now > 0 && pidDead(Now))) {
+    std::remove(Path.c_str());
+    Cleared = true;
+    ++Broken;
+  } else if (Now < 0) {
+    // Unreadable main lock under the break lock: only reap it when the
+    // caller already sat out the empty-file grace (ExpectDeadPid < 0).
+    if (ExpectDeadPid < 0) {
+      std::remove(Path.c_str());
+      Cleared = true;
+      ++Broken;
+    }
+  }
+  std::remove(BreakPath.c_str());
+  return Cleared;
+}
+
+StoreLock::StoreLock(std::string LockPath)
+    : StoreLock(std::move(LockPath), Options()) {}
+
+StoreLock::StoreLock(std::string LockPath, Options O)
+    : Path(std::move(LockPath)), Opts(O) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start = Clock::now();
+  Clock::time_point FirstUnreadable{};
+  for (;;) {
+    if (tryCreate())
+      return;
+    Contended = true;
+
+    long Holder = readHolderPid(Path);
+    if (Holder > 0) {
+      FirstUnreadable = Clock::time_point{};
+      if (pidDead(Holder)) {
+        // Crashed holder: take over now. Never wait a timeout on a PID
+        // that can no longer release the lock.
+        if (!breakLock(Holder)) // Another breaker beat us; let it finish.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(Opts.PollMillis));
+        continue; // Race others for the cleared slot immediately.
+      }
+      // Live holder: wait, bounded only against the pathological wedged
+      // case. The holder's own save is milliseconds of work.
+      if (Clock::now() - Start >
+          std::chrono::milliseconds(Opts.MaxWaitMillis)) {
+        TimedOut = true;
+        return;
+      }
+    } else {
+      // Present but empty/unparseable: either a holder killed inside the
+      // create-to-write window or a foreign artifact. Neither names a
+      // live writer; reap it after a short grace.
+      if (FirstUnreadable == Clock::time_point{})
+        FirstUnreadable = Clock::now();
+      else if (Clock::now() - FirstUnreadable >
+               std::chrono::milliseconds(Opts.EmptyGraceMillis)) {
+        breakLock(-1);
+        FirstUnreadable = Clock::time_point{};
+        continue;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(Opts.PollMillis));
+  }
+}
+
+StoreLock::~StoreLock() {
+  if (Held)
+    std::remove(Path.c_str());
+}
+
+#else // _WIN32
+
+long StoreLock::readHolderPid(const std::string &) { return -1; }
+bool StoreLock::tryCreate() { return true; }
+bool StoreLock::breakLock(long) { return false; }
+StoreLock::StoreLock(std::string LockPath)
+    : StoreLock(std::move(LockPath), Options()) {}
+StoreLock::StoreLock(std::string LockPath, Options O)
+    : Path(std::move(LockPath)), Opts(O) {
+  TimedOut = true; // No lock support: callers proceed unlocked.
+}
+StoreLock::~StoreLock() = default;
+
+#endif

@@ -1,0 +1,111 @@
+//===- persist/StoreLock.h - Crash-recoverable store lock file ------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The advisory lock serializing CacheStore::saveMerged writers, hardened
+/// against writer death (DESIGN.md §15). The PR-5 lock was a bare
+/// O_CREAT|O_EXCL file: correct between live writers, but a writer that
+/// died while holding it left a stale "<path>.lock" that made every later
+/// save wait out a fixed timeout and then scribble unlocked — the exact
+/// lost-update window the lock exists to close, reopened by the crash it
+/// should be immune to.
+///
+/// StoreLock records the holder's PID inside the lock file and recovers
+/// dead holders:
+///
+///  - acquisition creates the file O_CREAT|O_EXCL and writes the holder
+///    PID (decimal, newline-terminated) into it;
+///  - a contender that finds the file reads the PID and probes it with
+///    kill(pid, 0): ESRCH means the holder died without unlocking, and
+///    the contender *breaks* the lock (takeover) instead of waiting for a
+///    timeout that cannot help;
+///  - breaking is serialized through a short-lived secondary
+///    "<lock>.break" file, under which the main lock's content is
+///    re-verified before the unlink — two contenders that both saw the
+///    dead PID cannot unlink two generations of the lock;
+///  - a live holder is *waited for* (default bound 30s — saves take
+///    milliseconds; the bound only exists so a wedged-but-alive holder
+///    cannot hang a fleet forever). Only that pathological case reaches
+///    the proceed-unlocked fallback, and it is reported as timedOut() so
+///    callers can count it (persist.store_lock_timeout) rather than
+///    silently racing.
+///
+/// An unreadable or empty lock file (a foreign creator, or a holder
+/// killed inside the create-to-write window, which is a handful of
+/// instructions wide) is treated as dead after a short grace period: it
+/// names no live PID, so no live writer can be protected by it.
+///
+/// The lock is advisory and best-effort by design (mirrors PR-5): an
+/// unwritable directory degrades to unlocked read-merge-write rather
+/// than failing the save.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_PERSIST_STORELOCK_H
+#define ILDP_PERSIST_STORELOCK_H
+
+#include <cstdint>
+#include <string>
+
+namespace ildp {
+namespace persist {
+
+/// Scoped crash-recoverable lock file. Acquisition happens in the
+/// constructor; the destructor releases (unlinks) only a lock this
+/// process acquired.
+class StoreLock {
+public:
+  struct Options {
+    /// Bound on waiting for a LIVE holder, in milliseconds. Dead holders
+    /// never consume the bound — they are broken as soon as detected.
+    unsigned MaxWaitMillis = 30'000;
+    /// Poll interval while a live holder works, in milliseconds.
+    unsigned PollMillis = 2;
+    /// How long an empty/unreadable lock file must persist before it is
+    /// treated as a dead holder, in milliseconds.
+    unsigned EmptyGraceMillis = 250;
+  };
+
+  /// Acquires "<LockPath>" per the protocol above (default Options; the
+  /// two-argument overload exists because GCC cannot use a nested
+  /// struct's member initializers in a default argument).
+  explicit StoreLock(std::string LockPath);
+  StoreLock(std::string LockPath, Options Opts);
+  StoreLock(const StoreLock &) = delete;
+  StoreLock &operator=(const StoreLock &) = delete;
+  ~StoreLock();
+
+  /// True when this process holds the lock.
+  bool held() const { return Held; }
+  /// True when acquisition found the file held at least once.
+  bool contended() const { return Contended; }
+  /// Dead-holder locks this acquisition broke (0, 1, or — if a breaker
+  /// itself died mid-takeover — more).
+  unsigned broken() const { return Broken; }
+  /// True when a live holder outlasted MaxWaitMillis and the caller is
+  /// proceeding unlocked (the only remaining lost-update path).
+  bool timedOut() const { return TimedOut; }
+
+  /// The PID recorded in \p LockPath, or -1 when the file is absent,
+  /// empty, or unparseable.
+  static long readHolderPid(const std::string &LockPath);
+
+private:
+  bool tryCreate();
+  bool breakLock(long ExpectDeadPid);
+
+  std::string Path;
+  Options Opts;
+  bool Held = false;
+  bool Contended = false;
+  bool TimedOut = false;
+  unsigned Broken = 0;
+};
+
+} // namespace persist
+} // namespace ildp
+
+#endif // ILDP_PERSIST_STORELOCK_H

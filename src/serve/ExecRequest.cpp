@@ -29,8 +29,19 @@ const char *serve::getExecStatusName(ExecStatus Status) {
     return "shutdown";
   case ExecStatus::TenantQuotaExceeded:
     return "tenant-quota";
+  case ExecStatus::HostCrashed:
+    return "host-crashed";
   }
   return "unknown";
+}
+
+bool serve::parseExecStatusName(const std::string &Name, ExecStatus &Status) {
+  for (unsigned I = 0; I != NumExecStatuses; ++I)
+    if (Name == getExecStatusName(ExecStatus(I))) {
+      Status = ExecStatus(I);
+      return true;
+    }
+  return false;
 }
 
 const char *serve::getPriorityName(Priority P) {

@@ -53,13 +53,23 @@ enum class ExecStatus : uint8_t {
   TenantQuotaExceeded, ///< Admission control: the tenant exhausted its
                        ///< token-bucket rate or max-in-flight quota.
                        ///< ExecResponse::RetryAfterMs says when to retry.
+  HostCrashed,         ///< Multi-process mode (HostSupervisor): the host
+                       ///< process serving this request died mid-flight.
+                       ///< The request was NOT completed; RetryAfterMs
+                       ///< hints when a restarted host will be warm.
+                       ///< Never produced by the in-process scheduler.
 };
 
-constexpr unsigned NumExecStatuses = 8;
+constexpr unsigned NumExecStatuses = 9;
 
 /// Stable lowercase status name ("ok", "queue-full", ...), used for the
 /// "serve.rejected.<reason>" statistics and the demo front end.
 const char *getExecStatusName(ExecStatus Status);
+
+/// Parses a status name as printed by getExecStatusName(). Returns false
+/// and leaves \p Status untouched on an unknown name. Used by the
+/// multi-process supervisor to type child "err <status> ..." lines.
+bool parseExecStatusName(const std::string &Name, ExecStatus &Status);
 
 /// Priority lane of a request. The scheduler keeps one independently
 /// bounded queue per lane and drains them by weighted-deficit dequeue

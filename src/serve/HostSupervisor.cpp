@@ -1,0 +1,405 @@
+//===- serve/HostSupervisor.cpp - Multi-process fleet host supervision ----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/HostSupervisor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#ifndef _WIN32
+#include <cerrno>
+#include <csignal>
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+#endif
+
+using namespace ildp;
+using namespace ildp::serve;
+
+HostSupervisor::HostSupervisor(SupervisorConfig C) : Config(std::move(C)) {
+  if (Config.Hosts == 0)
+    Config.Hosts = 1;
+  Slots.reserve(Config.Hosts);
+  for (unsigned I = 0; I != Config.Hosts; ++I) {
+    Slots.push_back(std::make_unique<Slot>());
+    Slots.back()->Index = I;
+  }
+}
+
+HostSupervisor::~HostSupervisor() { shutdown(); }
+
+#ifndef _WIN32
+
+bool HostSupervisor::spawnHost(Slot &S, int &ReadFd) {
+  // supervisor -> host (requests) and host -> supervisor (responses).
+  // O_CLOEXEC is load-bearing: slot threads spawn concurrently, and a
+  // sibling child inheriting this host's stdout write end would hold the
+  // pipe open past this host's death — the supervisor would never see
+  // EOF and the dead host's in-flight requests would hang instead of
+  // failing typed. The dup2 file actions below clear the flag on the
+  // child's own stdin/stdout copies.
+  int Req[2], Resp[2];
+  if (::pipe2(Req, O_CLOEXEC) != 0)
+    return false;
+  if (::pipe2(Resp, O_CLOEXEC) != 0) {
+    ::close(Req[0]);
+    ::close(Req[1]);
+    return false;
+  }
+
+  std::vector<std::string> Args;
+  Args.push_back(Config.HostBinary);
+  Args.push_back("--serve");
+  Args.push_back("--workers");
+  Args.push_back(std::to_string(Config.WorkersPerHost));
+  if (!Config.StorePath.empty()) {
+    Args.push_back("--store");
+    Args.push_back(Config.StorePath);
+  }
+  std::vector<char *> Argv;
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+
+  // Child environment: ours plus the configured extras (chaos schedules).
+  std::vector<char *> Envp;
+  for (char **E = environ; *E; ++E)
+    Envp.push_back(*E);
+  std::vector<std::string> Extra = Config.HostEnv; // Keep storage alive.
+  for (std::string &E : Extra)
+    Envp.push_back(E.data());
+  Envp.push_back(nullptr);
+
+  // posix_spawn, not fork+exec: the supervisor runs inside multithreaded
+  // (and sanitized) test processes where a raw fork may deadlock on
+  // runtime-internal locks.
+  posix_spawn_file_actions_t Actions;
+  posix_spawn_file_actions_init(&Actions);
+  posix_spawn_file_actions_adddup2(&Actions, Req[0], STDIN_FILENO);
+  posix_spawn_file_actions_adddup2(&Actions, Resp[1], STDOUT_FILENO);
+  posix_spawn_file_actions_addclose(&Actions, Req[0]);
+  posix_spawn_file_actions_addclose(&Actions, Req[1]);
+  posix_spawn_file_actions_addclose(&Actions, Resp[0]);
+  posix_spawn_file_actions_addclose(&Actions, Resp[1]);
+
+  pid_t Pid = -1;
+  int Err = ::posix_spawn(&Pid, Config.HostBinary.c_str(), &Actions,
+                          nullptr, Argv.data(), Envp.data());
+  posix_spawn_file_actions_destroy(&Actions);
+  ::close(Req[0]);
+  ::close(Resp[1]);
+  if (Err != 0) {
+    ::close(Req[1]);
+    ::close(Resp[0]);
+    return false;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Live = true;
+    S.Pid = long(Pid);
+    S.WriteFd = Req[1];
+  }
+  ReadFd = Resp[0];
+  return true;
+}
+
+void HostSupervisor::failInFlight(Slot &S, const char *Detail) {
+  std::unordered_map<uint64_t, std::promise<HostReply>> Orphaned;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Orphaned.swap(S.InFlight);
+  }
+  // Count before fulfilling: a caller woken by its future must already
+  // see the conversion in crashedInFlight().
+  CrashedInFlight.fetch_add(Orphaned.size(), std::memory_order_relaxed);
+  for (auto &[Id, Promise] : Orphaned) {
+    (void)Id;
+    HostReply R;
+    R.Status = ExecStatus::HostCrashed;
+    R.Detail = Detail;
+    R.RetryAfterMs = Config.CrashRetryAfterMs ? Config.CrashRetryAfterMs : 1;
+    R.Host = S.Index;
+    Promise.set_value(std::move(R));
+  }
+}
+
+bool HostSupervisor::parseReply(const std::string &Line, unsigned SlotIndex,
+                                uint64_t &Id, HostReply &Reply) {
+  std::istringstream In(Line);
+  std::string Tok;
+  if (!(In >> Tok) || Tok.empty() ||
+      Tok.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  Id = std::strtoull(Tok.c_str(), nullptr, 10);
+  std::string Kind;
+  if (!(In >> Kind))
+    return false;
+  Reply = HostReply();
+  Reply.Host = SlotIndex;
+  Reply.Raw = Line;
+  if (Kind == "ok") {
+    Reply.Status = ExecStatus::Ok;
+    std::string Checksum;
+    if (In >> Checksum)
+      Reply.Checksum = std::strtoull(Checksum.c_str(), nullptr, 16);
+    std::string Opt;
+    while (In >> Opt) {
+      size_t Eq = Opt.find('=');
+      if (Eq == std::string::npos)
+        continue;
+      std::string Key = Opt.substr(0, Eq);
+      uint64_t Val = std::strtoull(Opt.c_str() + Eq + 1, nullptr, 10);
+      if (Key == "insts")
+        Reply.GuestInsts = Val;
+      else if (Key == "cost")
+        Reply.CostUnits = Val;
+    }
+    return true;
+  }
+  if (Kind == "err") {
+    std::string Name;
+    In >> Name;
+    if (!parseExecStatusName(Name, Reply.Status))
+      Reply.Status = ExecStatus::BadImage; // Unknown: still typed, never Ok.
+    std::string Opt;
+    while (In >> Opt) {
+      if (Opt.rfind("retry_after_ms=", 0) == 0)
+        Reply.RetryAfterMs =
+            uint32_t(std::strtoul(Opt.c_str() + 15, nullptr, 10));
+      else if (Reply.Detail.empty())
+        Reply.Detail = Opt;
+    }
+    return true;
+  }
+  return false; // Informational ("# ...") or garbage: not a response.
+}
+
+void HostSupervisor::slotMain(Slot &S) {
+  for (;;) {
+    if (Stopping.load(std::memory_order_acquire))
+      return;
+    int ReadFd = -1;
+    if (!spawnHost(S, ReadFd)) {
+      // Spawn failure burns a restart credit too — a bad binary path or
+      // fd exhaustion must not spin this thread forever.
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      if (S.RestartsUsed >= Config.MaxRestarts)
+        return;
+      ++S.RestartsUsed;
+      continue;
+    }
+
+    // Read this child's responses until its stdout closes — which is
+    // exactly process exit, graceful or violent.
+    FILE *In = ::fdopen(ReadFd, "r");
+    if (In) {
+      char *LineBuf = nullptr;
+      size_t Cap = 0;
+      ssize_t Len;
+      while ((Len = ::getline(&LineBuf, &Cap, In)) > 0) {
+        std::string Line(LineBuf, size_t(Len));
+        while (!Line.empty() &&
+               (Line.back() == '\n' || Line.back() == '\r'))
+          Line.pop_back();
+        uint64_t Id = 0;
+        HostReply Reply;
+        if (!parseReply(Line, S.Index, Id, Reply))
+          continue;
+        std::promise<HostReply> Promise;
+        bool Found = false;
+        {
+          std::lock_guard<std::mutex> Lock(S.Mutex);
+          auto It = S.InFlight.find(Id);
+          if (It != S.InFlight.end()) {
+            Promise = std::move(It->second);
+            S.InFlight.erase(It);
+            Found = true;
+          }
+        }
+        if (Found)
+          Promise.set_value(std::move(Reply));
+      }
+      std::free(LineBuf);
+      ::fclose(In);
+    } else {
+      ::close(ReadFd);
+    }
+
+    // Child gone: reap it, take the slot down, resolve its orphans typed.
+    long Pid;
+    {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      S.Live = false;
+      Pid = S.Pid;
+      S.Pid = -1;
+      if (S.WriteFd >= 0) {
+        ::close(S.WriteFd);
+        S.WriteFd = -1;
+      }
+    }
+    int WaitStatus = 0;
+    if (Pid > 0)
+      ::waitpid(pid_t(Pid), &WaitStatus, 0);
+    failInFlight(S, "host-crashed");
+
+    if (Stopping.load(std::memory_order_acquire))
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      if (S.RestartsUsed >= Config.MaxRestarts)
+        return; // Crash-looping host: abandon the slot.
+      ++S.RestartsUsed;
+    }
+    Restarts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool HostSupervisor::start() {
+  bool Expected = false;
+  if (!Started.compare_exchange_strong(Expected, true))
+    return true;
+  // A host dying mid-write must cost this process an EPIPE, not a signal.
+  ::signal(SIGPIPE, SIG_IGN);
+  if (::access(Config.HostBinary.c_str(), X_OK) != 0)
+    return false;
+  for (auto &S : Slots)
+    S->Thread = std::thread([this, &S] { slotMain(*S); });
+  // Wait (bounded) for the initial spawns: a submit() racing start()
+  // must find live slots, not synthesize no-live-host rejections while
+  // the fleet is still forking.
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (liveHosts() < hostCount() &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return liveHosts() > 0;
+}
+
+std::future<HostReply> HostSupervisor::submit(const std::string &Line) {
+  uint64_t Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  std::string Wire = std::to_string(Id) + " " + Line + "\n";
+
+  unsigned N = unsigned(Slots.size());
+  unsigned First = RoundRobin.fetch_add(1, std::memory_order_relaxed);
+  if (!Stopping.load(std::memory_order_acquire))
+    for (unsigned Try = 0; Try != N; ++Try) {
+      Slot &S = *Slots[(First + Try) % N];
+      std::unique_lock<std::mutex> Lock(S.Mutex);
+      if (!S.Live || S.WriteFd < 0)
+        continue;
+      auto [It, Inserted] =
+          S.InFlight.emplace(Id, std::promise<HostReply>());
+      std::future<HostReply> Future = It->second.get_future();
+      // Write under the slot lock: the reader thread's EOF teardown takes
+      // the same lock, so the request either reaches a live pipe or we
+      // see the failure here and fail over.
+      const char *P = Wire.data();
+      size_t Left = Wire.size();
+      bool WriteOk = true;
+      while (Left != 0) {
+        ssize_t W = ::write(S.WriteFd, P, Left);
+        if (W < 0) {
+          if (errno == EINTR)
+            continue;
+          WriteOk = false;
+          break;
+        }
+        P += W;
+        Left -= size_t(W);
+      }
+      (void)Inserted;
+      if (WriteOk)
+        return Future;
+      // Dead pipe: the child is gone but the reader thread has not torn
+      // the slot down yet. Withdraw the record and try the next host.
+      S.InFlight.erase(Id);
+      continue;
+    }
+
+  // No live host (all crashed-out, never started, or shutting down).
+  RejectedNoHost.fetch_add(1, std::memory_order_relaxed);
+  std::promise<HostReply> Promise;
+  HostReply R;
+  R.Status = ExecStatus::HostCrashed;
+  R.Detail = "no-live-host";
+  R.RetryAfterMs = Config.CrashRetryAfterMs ? Config.CrashRetryAfterMs : 1;
+  Promise.set_value(std::move(R));
+  return Promise.get_future();
+}
+
+void HostSupervisor::shutdown() {
+  bool Expected = false;
+  if (!Stopping.compare_exchange_strong(Expected, true))
+    return;
+  if (!Started.load(std::memory_order_acquire))
+    return;
+  for (auto &S : Slots) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    if (S->Live && S->WriteFd >= 0) {
+      // Graceful drain: the host answers everything already submitted,
+      // then exits; the slot thread sees EOF and returns (Stopping).
+      const char Quit[] = "quit\n";
+      ssize_t W = ::write(S->WriteFd, Quit, sizeof(Quit) - 1);
+      (void)W; // A dead pipe is fine — the reader path cleans up.
+    }
+  }
+  for (auto &S : Slots)
+    if (S->Thread.joinable())
+      S->Thread.join();
+  // Belt and braces: a slot torn down between the quit write and the
+  // join may still hold orphans.
+  for (auto &S : Slots)
+    failInFlight(*S, "supervisor-shutdown");
+}
+
+unsigned HostSupervisor::liveHosts() const {
+  unsigned Live = 0;
+  for (const auto &S : Slots) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    if (S->Live)
+      ++Live;
+  }
+  return Live;
+}
+
+long HostSupervisor::hostPid(unsigned SlotIndex) const {
+  if (SlotIndex >= Slots.size())
+    return -1;
+  std::lock_guard<std::mutex> Lock(Slots[SlotIndex]->Mutex);
+  return Slots[SlotIndex]->Live ? Slots[SlotIndex]->Pid : -1;
+}
+
+#else // _WIN32: the multi-process mode is POSIX-only.
+
+bool HostSupervisor::spawnHost(Slot &, int &) { return false; }
+void HostSupervisor::failInFlight(Slot &, const char *) {}
+bool HostSupervisor::parseReply(const std::string &, unsigned, uint64_t &,
+                                HostReply &) {
+  return false;
+}
+void HostSupervisor::slotMain(Slot &) {}
+bool HostSupervisor::start() { return false; }
+std::future<HostReply> HostSupervisor::submit(const std::string &) {
+  std::promise<HostReply> Promise;
+  HostReply R;
+  R.Status = ExecStatus::HostCrashed;
+  R.Detail = "unsupported-platform";
+  Promise.set_value(std::move(R));
+  return Promise.get_future();
+}
+void HostSupervisor::shutdown() {}
+unsigned HostSupervisor::liveHosts() const { return 0; }
+long HostSupervisor::hostPid(unsigned) const { return -1; }
+
+#endif

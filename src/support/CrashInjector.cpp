@@ -1,0 +1,185 @@
+//===- support/CrashInjector.cpp - Process-level crash-point injection ----===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashInjector.h"
+
+#include <cstdlib>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace ildp;
+using namespace ildp::support;
+
+const char *support::getCrashPointName(CrashPoint Point) {
+  switch (Point) {
+  case CrashPoint::MidTmpWrite:
+    return "mid_tmp_write";
+  case CrashPoint::PostTmpPreRename:
+    return "post_tmp_pre_rename";
+  case CrashPoint::MidMergeRead:
+    return "mid_merge_read";
+  case CrashPoint::PostRenamePreUnlock:
+    return "post_rename_pre_unlock";
+  case CrashPoint::MidRequest:
+    return "mid_request";
+  }
+  return "unknown";
+}
+
+bool support::parseCrashPointName(const std::string &Name,
+                                  CrashPoint &Point) {
+  for (unsigned I = 0; I != NumCrashPoints; ++I)
+    if (Name == getCrashPointName(CrashPoint(I))) {
+      Point = CrashPoint(I);
+      return true;
+    }
+  return false;
+}
+
+CrashInjector &CrashInjector::process() {
+  // Arming from the environment happens exactly once, inside the
+  // function-local static's guarded initialization — later calls (from
+  // any thread) see a fully armed injector.
+  struct EnvArmed {
+    CrashInjector Injector;
+    EnvArmed() {
+      if (const char *Spec = std::getenv("ILDP_CRASH_SCHEDULE"))
+        Injector.armFromSpec(Spec);
+    }
+  };
+  static EnvArmed Process;
+  return Process.Injector;
+}
+
+bool CrashInjector::armFromSpec(const std::string &Spec) {
+  // Parse into a staging copy of the schedule first: a malformed clause
+  // must leave the injector fully inert, not half-armed.
+  struct Clause {
+    CrashPoint P;
+    Mode M;
+    uint64_t Param, Denom, Seed;
+  };
+  std::vector<Clause> Clauses;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Part = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() : Comma + 1;
+    if (Part.empty())
+      continue;
+    size_t Eq = Part.find('=');
+    if (Eq == std::string::npos)
+      return false;
+    Clause C{};
+    if (!parseCrashPointName(Part.substr(0, Eq), C.P))
+      return false;
+    std::string Val = Part.substr(Eq + 1);
+    if (Val == "always") {
+      C.M = Mode::OnHit;
+      C.Param = 1;
+    } else if (Val.rfind("random:", 0) == 0) {
+      // random:<seed>/<num>/<den>
+      std::string Rest = Val.substr(7);
+      size_t S1 = Rest.find('/');
+      size_t S2 = S1 == std::string::npos ? S1 : Rest.find('/', S1 + 1);
+      if (S2 == std::string::npos)
+        return false;
+      char *End = nullptr;
+      C.M = Mode::Random;
+      C.Seed = std::strtoull(Rest.substr(0, S1).c_str(), &End, 0);
+      C.Param = std::strtoull(Rest.substr(S1 + 1, S2 - S1 - 1).c_str(),
+                              &End, 0);
+      C.Denom = std::strtoull(Rest.substr(S2 + 1).c_str(), &End, 0);
+      if (C.Denom == 0)
+        return false;
+    } else {
+      char *End = nullptr;
+      uint64_t Nth = std::strtoull(Val.c_str(), &End, 0);
+      if (End == Val.c_str() || *End != '\0' || Nth == 0)
+        return false;
+      C.M = Mode::OnHit;
+      C.Param = Nth;
+    }
+    Clauses.push_back(C);
+  }
+  for (const Clause &C : Clauses) {
+    Point &P = Points[unsigned(C.P)];
+    P.Param = C.Param;
+    P.Denom = C.Denom ? C.Denom : 1;
+    P.Seed = C.Seed;
+    P.M.store(C.M, std::memory_order_release);
+  }
+  if (!Clauses.empty())
+    AnyArmed.store(true, std::memory_order_release);
+  return true;
+}
+
+void CrashInjector::armOnHit(CrashPoint Point, uint64_t Nth) {
+  auto &P = Points[unsigned(Point)];
+  P.Param = Nth ? Nth : 1;
+  P.M.store(Mode::OnHit, std::memory_order_release);
+  AnyArmed.store(true, std::memory_order_release);
+}
+
+void CrashInjector::armRandom(CrashPoint Point, uint64_t Seed,
+                              uint64_t Numerator, uint64_t Denominator) {
+  auto &P = Points[unsigned(Point)];
+  P.Param = Numerator;
+  P.Denom = Denominator ? Denominator : 1;
+  P.Seed = Seed;
+  P.M.store(Mode::Random, std::memory_order_release);
+  AnyArmed.store(true, std::memory_order_release);
+}
+
+void CrashInjector::disarm(CrashPoint Point) {
+  Points[unsigned(Point)].M.store(Mode::Off, std::memory_order_release);
+}
+
+bool CrashInjector::fires(const Point &P, uint64_t HitIndex) const {
+  switch (P.M.load(std::memory_order_acquire)) {
+  case Mode::Off:
+    return false;
+  case Mode::OnHit:
+    return HitIndex == P.Param;
+  case Mode::Random: {
+    // splitmix64 over (seed, index): the same deterministic schedule the
+    // FaultInjector's Random mode uses.
+    uint64_t X = P.Seed + 0x9E3779B97F4A7C15ull * (HitIndex + 1);
+    X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+    X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+    X ^= X >> 31;
+    return (X % P.Denom) < P.Param;
+  }
+  }
+  return false;
+}
+
+void CrashInjector::maybeCrash(CrashPoint CP) {
+  Point &P = Points[unsigned(CP)];
+  uint64_t Index = P.Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!fires(P, Index))
+    return;
+#ifndef _WIN32
+  // _exit, not exit or abort: no destructors, no atexit, no core, no
+  // buffered-I/O flush — the closest user-space stand-in for SIGKILL.
+  ::_exit(ExitCode);
+#else
+  std::_Exit(ExitCode);
+#endif
+}
+
+bool CrashInjector::wouldCrashNext(CrashPoint CP) const {
+  const Point &P = Points[unsigned(CP)];
+  return fires(P, P.Hits.load(std::memory_order_relaxed) + 1);
+}
+
+uint64_t CrashInjector::hitCount(CrashPoint CP) const {
+  return Points[unsigned(CP)].Hits.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,152 @@
+//===- support/CrashInjector.h - Process-level crash-point injection ------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable *process death* injection — the crash-safety
+/// counterpart of the translation pipeline's FaultInjector (DESIGN.md §9).
+/// Where a fault site makes a stage report failure and degrade, a crash
+/// point makes the whole process vanish mid-operation via _exit(137), the
+/// way SIGKILL, the OOM killer, or a power cut would: no destructors, no
+/// atexit handlers, no flushed buffers, no released lock files. The
+/// persist and serve layers call crashPoint() at the instants a real
+/// crash is most damaging:
+///
+///   MidTmpWrite         - halfway through writing a save's staging file
+///   PostTmpPreRename    - staging file complete (and fsynced), rename not
+///                         yet issued
+///   MidMergeRead        - inside saveMerged: on-disk store read, merge
+///                         not yet applied (the store lock is held)
+///   PostRenamePreUnlock - the new store is in place, "<path>.lock" still
+///                         names this (now dead) process
+///   MidRequest          - a fleet host with requests in flight
+///
+/// Arming crosses the process boundary through the ILDP_CRASH_SCHEDULE
+/// environment variable, parsed on first use — a supervisor or test
+/// harness arms a *child* it is about to spawn without that child's
+/// cooperation. Spec grammar (comma-separated, one clause per point):
+///
+///   ILDP_CRASH_SCHEDULE="<point>=<n>"               fire on the Nth hit
+///   ILDP_CRASH_SCHEDULE="<point>=always"            fire on the first hit
+///   ILDP_CRASH_SCHEDULE="<point>=random:<seed>/<num>/<den>"
+///                                                   each hit fires with
+///                                                   probability num/den
+///                                                   under a seeded hash
+///
+/// e.g. ILDP_CRASH_SCHEDULE="post_tmp_pre_rename=1,mid_request=3".
+///
+/// Firing decisions depend only on the per-point hit index (the Random
+/// mode hashes index and seed, FaultInjector-style), so a schedule is
+/// exactly reproducible run to run. A process with no schedule pays one
+/// relaxed atomic load per crash point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ILDP_SUPPORT_CRASHINJECTOR_H
+#define ILDP_SUPPORT_CRASHINJECTOR_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ildp {
+namespace support {
+
+/// Named process crash points, one per crash-critical instant.
+enum class CrashPoint : uint8_t {
+  MidTmpWrite,
+  PostTmpPreRename,
+  MidMergeRead,
+  PostRenamePreUnlock,
+  MidRequest,
+};
+
+constexpr unsigned NumCrashPoints = 5;
+
+/// Stable lowercase point name ("mid_tmp_write", ...), the spelling the
+/// ILDP_CRASH_SCHEDULE grammar uses.
+const char *getCrashPointName(CrashPoint Point);
+
+/// Parses a point name as printed by getCrashPointName(). Returns false
+/// and leaves \p Point untouched on an unknown name.
+bool parseCrashPointName(const std::string &Name, CrashPoint &Point);
+
+/// Deterministic per-point crash scheduler. One process-wide instance
+/// (process()) is armed lazily from ILDP_CRASH_SCHEDULE; tests may also
+/// construct and arm instances directly.
+class CrashInjector {
+public:
+  /// The exit status an injected crash dies with — the value a SIGKILLed
+  /// child's wait status maps to (128 + 9), so supervisors cannot tell an
+  /// injected crash from a real kill.
+  static constexpr int ExitCode = 137;
+
+  CrashInjector() = default;
+  CrashInjector(const CrashInjector &) = delete;
+  CrashInjector &operator=(const CrashInjector &) = delete;
+
+  /// The process-wide injector, armed from ILDP_CRASH_SCHEDULE (if set)
+  /// the first time it is reached. Thread-safe.
+  static CrashInjector &process();
+
+  /// Arms points per a schedule spec (see file comment). Unknown points
+  /// or malformed clauses make the whole spec inert and return false — a
+  /// typo must not silently disable one clause of a chaos schedule.
+  bool armFromSpec(const std::string &Spec);
+
+  /// The Nth pass (1-based) through \p Point crashes the process.
+  void armOnHit(CrashPoint Point, uint64_t Nth);
+  /// A pass crashes iff a seeded hash of its hit index lands under
+  /// \p Numerator / \p Denominator.
+  void armRandom(CrashPoint Point, uint64_t Seed, uint64_t Numerator,
+                 uint64_t Denominator);
+  /// Stops \p Point from firing. Hit counters are preserved.
+  void disarm(CrashPoint Point);
+
+  /// Called at \p Point: counts the hit and _exit(ExitCode)s the process
+  /// if the schedule fires. Thread-safe. Returns (having counted) when
+  /// the point is unarmed.
+  void maybeCrash(CrashPoint Point);
+
+  /// True when the schedule at \p Point would fire on the next hit —
+  /// maybeCrash() without the exit, for tests of the scheduler itself.
+  bool wouldCrashNext(CrashPoint Point) const;
+
+  /// Times the point was reached since arming.
+  uint64_t hitCount(CrashPoint Point) const;
+  /// True if any point is armed.
+  bool armed() const { return AnyArmed.load(std::memory_order_relaxed); }
+
+private:
+  enum class Mode : uint8_t { Off, OnHit, Random };
+
+  struct Point {
+    std::atomic<Mode> M{Mode::Off};
+    uint64_t Param = 0; ///< Nth for OnHit, numerator for Random.
+    uint64_t Denom = 1;
+    uint64_t Seed = 0;
+    std::atomic<uint64_t> Hits{0};
+  };
+
+  bool fires(const Point &P, uint64_t HitIndex) const;
+
+  std::array<Point, NumCrashPoints> Points;
+  std::atomic<bool> AnyArmed{false};
+};
+
+/// The persist/serve layers' one-liner: counts a hit on the process-wide
+/// injector and dies there if armed. A process with no ILDP_CRASH_SCHEDULE
+/// pays a relaxed load.
+inline void crashPoint(CrashPoint P) {
+  CrashInjector &I = CrashInjector::process();
+  if (I.armed())
+    I.maybeCrash(P);
+}
+
+} // namespace support
+} // namespace ildp
+
+#endif // ILDP_SUPPORT_CRASHINJECTOR_H

@@ -290,6 +290,12 @@ void VirtualMachine::savePersistedCache() {
     if (Saved.LockContended)
       Stats.add("persist.store_lock_contended");
   }
+  // Lock-health counters live outside the Saved gate: a takeover or a
+  // timed-out wait is worth counting even if the save then failed on I/O.
+  if (Saved.LockBroken)
+    Stats.add("persist.store_lock_broken", Saved.LockBroken);
+  if (Saved.LockTimedOut)
+    Stats.add("persist.store_lock_timeout");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,194 @@
+//===- tests/persist/StoreLockTest.cpp ------------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-recoverable store lock in isolation: PID recording, dead- and
+/// live-holder discrimination, empty-file grace, takeover accounting, and
+/// the bounded live-holder wait. Process-death scenarios with a real
+/// killed holder live in VmConcurrentSaveTest (concurrency binary) and
+/// ildp-crashtest; these tests cover the protocol's decision table
+/// in-process.
+///
+//===----------------------------------------------------------------------===//
+
+#include "persist/StoreLock.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace ildp;
+using namespace ildp::persist;
+
+namespace {
+
+std::string tempLock(const char *Name) {
+  std::string Path = testing::TempDir() + "/" + Name;
+  std::remove(Path.c_str());
+  std::remove((Path + ".break").c_str());
+  return Path;
+}
+
+bool fileExists(const std::string &Path) {
+  std::ifstream In(Path);
+  return In.good();
+}
+
+void writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Content;
+}
+
+/// A PID no live process can have: beyond Linux's largest configurable
+/// pid_max (2^22), so kill(pid, 0) reports ESRCH.
+constexpr long DeadPid = (1 << 30) + 12345;
+
+} // namespace
+
+#ifndef _WIN32
+
+TEST(StoreLock, AcquiresRecordsPidAndReleases) {
+  std::string Path = tempLock("lock-basic");
+  {
+    StoreLock Lock(Path);
+    EXPECT_TRUE(Lock.held());
+    EXPECT_FALSE(Lock.contended());
+    EXPECT_EQ(Lock.broken(), 0u);
+    EXPECT_FALSE(Lock.timedOut());
+    EXPECT_EQ(StoreLock::readHolderPid(Path), long(::getpid()));
+  }
+  // Destructor released: the path is free and a new lock acquires
+  // instantly.
+  EXPECT_FALSE(fileExists(Path));
+  StoreLock Again(Path);
+  EXPECT_TRUE(Again.held());
+}
+
+TEST(StoreLock, ReadHolderPid) {
+  std::string Path = tempLock("lock-read");
+  EXPECT_EQ(StoreLock::readHolderPid(Path), -1); // No file.
+  writeFile(Path, "12345\n");
+  EXPECT_EQ(StoreLock::readHolderPid(Path), 12345);
+  writeFile(Path, "");
+  EXPECT_EQ(StoreLock::readHolderPid(Path), -1); // Empty.
+  writeFile(Path, "not-a-pid");
+  EXPECT_EQ(StoreLock::readHolderPid(Path), -1); // Garbage.
+  writeFile(Path, "-7\n");
+  EXPECT_EQ(StoreLock::readHolderPid(Path), -1); // Nonsense PID.
+  std::remove(Path.c_str());
+}
+
+TEST(StoreLock, BreaksDeadHoldersLock) {
+  std::string Path = tempLock("lock-dead");
+  writeFile(Path, std::to_string(DeadPid) + "\n");
+
+  StoreLock Lock(Path);
+  EXPECT_TRUE(Lock.held());
+  EXPECT_TRUE(Lock.contended());
+  EXPECT_GE(Lock.broken(), 1u);
+  EXPECT_FALSE(Lock.timedOut());
+  // The lock now names us, not the corpse.
+  EXPECT_EQ(StoreLock::readHolderPid(Path), long(::getpid()));
+}
+
+TEST(StoreLock, EmptyLockFileReapedAfterGrace) {
+  std::string Path = tempLock("lock-empty");
+  writeFile(Path, "");
+
+  StoreLock::Options Opts;
+  Opts.EmptyGraceMillis = 30; // Keep the test fast.
+  auto T0 = std::chrono::steady_clock::now();
+  StoreLock Lock(Path, Opts);
+  double TookMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  EXPECT_TRUE(Lock.held());
+  EXPECT_GE(Lock.broken(), 1u);
+  // The grace actually elapsed: an empty file is not broken on sight (it
+  // may be a holder inside its create-to-write window).
+  EXPECT_GE(TookMs, 25.0);
+}
+
+TEST(StoreLock, LiveHolderIsWaitedForThenTimedOut) {
+  std::string Path = tempLock("lock-live");
+  // A live holder: this very process. The waiter must NOT break it.
+  writeFile(Path, std::to_string(long(::getpid())) + "\n");
+
+  StoreLock::Options Opts;
+  Opts.MaxWaitMillis = 80;
+  auto T0 = std::chrono::steady_clock::now();
+  StoreLock Lock(Path, Opts);
+  double TookMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  EXPECT_FALSE(Lock.held());
+  EXPECT_TRUE(Lock.timedOut());
+  EXPECT_EQ(Lock.broken(), 0u);
+  EXPECT_GE(TookMs, 75.0); // It genuinely waited the bound out.
+  // The live holder's lock was never touched...
+  EXPECT_EQ(StoreLock::readHolderPid(Path), long(::getpid()));
+  std::remove(Path.c_str());
+}
+
+TEST(StoreLock, TimedOutLockReleasesNothing) {
+  std::string Path = tempLock("lock-timeout-release");
+  writeFile(Path, std::to_string(long(::getpid())) + "\n");
+  {
+    StoreLock::Options Opts;
+    Opts.MaxWaitMillis = 20;
+    StoreLock Lock(Path, Opts);
+    EXPECT_FALSE(Lock.held());
+  }
+  // ...including at destruction: only a held lock is unlinked.
+  EXPECT_TRUE(fileExists(Path));
+  std::remove(Path.c_str());
+}
+
+TEST(StoreLock, ContendedHandoffBetweenThreads) {
+  std::string Path = tempLock("lock-handoff");
+  StoreLock *First = new StoreLock(Path);
+  ASSERT_TRUE(First->held());
+
+  // A second acquirer blocks on the live holder (same process: the PID is
+  // alive), then wins promptly once the first releases.
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    delete First;
+  });
+  auto T0 = std::chrono::steady_clock::now();
+  StoreLock Second(Path);
+  double TookMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  Releaser.join();
+  EXPECT_TRUE(Second.held());
+  EXPECT_TRUE(Second.contended());
+  EXPECT_EQ(Second.broken(), 0u); // A live holder is never broken.
+  EXPECT_LT(TookMs, 10'000);
+}
+
+TEST(StoreLock, DeadBreakerDoesNotWedgeTakeover) {
+  std::string Path = tempLock("lock-dead-breaker");
+  // A dead holder AND a dead breaker: a previous takeover died inside
+  // its critical section. Both must be cleared.
+  writeFile(Path, std::to_string(DeadPid) + "\n");
+  writeFile(Path + ".break", std::to_string(DeadPid + 1) + "\n");
+
+  StoreLock Lock(Path);
+  EXPECT_TRUE(Lock.held());
+  EXPECT_GE(Lock.broken(), 1u);
+  EXPECT_FALSE(fileExists(Path + ".break"));
+}
+
+#endif // !_WIN32

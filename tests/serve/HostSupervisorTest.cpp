@@ -1,0 +1,267 @@
+//===- tests/serve/HostSupervisorTest.cpp ---------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-process fleet contract (DESIGN.md §15) against real spawned
+/// ildp-crashhost processes: requests are served warm from the shared
+/// store, a host crash (injected or SIGKILL) converts its in-flight
+/// requests into typed HostCrashed responses — never hung futures — the
+/// crashed slot is restarted and serves warm again, survivors keep the
+/// fleet available throughout, and a crash-looping host is abandoned
+/// after MaxRestarts with submissions still answered typed. Runs in the
+/// serve test binary, so CI's TSan and ASan jobs cover the supervisor's
+/// slot threads and pipe protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/HostSupervisor.h"
+
+#include "persist/CacheStore.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+
+#ifndef _WIN32
+#include <csignal>
+#include <unistd.h>
+#endif
+
+using namespace ildp;
+using namespace ildp::serve;
+
+#if !defined(_WIN32) && defined(ILDP_CRASHHOST_BIN)
+
+namespace {
+
+/// Every future must resolve within a bound — the no-hung-futures
+/// contract, enforced as a hard test failure rather than a test timeout.
+constexpr auto ReplyBound = std::chrono::seconds(60);
+
+bool getReply(std::future<HostReply> &&F, HostReply &Out) {
+  if (F.wait_for(ReplyBound) != std::future_status::ready)
+    return false;
+  Out = F.get();
+  return true;
+}
+
+/// Builds a warm store holding \p Workloads at \p Path (in-process; the
+/// hosts under test open it read-only).
+std::string seededStore(const char *Name,
+                        std::initializer_list<const char *> Workloads) {
+  std::string Path = testing::TempDir() + "/" + Name;
+  std::remove(Path.c_str());
+  for (const char *W : Workloads) {
+    GuestMemory Mem;
+    workloads::WorkloadImage Img = workloads::buildWorkload(W, Mem, 1);
+    vm::VmConfig Config;
+    Config.PersistPath = Path;
+    vm::VirtualMachine Vm(Mem, Img.EntryPc, Config);
+    EXPECT_EQ(Vm.run().Reason, vm::StopReason::Halted) << W;
+  }
+  return Path;
+}
+
+SupervisorConfig baseConfig(const std::string &StorePath) {
+  SupervisorConfig Config;
+  Config.HostBinary = ILDP_CRASHHOST_BIN;
+  Config.StorePath = StorePath;
+  Config.Hosts = 1;
+  return Config;
+}
+
+/// Retries a request across HostCrashed rejections (honoring the retry
+/// hint) until a served response arrives or attempts run out.
+bool submitUntilServed(HostSupervisor &Sup, const std::string &Line,
+                       HostReply &Out, int Attempts = 30) {
+  for (int I = 0; I != Attempts; ++I) {
+    if (!getReply(Sup.submit(Line), Out))
+      return false; // Hung future: fail loudly at the caller.
+    if (Out.Status != ExecStatus::HostCrashed)
+      return true;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Out.RetryAfterMs ? Out.RetryAfterMs : 20));
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(HostSupervisor, StartFailsOnMissingBinary) {
+  SupervisorConfig Config;
+  Config.HostBinary = "/no/such/binary";
+  HostSupervisor Sup(Config);
+  EXPECT_FALSE(Sup.start());
+  // Submissions against a never-started fleet still resolve typed.
+  HostReply R;
+  ASSERT_TRUE(getReply(Sup.submit("run gzip"), R));
+  EXPECT_EQ(R.Status, ExecStatus::HostCrashed);
+  EXPECT_GE(Sup.rejectedNoHost(), 1u);
+}
+
+TEST(HostSupervisor, ServesWarmFromSharedStore) {
+  std::string Store = seededStore("sup-warm.tstore", {"gzip", "mcf"});
+  HostSupervisor Sup(baseConfig(Store));
+  ASSERT_TRUE(Sup.start());
+  EXPECT_EQ(Sup.liveHosts(), 1u);
+
+  HostReply R;
+  ASSERT_TRUE(getReply(Sup.submit("run gzip"), R));
+  ASSERT_TRUE(R.ok()) << R.Raw;
+  EXPECT_NE(R.Checksum, 0u);
+  EXPECT_GT(R.GuestInsts, 0u);
+  // The §11 payoff across a process boundary: the host warm-started from
+  // the shared store, so the request did zero translation work.
+  EXPECT_EQ(R.CostUnits, 0u) << R.Raw;
+
+  // Requests run the real service stack inside the host: a typed
+  // rejection crosses the pipe as itself, not as a crash.
+  ASSERT_TRUE(getReply(Sup.submit("run mcf deadline_us=1"), R));
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Status, ExecStatus::HostCrashed) << R.Raw;
+  ASSERT_TRUE(getReply(Sup.submit("run no-such-workload"), R));
+  EXPECT_EQ(R.Status, ExecStatus::BadImage) << R.Raw;
+  Sup.shutdown();
+}
+
+TEST(HostSupervisor, InjectedCrashResolvesInFlightTyped) {
+  std::string Store = seededStore("sup-crash.tstore", {"gzip"});
+  SupervisorConfig Config = baseConfig(Store);
+  Config.MaxRestarts = 8;
+  Config.CrashRetryAfterMs = 25;
+  // Every host generation dies on its second request.
+  Config.HostEnv = {"ILDP_CRASH_SCHEDULE=mid_request=2"};
+  HostSupervisor Sup(Config);
+  ASSERT_TRUE(Sup.start());
+
+  HostReply R1;
+  ASSERT_TRUE(getReply(Sup.submit("run gzip"), R1));
+  EXPECT_TRUE(R1.ok()) << R1.Raw;
+
+  // The in-flight request on the dying host resolves typed, with the
+  // configured retry hint — never a hung future.
+  HostReply R2;
+  ASSERT_TRUE(getReply(Sup.submit("run gzip"), R2));
+  EXPECT_EQ(R2.Status, ExecStatus::HostCrashed);
+  EXPECT_EQ(R2.RetryAfterMs, 25u);
+  EXPECT_GE(Sup.crashedInFlight(), 1u);
+
+  // The slot restarts and serves warm again: the crash cost zero
+  // re-translation.
+  HostReply R3;
+  ASSERT_TRUE(submitUntilServed(Sup, "run gzip", R3));
+  EXPECT_TRUE(R3.ok()) << R3.Raw;
+  EXPECT_EQ(R3.CostUnits, 0u) << R3.Raw;
+  EXPECT_GE(Sup.restarts(), 1u);
+  Sup.shutdown();
+}
+
+TEST(HostSupervisor, SigkilledHostIsRestartedAndServes) {
+  std::string Store = seededStore("sup-kill.tstore", {"gzip"});
+  SupervisorConfig Config = baseConfig(Store);
+  Config.MaxRestarts = 4;
+  HostSupervisor Sup(Config);
+  ASSERT_TRUE(Sup.start());
+
+  HostReply R;
+  ASSERT_TRUE(getReply(Sup.submit("run gzip"), R));
+  ASSERT_TRUE(R.ok()) << R.Raw;
+
+  // A real SIGKILL — indistinguishable from the injected _exit(137) by
+  // design — on the live host.
+  long Pid = Sup.hostPid(0);
+  ASSERT_GT(Pid, 0);
+  ASSERT_EQ(::kill(pid_t(Pid), SIGKILL), 0);
+
+  HostReply After;
+  ASSERT_TRUE(submitUntilServed(Sup, "run gzip", After));
+  EXPECT_TRUE(After.ok()) << After.Raw;
+  EXPECT_EQ(After.CostUnits, 0u) << After.Raw;
+  EXPECT_GE(Sup.restarts(), 1u);
+  EXPECT_NE(Sup.hostPid(0), Pid); // A new process, same slot.
+  Sup.shutdown();
+}
+
+TEST(HostSupervisor, SurvivorKeepsServingWhileSlotRestarts) {
+  std::string Store = seededStore("sup-survivor.tstore", {"gzip"});
+  SupervisorConfig Config = baseConfig(Store);
+  Config.Hosts = 2;
+  HostSupervisor Sup(Config);
+  ASSERT_TRUE(Sup.start());
+  EXPECT_EQ(Sup.liveHosts(), 2u);
+
+  long Victim = Sup.hostPid(0);
+  ASSERT_GT(Victim, 0);
+  ASSERT_EQ(::kill(pid_t(Victim), SIGKILL), 0);
+
+  // With one slot down, the fleet still serves: submission fails over to
+  // the survivor (plus at most a HostCrashed retry for requests written
+  // to the dying pipe during the race).
+  unsigned Served = 0;
+  for (int I = 0; I != 6; ++I) {
+    HostReply R;
+    ASSERT_TRUE(submitUntilServed(Sup, "run gzip", R)) << "request " << I;
+    EXPECT_TRUE(R.ok()) << R.Raw;
+    ++Served;
+  }
+  EXPECT_EQ(Served, 6u);
+  Sup.shutdown();
+}
+
+TEST(HostSupervisor, CrashLoopingHostIsAbandonedTyped) {
+  std::string Store = seededStore("sup-loop.tstore", {"gzip"});
+  SupervisorConfig Config = baseConfig(Store);
+  Config.MaxRestarts = 2;
+  // Every generation dies on its FIRST request: a crash loop.
+  Config.HostEnv = {"ILDP_CRASH_SCHEDULE=mid_request=1"};
+  HostSupervisor Sup(Config);
+  ASSERT_TRUE(Sup.start());
+
+  // Submissions keep resolving typed while the slot burns through its
+  // restart budget and after it is abandoned — never a hang, never a
+  // spin. Generously more attempts than restarts so the abandoned state
+  // is reached.
+  for (int I = 0; I != 12; ++I) {
+    HostReply R;
+    ASSERT_TRUE(getReply(Sup.submit("run gzip"), R)) << "request " << I;
+    EXPECT_EQ(R.Status, ExecStatus::HostCrashed) << R.Raw;
+    EXPECT_GE(R.RetryAfterMs, 1u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // The slot gave up (MaxRestarts) and dead-fleet submissions were
+  // rejected immediately.
+  EXPECT_LE(Sup.restarts(), 2u);
+  EXPECT_GE(Sup.rejectedNoHost(), 1u);
+  EXPECT_EQ(Sup.liveHosts(), 0u);
+  Sup.shutdown();
+}
+
+TEST(HostSupervisor, ShutdownDrainsAndIsIdempotent) {
+  std::string Store = seededStore("sup-shutdown.tstore", {"gzip"});
+  HostSupervisor Sup(baseConfig(Store));
+  ASSERT_TRUE(Sup.start());
+
+  // Work in flight at shutdown: the host drains it (quit = finish
+  // queued), so the future resolves with the real answer.
+  std::future<HostReply> Pending = Sup.submit("run gzip");
+  Sup.shutdown();
+  ASSERT_EQ(Pending.wait_for(ReplyBound), std::future_status::ready);
+  HostReply R = Pending.get();
+  EXPECT_TRUE(R.ok() || R.Status == ExecStatus::HostCrashed) << R.Raw;
+
+  Sup.shutdown(); // Idempotent.
+  // Post-shutdown submissions resolve immediately, typed.
+  HostReply After;
+  ASSERT_TRUE(getReply(Sup.submit("run gzip"), After));
+  EXPECT_EQ(After.Status, ExecStatus::HostCrashed);
+  EXPECT_EQ(After.Detail, "no-live-host");
+}
+
+#endif // !_WIN32 && ILDP_CRASHHOST_BIN

@@ -1,0 +1,134 @@
+//===- tests/support/CrashInjectorTest.cpp --------------------------------===//
+//
+// Part of the ILDP-DBT project (CGO 2003 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-point scheduler WITHOUT the crash: naming, spec parsing
+/// (including the all-or-nothing rejection of malformed schedules), hit
+/// counting, and firing decisions probed via wouldCrashNext(). Actually
+/// dying at a crash point is covered end-to-end by ildp-crashtest, which
+/// kills real child processes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashInjector.h"
+
+#include <gtest/gtest.h>
+#include <string>
+
+using namespace ildp;
+using namespace ildp::support;
+
+TEST(CrashInjector, PointNamesRoundTrip) {
+  for (unsigned I = 0; I != NumCrashPoints; ++I) {
+    CrashPoint P = CrashPoint(I);
+    CrashPoint Parsed;
+    ASSERT_TRUE(parseCrashPointName(getCrashPointName(P), Parsed))
+        << getCrashPointName(P);
+    EXPECT_EQ(Parsed, P);
+  }
+  CrashPoint Unchanged = CrashPoint::MidRequest;
+  EXPECT_FALSE(parseCrashPointName("no_such_point", Unchanged));
+  EXPECT_EQ(Unchanged, CrashPoint::MidRequest);
+}
+
+TEST(CrashInjector, UnarmedCountsButNeverFires) {
+  CrashInjector I;
+  EXPECT_FALSE(I.armed());
+  for (int N = 0; N != 5; ++N) {
+    EXPECT_FALSE(I.wouldCrashNext(CrashPoint::MidTmpWrite));
+    I.maybeCrash(CrashPoint::MidTmpWrite); // Must return, not exit.
+  }
+  EXPECT_EQ(I.hitCount(CrashPoint::MidTmpWrite), 5u);
+}
+
+TEST(CrashInjector, OnHitFiresExactlyOnTheNth) {
+  CrashInjector I;
+  I.armOnHit(CrashPoint::MidMergeRead, 3);
+  EXPECT_TRUE(I.armed());
+  // Hits 1 and 2 pass; the injector would kill the process on hit 3.
+  EXPECT_FALSE(I.wouldCrashNext(CrashPoint::MidMergeRead));
+  I.maybeCrash(CrashPoint::MidMergeRead);
+  EXPECT_FALSE(I.wouldCrashNext(CrashPoint::MidMergeRead));
+  I.maybeCrash(CrashPoint::MidMergeRead);
+  EXPECT_TRUE(I.wouldCrashNext(CrashPoint::MidMergeRead));
+  // Other points are independent.
+  EXPECT_FALSE(I.wouldCrashNext(CrashPoint::MidTmpWrite));
+}
+
+TEST(CrashInjector, DisarmStopsFiringAndKeepsCounts) {
+  CrashInjector I;
+  I.armOnHit(CrashPoint::MidRequest, 1);
+  EXPECT_TRUE(I.wouldCrashNext(CrashPoint::MidRequest));
+  I.disarm(CrashPoint::MidRequest);
+  EXPECT_FALSE(I.wouldCrashNext(CrashPoint::MidRequest));
+  I.maybeCrash(CrashPoint::MidRequest);
+  EXPECT_EQ(I.hitCount(CrashPoint::MidRequest), 1u);
+}
+
+TEST(CrashInjector, SpecParsesOnHitAlwaysAndRandom) {
+  CrashInjector I;
+  ASSERT_TRUE(I.armFromSpec(
+      "post_tmp_pre_rename=1,mid_request=3,mid_merge_read=always"));
+  EXPECT_TRUE(I.wouldCrashNext(CrashPoint::PostTmpPreRename)); // Nth = 1.
+  EXPECT_TRUE(I.wouldCrashNext(CrashPoint::MidMergeRead));     // always.
+  EXPECT_FALSE(I.wouldCrashNext(CrashPoint::MidRequest));      // Nth = 3.
+  EXPECT_FALSE(I.wouldCrashNext(CrashPoint::MidTmpWrite));     // Unarmed.
+
+  CrashInjector R;
+  ASSERT_TRUE(R.armFromSpec("mid_tmp_write=random:42/1/2"));
+  EXPECT_TRUE(R.armed());
+}
+
+TEST(CrashInjector, MalformedSpecIsAllOrNothing) {
+  // A typo in one clause must not arm the others: a chaos schedule that
+  // silently half-applies reports green coverage it never exercised.
+  CrashInjector I;
+  EXPECT_FALSE(I.armFromSpec("mid_request=1,no_such_point=2"));
+  EXPECT_FALSE(I.armed());
+  EXPECT_FALSE(I.armFromSpec("mid_request="));
+  EXPECT_FALSE(I.armFromSpec("mid_request=0"));
+  EXPECT_FALSE(I.armFromSpec("mid_request"));
+  EXPECT_FALSE(I.armFromSpec("mid_request=random:1/2"));
+  EXPECT_FALSE(I.armFromSpec("mid_request=random:1/2/0"));
+  EXPECT_FALSE(I.armed());
+  // And an empty spec arms nothing but is not an error.
+  EXPECT_TRUE(I.armFromSpec(""));
+  EXPECT_FALSE(I.armed());
+}
+
+TEST(CrashInjector, RandomScheduleIsDeterministicPerSeed) {
+  // Same seed, same decisions, hit for hit; a different seed gives a
+  // different (but still reproducible) pattern at 1/2 probability.
+  auto Pattern = [](uint64_t Seed) {
+    CrashInjector I;
+    I.armRandom(CrashPoint::MidRequest, Seed, 1, 2);
+    std::string Bits;
+    for (int N = 0; N != 64; ++N) {
+      Bits += I.wouldCrashNext(CrashPoint::MidRequest) ? '1' : '0';
+      I.disarm(CrashPoint::MidRequest);
+      I.maybeCrash(CrashPoint::MidRequest); // Advance the hit counter.
+      I.armRandom(CrashPoint::MidRequest, Seed, 1, 2);
+    }
+    return Bits;
+  };
+  std::string A = Pattern(7), B = Pattern(7), C = Pattern(8);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  // At 1/2 the pattern actually mixes fires and passes.
+  EXPECT_NE(A.find('1'), std::string::npos);
+  EXPECT_NE(A.find('0'), std::string::npos);
+}
+
+TEST(CrashInjector, ZeroProbabilityNeverWouldFire) {
+  CrashInjector I;
+  I.armRandom(CrashPoint::PostRenamePreUnlock, 1, 0, 10);
+  for (int N = 0; N != 32; ++N) {
+    EXPECT_FALSE(I.wouldCrashNext(CrashPoint::PostRenamePreUnlock));
+    I.disarm(CrashPoint::PostRenamePreUnlock);
+    I.maybeCrash(CrashPoint::PostRenamePreUnlock);
+    I.armRandom(CrashPoint::PostRenamePreUnlock, 1, 0, 10);
+  }
+}
