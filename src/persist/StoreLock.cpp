@@ -16,6 +16,7 @@
 #ifndef _WIN32
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -26,17 +27,65 @@ using namespace ildp::persist;
 
 namespace {
 
-/// Creates \p Path O_CREAT|O_EXCL and writes "<pid>\n" into it. Returns
-/// true on acquisition. EEXIST means held; any other error means the
-/// directory refuses lock files (best-effort: caller degrades).
+/// Start-time token for \p Pid: /proc/<pid>/stat field 22 (clock ticks
+/// since boot at process start), or 0 where unavailable (non-Linux,
+/// /proc gone, process exited mid-read). Stable for a process's whole
+/// life, and different for every reuse of the same PID — the tiebreak
+/// that tells the recorded holder apart from a recycled number.
+unsigned long long procStartTime(long Pid) {
+#ifdef __linux__
+  char StatPath[64];
+  std::snprintf(StatPath, sizeof(StatPath), "/proc/%ld/stat", Pid);
+  int Fd = ::open(StatPath, O_RDONLY);
+  if (Fd < 0)
+    return 0;
+  char Buf[1024];
+  ssize_t N;
+  do
+    N = ::read(Fd, Buf, sizeof(Buf) - 1);
+  while (N < 0 && errno == EINTR);
+  ::close(Fd);
+  if (N <= 0)
+    return 0;
+  Buf[N] = '\0';
+  // comm (field 2) may itself contain spaces and parentheses; the
+  // numeric fields resume after the LAST ')'. starttime is field 22 —
+  // the 20th whitespace-separated token past it.
+  const char *P = std::strrchr(Buf, ')');
+  if (!P)
+    return 0;
+  ++P;
+  for (int Tok = 0; Tok != 19; ++Tok) {
+    while (*P == ' ')
+      ++P;
+    while (*P && *P != ' ')
+      ++P;
+  }
+  while (*P == ' ')
+    ++P;
+  char *End = nullptr;
+  unsigned long long Start = std::strtoull(P, &End, 10);
+  return End == P ? 0 : Start;
+#else
+  (void)Pid;
+  return 0;
+#endif
+}
+
+/// Creates \p Path O_CREAT|O_EXCL and writes "<pid> <starttime>\n" into
+/// it. Returns true on acquisition. EEXIST means held; any other error
+/// means the directory refuses lock files (best-effort: caller
+/// degrades).
 bool createPidFile(const std::string &Path, bool &Unsupported) {
   int Fd = ::open(Path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
   if (Fd < 0) {
     Unsupported = errno != EEXIST;
     return false;
   }
-  char Buf[32];
-  int Len = std::snprintf(Buf, sizeof(Buf), "%ld\n", long(::getpid()));
+  char Buf[64];
+  int Len =
+      std::snprintf(Buf, sizeof(Buf), "%ld %llu\n", long(::getpid()),
+                    procStartTime(long(::getpid())));
   const char *P = Buf;
   while (Len > 0) {
     ssize_t N = ::write(Fd, P, size_t(Len));
@@ -52,19 +101,16 @@ bool createPidFile(const std::string &Path, bool &Unsupported) {
   return true;
 }
 
-/// True when \p Pid names no live process (ESRCH). EPERM — a live process
-/// we may not signal — counts as alive.
-bool pidDead(long Pid) {
-  return ::kill(pid_t(Pid), 0) != 0 && errno == ESRCH;
-}
-
-} // namespace
-
-long StoreLock::readHolderPid(const std::string &LockPath) {
+/// Parses "<pid> [starttime]" out of \p LockPath. Returns the PID (-1
+/// when the file is absent, empty, or unparseable) and sets
+/// \p StartTime to the recorded token (0 when the file predates tokens
+/// or omits one).
+long readHolder(const std::string &LockPath, unsigned long long &StartTime) {
+  StartTime = 0;
   int Fd = ::open(LockPath.c_str(), O_RDONLY);
   if (Fd < 0)
     return -1;
-  char Buf[32];
+  char Buf[64];
   ssize_t N;
   do
     N = ::read(Fd, Buf, sizeof(Buf) - 1);
@@ -77,7 +123,43 @@ long StoreLock::readHolderPid(const std::string &LockPath) {
   long Pid = std::strtol(Buf, &End, 10);
   if (End == Buf || Pid <= 0)
     return -1;
+  char *TokEnd = nullptr;
+  unsigned long long Tok = std::strtoull(End, &TokEnd, 10);
+  if (TokEnd != End)
+    StartTime = Tok;
   return Pid;
+}
+
+/// True when \p Pid can no longer be the recorded holder: ESRCH (dead
+/// outright), or alive but with a start time different from the
+/// recorded token — the holder died and an unrelated process recycled
+/// its PID. EPERM — a live process we may not signal — counts as
+/// alive, and a zero token (old-format file, /proc unavailable) falls
+/// back to the kill() verdict alone.
+bool pidDead(long Pid, unsigned long long StartTok) {
+  if (::kill(pid_t(Pid), 0) != 0)
+    return errno == ESRCH;
+  if (StartTok == 0)
+    return false;
+  unsigned long long Now = procStartTime(Pid);
+  return Now != 0 && Now != StartTok;
+}
+
+/// \p St's mtime as nanoseconds — half of the identity (with st_ino)
+/// that ties an empty-file grace period to one specific lock file.
+long long mtimeNs(const struct stat &St) {
+#ifdef __APPLE__
+  return St.st_mtimespec.tv_sec * 1'000'000'000LL + St.st_mtimespec.tv_nsec;
+#else
+  return St.st_mtim.tv_sec * 1'000'000'000LL + St.st_mtim.tv_nsec;
+#endif
+}
+
+} // namespace
+
+long StoreLock::readHolderPid(const std::string &LockPath) {
+  unsigned long long Tok = 0;
+  return readHolder(LockPath, Tok);
 }
 
 bool StoreLock::tryCreate() {
@@ -100,35 +182,46 @@ bool StoreLock::tryCreate() {
 /// handling can be blunt: a break file naming a dead PID is unlinked on
 /// sight. Returns true when the main lock was (or turned out to already
 /// be) cleared.
-bool StoreLock::breakLock(long ExpectDeadPid) {
+bool StoreLock::breakLock(const DeadHolder &Expect) {
   std::string BreakPath = Path + ".break";
   bool Unsupported = false;
   if (!createPidFile(BreakPath, Unsupported)) {
     if (Unsupported)
       return false; // Cannot break; outer loop keeps polling.
-    long BreakerPid = readHolderPid(BreakPath);
+    unsigned long long BreakerTok = 0;
+    long BreakerPid = readHolder(BreakPath, BreakerTok);
     // A breaker that died inside its microseconds-wide critical section:
     // clear its break file and let the outer loop retry. -1 (empty file)
     // gets the same treatment — the window between create and write is a
     // few instructions, so an empty break file is overwhelmingly a dead
     // one, and the worst false positive re-runs a re-verified takeover.
-    if (BreakerPid < 0 || pidDead(BreakerPid))
+    if (BreakerPid < 0 || pidDead(BreakerPid, BreakerTok))
       std::remove(BreakPath.c_str());
     return false; // Someone is (or was) breaking; retry the outer loop.
   }
   // Under the break lock: re-verify before unlinking. The main lock may
   // have been broken and re-acquired by a live writer since we read the
   // dead PID — unlinking *that* would hand two writers the same lock.
-  long Now = readHolderPid(Path);
+  unsigned long long NowTok = 0;
+  long Now = readHolder(Path, NowTok);
   bool Cleared = false;
-  if (Now == ExpectDeadPid || (Now > 0 && pidDead(Now))) {
-    std::remove(Path.c_str());
-    Cleared = true;
-    ++Broken;
-  } else if (Now < 0) {
-    // Unreadable main lock under the break lock: only reap it when the
-    // caller already sat out the empty-file grace (ExpectDeadPid < 0).
-    if (ExpectDeadPid < 0) {
+  if (Now > 0) {
+    if ((Now == Expect.Pid && NowTok == Expect.StartTime) ||
+        pidDead(Now, NowTok)) {
+      std::remove(Path.c_str());
+      Cleared = true;
+      ++Broken;
+    }
+  } else if (Now < 0 && Expect.Pid < 0) {
+    // Unreadable main lock under the break lock: reap it only when it
+    // is the SAME file whose grace the caller sat out — inode and mtime
+    // unchanged. A lock created (or rewritten) since is someone's live
+    // acquisition inside its create-to-write window; it keeps its life
+    // and the caller's grace clock restarts on the new identity.
+    struct stat St;
+    if (::stat(Path.c_str(), &St) == 0 &&
+        (unsigned long long)(St.st_ino) == Expect.Ino &&
+        mtimeNs(St) == Expect.MtimeNs) {
       std::remove(Path.c_str());
       Cleared = true;
       ++Broken;
@@ -146,38 +239,68 @@ StoreLock::StoreLock(std::string LockPath, Options O)
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start = Clock::now();
   Clock::time_point FirstUnreadable{};
+  unsigned long long GraceIno = 0;
+  long long GraceMtimeNs = 0;
   for (;;) {
     if (tryCreate())
       return;
     Contended = true;
 
-    long Holder = readHolderPid(Path);
+    // One bound covers EVERY waiting path — a live holder, a dead
+    // holder whose takeover cannot complete (a break file pinned by a
+    // live recycled PID), an unreadable-file grace. Dead holders are
+    // normally broken within one poll and never feel it; the bound only
+    // guarantees that no shape of on-disk wreckage hangs the save
+    // forever instead of degrading to unlocked read-merge-write.
+    if (Clock::now() - Start >
+        std::chrono::milliseconds(Opts.MaxWaitMillis)) {
+      TimedOut = true;
+      return;
+    }
+
+    unsigned long long HolderTok = 0;
+    long Holder = readHolder(Path, HolderTok);
     if (Holder > 0) {
       FirstUnreadable = Clock::time_point{};
-      if (pidDead(Holder)) {
-        // Crashed holder: take over now. Never wait a timeout on a PID
-        // that can no longer release the lock.
-        if (!breakLock(Holder)) // Another breaker beat us; let it finish.
+      if (pidDead(Holder, HolderTok)) {
+        // Crashed holder (or a recycled PID wearing its number): take
+        // over now rather than waiting a timeout on a lock nobody can
+        // release.
+        DeadHolder D;
+        D.Pid = Holder;
+        D.StartTime = HolderTok;
+        if (!breakLock(D)) // Another breaker beat us; let it finish.
           std::this_thread::sleep_for(
               std::chrono::milliseconds(Opts.PollMillis));
         continue; // Race others for the cleared slot immediately.
       }
-      // Live holder: wait, bounded only against the pathological wedged
-      // case. The holder's own save is milliseconds of work.
-      if (Clock::now() - Start >
-          std::chrono::milliseconds(Opts.MaxWaitMillis)) {
-        TimedOut = true;
-        return;
-      }
+      // Live holder: wait it out under the bound above. The holder's
+      // own save is milliseconds of work.
     } else {
       // Present but empty/unparseable: either a holder killed inside the
       // create-to-write window or a foreign artifact. Neither names a
-      // live writer; reap it after a short grace.
-      if (FirstUnreadable == Clock::time_point{})
+      // live writer; reap it after a short grace — tied to THIS file's
+      // identity, so a holder merely preempted inside that window (or a
+      // fresh lock created meanwhile) restarts the clock instead of
+      // losing a live lock.
+      struct stat St;
+      if (::stat(Path.c_str(), &St) != 0) {
+        FirstUnreadable = Clock::time_point{};
+        continue; // Vanished: race for the free slot immediately.
+      }
+      unsigned long long Ino = (unsigned long long)(St.st_ino);
+      long long Mt = mtimeNs(St);
+      if (FirstUnreadable == Clock::time_point{} || Ino != GraceIno ||
+          Mt != GraceMtimeNs) {
         FirstUnreadable = Clock::now();
-      else if (Clock::now() - FirstUnreadable >
-               std::chrono::milliseconds(Opts.EmptyGraceMillis)) {
-        breakLock(-1);
+        GraceIno = Ino;
+        GraceMtimeNs = Mt;
+      } else if (Clock::now() - FirstUnreadable >
+                 std::chrono::milliseconds(Opts.EmptyGraceMillis)) {
+        DeadHolder D;
+        D.Ino = Ino;
+        D.MtimeNs = Mt;
+        breakLock(D);
         FirstUnreadable = Clock::time_point{};
         continue;
       }
@@ -195,7 +318,7 @@ StoreLock::~StoreLock() {
 
 long StoreLock::readHolderPid(const std::string &) { return -1; }
 bool StoreLock::tryCreate() { return true; }
-bool StoreLock::breakLock(long) { return false; }
+bool StoreLock::breakLock(const DeadHolder &) { return false; }
 StoreLock::StoreLock(std::string LockPath)
     : StoreLock(std::move(LockPath), Options()) {}
 StoreLock::StoreLock(std::string LockPath, Options O)

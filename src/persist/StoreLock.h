@@ -13,30 +13,38 @@
 /// lost-update window the lock exists to close, reopened by the crash it
 /// should be immune to.
 ///
-/// StoreLock records the holder's PID inside the lock file and recovers
-/// dead holders:
+/// StoreLock records the holder's identity inside the lock file and
+/// recovers dead holders:
 ///
-///  - acquisition creates the file O_CREAT|O_EXCL and writes the holder
-///    PID (decimal, newline-terminated) into it;
+///  - acquisition creates the file O_CREAT|O_EXCL and writes
+///    "<pid> <starttime>\n" into it — the start-time token (from
+///    /proc/<pid>/stat, 0 where unavailable) distinguishes the recorded
+///    holder from an unrelated process that later recycled its PID;
 ///  - a contender that finds the file reads the PID and probes it with
-///    kill(pid, 0): ESRCH means the holder died without unlocking, and
-///    the contender *breaks* the lock (takeover) instead of waiting for a
-///    timeout that cannot help;
+///    kill(pid, 0): ESRCH — or a live PID whose start-time token no
+///    longer matches the recorded one (recycled) — means the holder died
+///    without unlocking, and the contender *breaks* the lock (takeover)
+///    instead of waiting for a timeout that cannot help;
 ///  - breaking is serialized through a short-lived secondary
 ///    "<lock>.break" file, under which the main lock's content is
 ///    re-verified before the unlink — two contenders that both saw the
 ///    dead PID cannot unlink two generations of the lock;
 ///  - a live holder is *waited for* (default bound 30s — saves take
-///    milliseconds; the bound only exists so a wedged-but-alive holder
-///    cannot hang a fleet forever). Only that pathological case reaches
-///    the proceed-unlocked fallback, and it is reported as timedOut() so
-///    callers can count it (persist.store_lock_timeout) rather than
-///    silently racing.
+///    milliseconds). The bound caps EVERY non-progressing wait — a
+///    wedged-but-alive holder, and equally a takeover that can never
+///    complete (e.g. a break file pinned by a live recycled PID) — so no
+///    shape of on-disk wreckage can hang a save forever. Reaching it is
+///    reported as timedOut() so callers can count it
+///    (persist.store_lock_timeout) rather than silently racing.
 ///
 /// An unreadable or empty lock file (a foreign creator, or a holder
 /// killed inside the create-to-write window, which is a handful of
 /// instructions wide) is treated as dead after a short grace period: it
-/// names no live PID, so no live writer can be protected by it.
+/// names no live PID, so no live writer can be protected by it. The
+/// grace is tied to the file's identity (inode + mtime), re-verified
+/// under the break lock before the unlink: a holder merely preempted
+/// inside that window, or a fresh lock created after the grace expired,
+/// restarts the clock instead of losing a live lock.
 ///
 /// The lock is advisory and best-effort by design (mirrors PR-5): an
 /// unwritable directory degrades to unlocked read-merge-write rather
@@ -59,8 +67,11 @@ namespace persist {
 class StoreLock {
 public:
   struct Options {
-    /// Bound on waiting for a LIVE holder, in milliseconds. Dead holders
-    /// never consume the bound — they are broken as soon as detected.
+    /// Bound on the whole acquisition, in milliseconds. Dead holders are
+    /// normally broken within one poll and never approach it; the bound
+    /// exists so that NO waiting path — a live holder, a takeover that
+    /// cannot complete, an unreadable-file grace — can hang the caller
+    /// forever instead of degrading to timedOut().
     unsigned MaxWaitMillis = 30'000;
     /// Poll interval while a live holder works, in milliseconds.
     unsigned PollMillis = 2;
@@ -90,12 +101,25 @@ public:
   bool timedOut() const { return TimedOut; }
 
   /// The PID recorded in \p LockPath, or -1 when the file is absent,
-  /// empty, or unparseable.
+  /// empty, or unparseable. (The start-time token that follows the PID
+  /// in current-format files is ignored here.)
   static long readHolderPid(const std::string &LockPath);
 
 private:
+  /// What a takeover expects to find under the break lock: a dead
+  /// holder (Pid > 0, with the start-time token it was recorded with),
+  /// or — Pid < 0 — an unreadable lock file whose grace the caller sat
+  /// out, identified by inode + mtime so a lock created since keeps its
+  /// life.
+  struct DeadHolder {
+    long Pid = -1;
+    unsigned long long StartTime = 0;
+    unsigned long long Ino = 0;
+    long long MtimeNs = 0;
+  };
+
   bool tryCreate();
-  bool breakLock(long ExpectDeadPid);
+  bool breakLock(const DeadHolder &Expect);
 
   std::string Path;
   Options Opts;

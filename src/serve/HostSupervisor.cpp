@@ -200,6 +200,25 @@ void HostSupervisor::slotMain(Slot &S) {
       continue;
     }
 
+    // Close the shutdown/respawn race: shutdown() may have run its quit
+    // pass while this slot was between teardown and spawnHost (Live was
+    // false, so it wrote nothing), and a host that never hears "quit"
+    // never exits — the read loop below would block forever and
+    // shutdown()'s join would never return. Both sides synchronize on
+    // S.Mutex (shutdown's quit pass and spawnHost's Live=true), so
+    // exactly one of two things holds: shutdown() saw Live==true and
+    // delivered quit, or Stopping is visible here and we deliver it
+    // ourselves. Either way the child drains, exits, and the read loop
+    // unwinds through the normal teardown.
+    if (Stopping.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      if (S.WriteFd >= 0) {
+        const char Quit[] = "quit\n";
+        ssize_t W = ::write(S.WriteFd, Quit, sizeof(Quit) - 1);
+        (void)W; // Dead pipe: EOF is already on its way.
+      }
+    }
+
     // Read this child's responses until its stdout closes — which is
     // exactly process exit, graceful or violent.
     FILE *In = ::fdopen(ReadFd, "r");
@@ -266,13 +285,18 @@ void HostSupervisor::slotMain(Slot &S) {
 }
 
 bool HostSupervisor::start() {
+  if (Started.load(std::memory_order_acquire))
+    return true;
+  // Validate before latching Started: a failed start (bad binary path)
+  // must stay retryable — latching first would turn every later start()
+  // into a vacuous success over zero live hosts.
+  if (::access(Config.HostBinary.c_str(), X_OK) != 0)
+    return false;
   bool Expected = false;
   if (!Started.compare_exchange_strong(Expected, true))
     return true;
   // A host dying mid-write must cost this process an EPIPE, not a signal.
   ::signal(SIGPIPE, SIG_IGN);
-  if (::access(Config.HostBinary.c_str(), X_OK) != 0)
-    return false;
   for (auto &S : Slots)
     S->Thread = std::thread([this, &S] { slotMain(*S); });
   // Wait (bounded) for the initial spawns: a submit() racing start()

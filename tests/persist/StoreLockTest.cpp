@@ -86,6 +86,10 @@ TEST(StoreLock, ReadHolderPid) {
   EXPECT_EQ(StoreLock::readHolderPid(Path), -1); // Garbage.
   writeFile(Path, "-7\n");
   EXPECT_EQ(StoreLock::readHolderPid(Path), -1); // Nonsense PID.
+  // Current format carries a start-time token after the PID; the PID
+  // still parses (and old token-less files remain readable above).
+  writeFile(Path, "12345 67890\n");
+  EXPECT_EQ(StoreLock::readHolderPid(Path), 12345);
   std::remove(Path.c_str());
 }
 
@@ -177,6 +181,56 @@ TEST(StoreLock, ContendedHandoffBetweenThreads) {
   EXPECT_EQ(Second.broken(), 0u); // A live holder is never broken.
   EXPECT_LT(TookMs, 10'000);
 }
+
+TEST(StoreLock, WedgedBreakerFallsBackToTimeout) {
+  std::string Path = tempLock("lock-wedged-breaker");
+  // A dead holder whose takeover can never complete: the break lock is
+  // pinned by a LIVE process (this one) that never finishes. The
+  // acquirer must degrade through the MaxWaitMillis bound — previously
+  // the dead-holder path bypassed it and spun forever.
+  writeFile(Path, std::to_string(DeadPid) + "\n");
+  writeFile(Path + ".break", std::to_string(long(::getpid())) + "\n");
+
+  StoreLock::Options Opts;
+  Opts.MaxWaitMillis = 60;
+  auto T0 = std::chrono::steady_clock::now();
+  StoreLock Lock(Path, Opts);
+  double TookMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  EXPECT_FALSE(Lock.held());
+  EXPECT_TRUE(Lock.timedOut());
+  EXPECT_EQ(Lock.broken(), 0u);
+  EXPECT_GE(TookMs, 55.0); // The bound was genuinely waited out...
+  // ...and the live breaker's file was never reaped.
+  EXPECT_TRUE(fileExists(Path + ".break"));
+  std::remove(Path.c_str());
+  std::remove((Path + ".break").c_str());
+}
+
+#ifdef __linux__
+TEST(StoreLock, RecycledHolderPidIsBrokenByStartTimeToken) {
+  std::string Path = tempLock("lock-recycled");
+  // A lock naming a LIVE pid (ours) but a start-time token no real
+  // process can match: the recorded holder died and an unrelated
+  // process recycled its number. kill(pid, 0) alone would wait the
+  // full bound and then proceed unlocked — the lost-update window; the
+  // token mismatch must break the lock promptly instead.
+  writeFile(Path, std::to_string(long(::getpid())) + " 1\n");
+
+  StoreLock::Options Opts;
+  Opts.MaxWaitMillis = 5'000; // Must NOT be consumed.
+  auto T0 = std::chrono::steady_clock::now();
+  StoreLock Lock(Path, Opts);
+  double TookMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  EXPECT_TRUE(Lock.held());
+  EXPECT_GE(Lock.broken(), 1u);
+  EXPECT_FALSE(Lock.timedOut());
+  EXPECT_LT(TookMs, 2'000.0);
+}
+#endif // __linux__
 
 TEST(StoreLock, DeadBreakerDoesNotWedgeTakeover) {
   std::string Path = tempLock("lock-dead-breaker");

@@ -23,6 +23,7 @@
 #include "vm/VirtualMachine.h"
 #include "workloads/Workloads.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <gtest/gtest.h>
@@ -99,6 +100,10 @@ TEST(HostSupervisor, StartFailsOnMissingBinary) {
   Config.HostBinary = "/no/such/binary";
   HostSupervisor Sup(Config);
   EXPECT_FALSE(Sup.start());
+  // A failed start stays a failure: retrying must not report vacuous
+  // success over zero live hosts.
+  EXPECT_FALSE(Sup.start());
+  EXPECT_EQ(Sup.liveHosts(), 0u);
   // Submissions against a never-started fleet still resolve typed.
   HostReply R;
   ASSERT_TRUE(getReply(Sup.submit("run gzip"), R));
@@ -241,6 +246,34 @@ TEST(HostSupervisor, CrashLoopingHostIsAbandonedTyped) {
   EXPECT_GE(Sup.rejectedNoHost(), 1u);
   EXPECT_EQ(Sup.liveHosts(), 0u);
   Sup.shutdown();
+}
+
+TEST(HostSupervisor, ShutdownDuringRestartChurnReturns) {
+  std::string Store = seededStore("sup-churn.tstore", {"gzip"});
+  SupervisorConfig Config = baseConfig(Store);
+  Config.Hosts = 2;
+  Config.MaxRestarts = 1'000; // Effectively unlimited for this test.
+  // Every generation dies on its first request, so the slots cycle
+  // through teardown -> respawn continuously — maximizing the window
+  // where shutdown()'s quit pass finds a slot between children
+  // (Live == false) and writes nothing. A host spawned after that pass
+  // must still be told to quit, or shutdown() joins forever.
+  Config.HostEnv = {"ILDP_CRASH_SCHEDULE=mid_request=1"};
+  HostSupervisor Sup(Config);
+  ASSERT_TRUE(Sup.start());
+
+  std::atomic<bool> Stop{false};
+  std::thread Pump([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      (void)Sup.submit("run gzip"); // Keep hosts dying and respawning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  Sup.shutdown(); // Reaching the next line IS the assertion: no hang.
+  Stop.store(true, std::memory_order_release);
+  Pump.join();
+  EXPECT_EQ(Sup.liveHosts(), 0u);
 }
 
 TEST(HostSupervisor, ShutdownDrainsAndIsIdempotent) {
